@@ -1,0 +1,69 @@
+//! Ablations of design choices DESIGN.md calls out:
+//!
+//! * `Disjoint` (paper recursion) vs `DisjointStride` (alternative
+//!   reading of the garbled worked example) — flow-level quality on a
+//!   fixed permutation batch;
+//! * path-selection policies in the flit simulator — short fixed-load
+//!   runs measuring delivered flits.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmpr_core::{Disjoint, DisjointStride, Router};
+use lmpr_flitsim::{FlitSim, PathPolicy, SimConfig};
+use lmpr_flowsim::LinkLoads;
+use lmpr_traffic::{random_permutation, TrafficMatrix};
+use xgft::{Topology, XgftSpec};
+
+fn disjoint_variants_quality(c: &mut Criterion) {
+    let topo = Topology::new(XgftSpec::m_port_n_tree(16, 3).unwrap());
+    let tms: Vec<TrafficMatrix> = (0..8u64)
+        .map(|s| TrafficMatrix::permutation(&random_permutation(topo.num_pns(), s)))
+        .collect();
+    let mut group = c.benchmark_group("ablation/disjoint_variant");
+    for (name, r) in [
+        ("recursion", Box::new(Disjoint::new(8)) as Box<dyn Router>),
+        ("stride", Box::new(DisjointStride::new(8))),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut loads = LinkLoads::zero(&topo);
+            b.iter(|| {
+                let mut acc = 0.0;
+                for tm in &tms {
+                    loads.clear();
+                    loads.add(&topo, &r, tm);
+                    acc += loads.max_load();
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn path_policy_throughput(c: &mut Criterion) {
+    let topo = Topology::new(XgftSpec::m_port_n_tree(8, 3).unwrap());
+    let mut group = c.benchmark_group("ablation/path_policy");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("round_robin", PathPolicy::RoundRobin),
+        ("per_packet_random", PathPolicy::PerPacketRandom),
+        ("per_message_random", PathPolicy::PerMessageRandom),
+    ] {
+        let cfg = SimConfig {
+            warmup_cycles: 500,
+            measure_cycles: 2_000,
+            offered_load: 0.7,
+            path_policy: policy,
+            ..SimConfig::default()
+        };
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let stats = FlitSim::simulate(&topo, Disjoint::new(8), cfg);
+                black_box(stats.delivered_flits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, disjoint_variants_quality, path_policy_throughput);
+criterion_main!(benches);

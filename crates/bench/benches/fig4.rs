@@ -1,0 +1,39 @@
+//! The Figure-4 inner loop as a benchmark: max-link-load evaluation of
+//! one random permutation per routing scheme.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmpr_core::{DModK, Disjoint, Router, ShiftOne, Umulti};
+use lmpr_flowsim::LinkLoads;
+use lmpr_traffic::{random_permutation, TrafficMatrix};
+use xgft::{Topology, XgftSpec};
+
+fn bench_permutation_eval(c: &mut Criterion) {
+    for (tree, spec) in [
+        ("16port2tree", XgftSpec::m_port_n_tree(16, 2).unwrap()),
+        ("16port3tree", XgftSpec::m_port_n_tree(16, 3).unwrap()),
+    ] {
+        let topo = Topology::new(spec);
+        let tm = TrafficMatrix::permutation(&random_permutation(topo.num_pns(), 42));
+        let mut group = c.benchmark_group(format!("fig4_eval/{tree}"));
+        let routers: Vec<(&str, Box<dyn Router>)> = vec![
+            ("dmodk", Box::new(DModK)),
+            ("shift1_4", Box::new(ShiftOne::new(4))),
+            ("disjoint_4", Box::new(Disjoint::new(4))),
+            ("umulti", Box::new(Umulti)),
+        ];
+        for (name, r) in &routers {
+            group.bench_function(BenchmarkId::from_parameter(name), |b| {
+                let mut loads = LinkLoads::zero(&topo);
+                b.iter(|| {
+                    loads.clear();
+                    loads.add(&topo, r, &tm);
+                    black_box(loads.max_load())
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_permutation_eval);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Flit-simulator core speed: cycles per second stepping the paper's
+//! Table-1 topology at a medium load.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmpr_core::{DModK, Disjoint};
+use lmpr_flitsim::{FlitSim, SimConfig};
+use xgft::{Topology, XgftSpec};
+
+fn bench_step(c: &mut Criterion) {
+    let topo = Topology::new(XgftSpec::m_port_n_tree(8, 3).unwrap());
+    let cfg = SimConfig {
+        warmup_cycles: 0,
+        measure_cycles: u32::MAX,
+        offered_load: 0.6,
+        ..SimConfig::default()
+    };
+    let mut group = c.benchmark_group("flitsim_step/8port3tree");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::from_parameter("dmodk_1kcycles"), |b| {
+        let mut sim = FlitSim::new(&topo, DModK, cfg);
+        b.iter(|| {
+            for _ in 0..1_000 {
+                sim.step();
+            }
+            black_box(sim.now())
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("disjoint8_1kcycles"), |b| {
+        let mut sim = FlitSim::new(&topo, Disjoint::new(8), cfg);
+        b.iter(|| {
+            for _ in 0..1_000 {
+                sim.step();
+            }
+            black_box(sim.now())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_step);
+criterion_main!(benches);

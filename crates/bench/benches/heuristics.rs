@@ -1,0 +1,52 @@
+//! Microbenchmarks of the path-calculation heuristics: cost of
+//! computing a path set, the inner operation of everything else.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmpr_core::{DModK, Disjoint, DisjointStride, RandomK, Router, ShiftOne, Umulti};
+use xgft::{PnId, Topology, XgftSpec};
+
+fn bench_path_sets(c: &mut Criterion) {
+    // The paper's largest topology: 24-port 3-tree, 144 paths per far pair.
+    let topo = Topology::new(XgftSpec::m_port_n_tree(24, 3).unwrap());
+    let pairs: Vec<(PnId, PnId)> = (0..64u32)
+        .map(|i| (PnId(i * 37 % 3456), PnId((i * 53 + 1234) % 3456)))
+        .collect();
+    let mut group = c.benchmark_group("path_set/24port3tree");
+    let routers: Vec<(&str, Box<dyn Router>)> = vec![
+        ("dmodk", Box::new(DModK)),
+        ("shift1_8", Box::new(ShiftOne::new(8))),
+        ("disjoint_8", Box::new(Disjoint::new(8))),
+        ("stride_8", Box::new(DisjointStride::new(8))),
+        ("random_8", Box::new(RandomK::new(8, 1))),
+        ("umulti", Box::new(Umulti)),
+    ];
+    for (name, r) in &routers {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut buf = Vec::new();
+            b.iter(|| {
+                for &(s, d) in &pairs {
+                    r.fill_paths(&topo, s, d, &mut buf);
+                    black_box(buf.len());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_walk_path(c: &mut Criterion) {
+    let topo = Topology::new(XgftSpec::m_port_n_tree(24, 3).unwrap());
+    let (s, d) = (PnId(0), PnId(3455));
+    c.bench_function("walk_path/24port3tree/far_pair", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in topo.all_paths(s, d) {
+                topo.walk_path(s, d, p, |l| acc += l.0 as u64);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_path_sets, bench_walk_path);
+criterion_main!(benches);

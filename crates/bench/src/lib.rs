@@ -1,0 +1,166 @@
+//! Shared plumbing for the experiment binaries that regenerate the
+//! paper's tables and figures.
+//!
+//! Binaries (run with `--release`):
+//!
+//! * `fig4`    — Figure 4(a–d): average maximum link load vs number of
+//!   paths, flow level, random permutations with the 99 % CI rule.
+//! * `table1`  — Table 1: saturation throughput under uniform traffic,
+//!   flit level, per heuristic and path budget.
+//! * `fig5`    — Figure 5: average message delay vs offered load, flit
+//!   level.
+//! * `theorems` — executable checks of Theorem 1, Theorem 2 and the
+//!   InfiniBand LID budget motivation.
+//!
+//! Each binary prints a human-readable table and, with `--json PATH`,
+//! writes machine-readable results used by EXPERIMENTS.md.
+
+use lmpr_core::RouterKind;
+use serde::Serialize;
+use xgft::{Topology, XgftSpec};
+
+/// The evaluation topologies of §5, keyed the way the paper labels them.
+pub fn topology_by_name(name: &str) -> Option<(String, Topology)> {
+    let spec = match name {
+        // Figure 4 panels.
+        "a" | "16port2tree" => XgftSpec::m_port_n_tree(16, 2),
+        "b" | "16port3tree" => XgftSpec::m_port_n_tree(16, 3),
+        "c" | "24port2tree" => XgftSpec::m_port_n_tree(24, 2),
+        "d" | "24port3tree" => XgftSpec::m_port_n_tree(24, 3),
+        // The remaining §5 topologies.
+        "8port2tree" => XgftSpec::m_port_n_tree(8, 2),
+        "8port3tree" => XgftSpec::m_port_n_tree(8, 3),
+        _ => return None,
+    }
+    .expect("§5 topologies are valid");
+    let label = format!("{spec}");
+    Some((label, Topology::new(spec)))
+}
+
+/// Geometric-ish ladder of path budgets from 1 to `max` inclusive —
+/// the x-axis of Figure 4.
+pub fn k_ladder(max: u64) -> Vec<u64> {
+    let mut ks = vec![1u64];
+    let mut k = 2;
+    while k < max {
+        ks.push(k);
+        k = if k < 4 { k + 1 } else { k * 3 / 2 };
+    }
+    if max > 1 {
+        ks.push(max);
+    }
+    ks.dedup();
+    ks
+}
+
+/// The heuristics compared in Figure 4 and Table 1 at a given budget.
+pub fn heuristics_at(k: u64, random_seed: u64) -> Vec<RouterKind> {
+    vec![
+        RouterKind::ShiftOne(k),
+        RouterKind::Disjoint(k),
+        RouterKind::RandomK(k, random_seed),
+    ]
+}
+
+/// One emitted experiment record (schema shared across binaries so the
+/// JSON files can be post-processed uniformly).
+#[derive(Debug, Clone, Serialize)]
+pub struct Record {
+    /// Experiment id: `fig4a`, `table1`, `fig5`, `theorems`, …
+    pub experiment: String,
+    /// Topology label (`XGFT(…)`).
+    pub topology: String,
+    /// Routing scheme label.
+    pub scheme: String,
+    /// Path budget `K` (0 = not applicable / unlimited).
+    pub k: u64,
+    /// Independent variable (number of paths, offered load, …).
+    pub x: f64,
+    /// Measured value (avg max load, throughput, delay, ratio, …).
+    pub y: f64,
+    /// Secondary value (CI half-width, completion rate, …), if any.
+    pub aux: Option<f64>,
+}
+
+/// Write records as pretty JSON to `path`.
+pub fn write_json(path: &str, records: &[Record]) -> std::io::Result<()> {
+    let body = serde_json::to_string_pretty(records).expect("records serialize");
+    std::fs::write(path, body)
+}
+
+/// Parse `--json PATH` and `--quick` style flags from `args`.
+#[derive(Debug, Default, Clone)]
+pub struct CommonArgs {
+    /// Output path for machine-readable results.
+    pub json: Option<String>,
+    /// Reduced statistical budget for smoke runs.
+    pub quick: bool,
+    /// Positional (non-flag) arguments.
+    pub positional: Vec<String>,
+}
+
+impl CommonArgs {
+    /// Parse from an iterator of arguments (without the program name).
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut out = CommonArgs::default();
+        let mut it = args.peekable();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--json" => {
+                    out.json =
+                        Some(it.next().ok_or_else(|| "--json needs a path".to_owned())?);
+                }
+                "--quick" => out.quick = true,
+                _ if a.starts_with("--") => return Err(format!("unknown flag {a}")),
+                _ => out.positional.push(a),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladders_hit_endpoints() {
+        assert_eq!(k_ladder(1), vec![1]);
+        assert_eq!(k_ladder(8), vec![1, 2, 3, 4, 6, 8]);
+        let l = k_ladder(144);
+        assert_eq!(*l.first().unwrap(), 1);
+        assert_eq!(*l.last().unwrap(), 144);
+        assert!(l.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn topologies_resolve() {
+        let (label, t) = topology_by_name("b").unwrap();
+        assert_eq!(label, "XGFT(3; 8,8,16; 1,8,8)");
+        assert_eq!(t.num_pns(), 1024);
+        assert!(topology_by_name("z").is_none());
+        assert_eq!(topology_by_name("d").unwrap().1.num_pns(), 3456);
+    }
+
+    #[test]
+    fn args_parse() {
+        let a = CommonArgs::parse(
+            ["a", "--quick", "--json", "out.json"].into_iter().map(String::from),
+        )
+        .unwrap();
+        assert!(a.quick);
+        assert_eq!(a.json.as_deref(), Some("out.json"));
+        assert_eq!(a.positional, vec!["a"]);
+        assert!(CommonArgs::parse(["--nope"].into_iter().map(String::from)).is_err());
+        assert!(CommonArgs::parse(["--json"].into_iter().map(String::from)).is_err());
+    }
+
+    #[test]
+    fn heuristic_set_is_the_papers() {
+        let hs = heuristics_at(4, 0);
+        assert_eq!(hs.len(), 3);
+        assert_eq!(hs[0], RouterKind::ShiftOne(4));
+        assert_eq!(hs[1], RouterKind::Disjoint(4));
+        assert_eq!(hs[2], RouterKind::RandomK(4, 0));
+    }
+}

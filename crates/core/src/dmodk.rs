@@ -1,0 +1,93 @@
+//! The destination-mod-k and source-mod-k single-path baselines.
+
+use crate::{PathSet, Router};
+use xgft::{PathId, PnId, Topology};
+
+/// Destination-mod-k routing (§3.3): climbing from level `k-1` to level
+/// `k`, take the up port `⌊d / Π_{i<k} w_i⌋ mod w_k`.
+///
+/// This is the de-facto standard single-path scheme for fat-trees (it is
+/// what OpenSM's fat-tree routing engine computes) and the anchor the
+/// shift-1 and disjoint heuristics are built on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DModK;
+
+impl Router for DModK {
+    fn fill_paths(&self, topo: &Topology, s: PnId, d: PnId, out: &mut Vec<PathId>) {
+        out.clear();
+        out.push(topo.dmodk_path(s, d));
+    }
+
+    fn path_set(&self, topo: &Topology, s: PnId, d: PnId) -> PathSet {
+        PathSet::single(topo.dmodk_path(s, d))
+    }
+
+    fn name(&self) -> String {
+        "d-mod-k".to_owned()
+    }
+}
+
+/// Source-mod-k routing: the mirror-image scheme keyed on the source
+/// address. The paper notes its performance is indistinguishable from
+/// d-mod-k; it is provided for completeness and for ablation runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SModK;
+
+impl Router for SModK {
+    fn fill_paths(&self, topo: &Topology, s: PnId, d: PnId, out: &mut Vec<PathId>) {
+        out.clear();
+        out.push(topo.smodk_path(s, d));
+    }
+
+    fn name(&self) -> String {
+        "s-mod-k".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xgft::XgftSpec;
+
+    #[test]
+    fn dmodk_matches_paper_example() {
+        let topo = Topology::new(XgftSpec::new(&[4, 4, 4], &[1, 2, 4]).unwrap());
+        let set = DModK.path_set(&topo, PnId(0), PnId(63));
+        assert_eq!(set.paths(), &[PathId(7)]);
+        assert_eq!(DModK.name(), "d-mod-k");
+    }
+
+    #[test]
+    fn single_path_for_every_pair() {
+        let topo = Topology::new(XgftSpec::new(&[3, 2], &[2, 3]).unwrap());
+        for s in 0..topo.num_pns() {
+            for d in 0..topo.num_pns() {
+                let (s, d) = (PnId(s), PnId(d));
+                for r in [&DModK as &dyn Router, &SModK] {
+                    let set = r.path_set(&topo, s, d);
+                    assert_eq!(set.len(), 1);
+                    assert!(set.paths()[0].0 < topo.num_paths(s, d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn destination_concentration_property() {
+        // All sources with the same NCA level route to a destination
+        // through the same top-level switch — the root cause of
+        // Theorem 2's adversarial pattern.
+        let topo = Topology::new(XgftSpec::new(&[4, 4], &[1, 4]).unwrap());
+        let d = PnId(12);
+        let mut apexes = std::collections::HashSet::new();
+        for s in 0..topo.num_pns() {
+            let s = PnId(s);
+            if topo.nca_level(s, d) == 2 {
+                let p = topo.dmodk_path(s, d);
+                let nodes = topo.path_nodes(s, d, p);
+                apexes.insert(nodes[2]);
+            }
+        }
+        assert_eq!(apexes.len(), 1);
+    }
+}

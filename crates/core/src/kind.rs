@@ -1,0 +1,168 @@
+//! Dynamic router selection for experiment drivers and CLIs.
+
+use crate::{DModK, Disjoint, DisjointStride, RandomK, Router, SModK, ShiftOne, Umulti};
+use xgft::{PathId, PnId, Topology};
+
+/// Every routing scheme in the crate behind one enum, so experiment
+/// binaries can be driven by strings like `disjoint:8` without trait
+/// objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterKind {
+    /// Destination-mod-k single path.
+    DModK,
+    /// Source-mod-k single path.
+    SModK,
+    /// Shift-1 with budget `K`.
+    ShiftOne(u64),
+    /// Disjoint (paper recursion) with budget `K`.
+    Disjoint(u64),
+    /// Stride ablation variant of disjoint with budget `K`.
+    DisjointStride(u64),
+    /// Random with budget `K` and a seed.
+    RandomK(u64, u64),
+    /// Unlimited multi-path.
+    Umulti,
+}
+
+impl RouterKind {
+    /// Parse a spec string: `dmodk`, `smodk`, `umulti`, `shift1:K`,
+    /// `disjoint:K`, `stride:K`, `random:K[:seed]`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut it = s.split(':');
+        let head = it.next().unwrap_or("");
+        let arg = |it: &mut std::str::Split<'_, char>| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{head} requires a K argument, e.g. {head}:4"))?
+                .parse::<u64>()
+                .map_err(|e| format!("bad K in {s}: {e}"))
+        };
+        let kind = match head {
+            "dmodk" | "d-mod-k" => RouterKind::DModK,
+            "smodk" | "s-mod-k" => RouterKind::SModK,
+            "umulti" => RouterKind::Umulti,
+            "shift1" | "shift-1" => RouterKind::ShiftOne(arg(&mut it)?),
+            "disjoint" => RouterKind::Disjoint(arg(&mut it)?),
+            "stride" | "disjoint-stride" => RouterKind::DisjointStride(arg(&mut it)?),
+            "random" => {
+                let k = arg(&mut it)?;
+                let seed = match it.next() {
+                    Some(t) => t.parse::<u64>().map_err(|e| format!("bad seed in {s}: {e}"))?,
+                    None => 0,
+                };
+                RouterKind::RandomK(k, seed)
+            }
+            other => return Err(format!("unknown router kind: {other}")),
+        };
+        if it.next().is_some() {
+            return Err(format!("trailing arguments in router spec: {s}"));
+        }
+        if let RouterKind::ShiftOne(0)
+        | RouterKind::Disjoint(0)
+        | RouterKind::DisjointStride(0)
+        | RouterKind::RandomK(0, _) = kind
+        {
+            return Err("the path budget K must be at least 1".to_owned());
+        }
+        Ok(kind)
+    }
+
+    /// Path budget of the scheme (`None` for UMULTI, whose budget is the
+    /// pair-dependent path count).
+    pub fn budget(&self) -> Option<u64> {
+        match *self {
+            RouterKind::DModK | RouterKind::SModK => Some(1),
+            RouterKind::ShiftOne(k)
+            | RouterKind::Disjoint(k)
+            | RouterKind::DisjointStride(k)
+            | RouterKind::RandomK(k, _) => Some(k),
+            RouterKind::Umulti => None,
+        }
+    }
+
+    /// Replace the scheme's seed (no-op for deterministic schemes);
+    /// used when averaging random routing over several seeds.
+    pub fn with_seed(self, seed: u64) -> Self {
+        match self {
+            RouterKind::RandomK(k, _) => RouterKind::RandomK(k, seed),
+            other => other,
+        }
+    }
+}
+
+impl Router for RouterKind {
+    fn fill_paths(&self, topo: &Topology, s: PnId, d: PnId, out: &mut Vec<PathId>) {
+        match *self {
+            RouterKind::DModK => DModK.fill_paths(topo, s, d, out),
+            RouterKind::SModK => SModK.fill_paths(topo, s, d, out),
+            RouterKind::ShiftOne(k) => ShiftOne::new(k).fill_paths(topo, s, d, out),
+            RouterKind::Disjoint(k) => Disjoint::new(k).fill_paths(topo, s, d, out),
+            RouterKind::DisjointStride(k) => {
+                DisjointStride::new(k).fill_paths(topo, s, d, out)
+            }
+            RouterKind::RandomK(k, seed) => RandomK::new(k, seed).fill_paths(topo, s, d, out),
+            RouterKind::Umulti => Umulti.fill_paths(topo, s, d, out),
+        }
+    }
+
+    fn name(&self) -> String {
+        match *self {
+            RouterKind::DModK => DModK.name(),
+            RouterKind::SModK => SModK.name(),
+            RouterKind::ShiftOne(k) => ShiftOne::new(k).name(),
+            RouterKind::Disjoint(k) => Disjoint::new(k).name(),
+            RouterKind::DisjointStride(k) => DisjointStride::new(k).name(),
+            RouterKind::RandomK(k, seed) => RandomK::new(k, seed).name(),
+            RouterKind::Umulti => Umulti.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xgft::XgftSpec;
+
+    #[test]
+    fn parse_roundtrips() {
+        assert_eq!(RouterKind::parse("dmodk"), Ok(RouterKind::DModK));
+        assert_eq!(RouterKind::parse("d-mod-k"), Ok(RouterKind::DModK));
+        assert_eq!(RouterKind::parse("shift1:4"), Ok(RouterKind::ShiftOne(4)));
+        assert_eq!(RouterKind::parse("disjoint:8"), Ok(RouterKind::Disjoint(8)));
+        assert_eq!(RouterKind::parse("stride:2"), Ok(RouterKind::DisjointStride(2)));
+        assert_eq!(RouterKind::parse("random:3"), Ok(RouterKind::RandomK(3, 0)));
+        assert_eq!(RouterKind::parse("random:3:77"), Ok(RouterKind::RandomK(3, 77)));
+        assert_eq!(RouterKind::parse("umulti"), Ok(RouterKind::Umulti));
+        assert!(RouterKind::parse("disjoint").is_err());
+        assert!(RouterKind::parse("disjoint:0").is_err());
+        assert!(RouterKind::parse("nope").is_err());
+        assert!(RouterKind::parse("dmodk:1:2").is_err());
+        assert!(RouterKind::parse("shift1:x").is_err());
+    }
+
+    #[test]
+    fn dispatch_matches_concrete_routers() {
+        let topo = Topology::new(XgftSpec::new(&[4, 4, 4], &[1, 2, 4]).unwrap());
+        let (s, d) = (PnId(0), PnId(63));
+        assert_eq!(
+            RouterKind::Disjoint(4).path_set(&topo, s, d),
+            Disjoint::new(4).path_set(&topo, s, d)
+        );
+        assert_eq!(
+            RouterKind::RandomK(2, 5).path_set(&topo, s, d),
+            RandomK::new(2, 5).path_set(&topo, s, d)
+        );
+        assert_eq!(RouterKind::Umulti.name(), "umulti");
+    }
+
+    #[test]
+    fn budgets_and_seeds() {
+        assert_eq!(RouterKind::DModK.budget(), Some(1));
+        assert_eq!(RouterKind::Disjoint(8).budget(), Some(8));
+        assert_eq!(RouterKind::Umulti.budget(), None);
+        assert_eq!(
+            RouterKind::RandomK(4, 0).with_seed(9),
+            RouterKind::RandomK(4, 9)
+        );
+        assert_eq!(RouterKind::DModK.with_seed(9), RouterKind::DModK);
+    }
+}

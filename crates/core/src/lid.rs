@@ -1,0 +1,123 @@
+//! InfiniBand-style address (LID) budget model.
+//!
+//! The paper motivates *limited* multi-path routing with a concrete
+//! resource constraint: "unlimited multi-path routing cannot be
+//! supported on many reasonably sized InfiniBand networks due to
+//! resource constraints". In InfiniBand, distinct paths to the same
+//! destination port are realized by assigning the port multiple Local
+//! IDentifiers (LIDs) via the LID Mask Control (LMC) field: a port owns
+//! `2^LMC` consecutive LIDs, and the unicast LID space holds
+//! `0xBFFF = 49151` addresses shared by *all* ports (switches consume
+//! one LID each).
+//!
+//! This module quantifies that budget so examples and tests can show
+//! where UMULTI stops being realizable and limited multi-path routing
+//! takes over — e.g. the paper's 24-port 3-tree needs 144 paths per pair
+//! for UMULTI, which no LMC setting can realize network-wide.
+
+use xgft::Topology;
+
+/// Number of unicast LIDs available in an InfiniBand subnet
+/// (`1 ..= 0xBFFF`; LID 0 is reserved and `0xC000+` is multicast).
+pub const UNICAST_LIDS: u64 = 0xBFFF;
+
+/// Maximum value of the LID Mask Control field (3 bits).
+pub const MAX_LMC: u32 = 7;
+
+/// Smallest LMC that yields at least `k` LIDs per port (`2^LMC ≥ k`),
+/// or `None` if `k` exceeds `2^MAX_LMC = 128`.
+pub fn lmc_for_budget(k: u64) -> Option<u32> {
+    assert!(k >= 1, "path budget must be at least 1");
+    let lmc = 64 - (k - 1).leading_zeros(); // ceil(log2(k))
+    (lmc <= MAX_LMC).then_some(lmc)
+}
+
+/// Unicast LIDs consumed by running a `K`-path configuration on a
+/// topology: every end port needs `2^LMC(K)` LIDs and every switch one.
+pub fn lids_required(topo: &Topology, k: u64) -> Option<u64> {
+    let lmc = lmc_for_budget(k)?;
+    let per_port = 1u64 << lmc;
+    let switches: u64 = (1..=topo.height())
+        .map(|l| topo.nodes_at_level(l) as u64)
+        .sum();
+    Some(topo.num_pns() as u64 * per_port + switches)
+}
+
+/// Whether a `K`-path configuration fits the standard unicast LID space.
+pub fn is_realizable(topo: &Topology, k: u64) -> bool {
+    lids_required(topo, k).is_some_and(|need| need <= UNICAST_LIDS)
+}
+
+/// The largest path budget `K` realizable on this topology within the
+/// unicast LID space (always at least 1 for any topology this crate can
+/// represent, since single-path routing needs one LID per port).
+pub fn max_realizable_budget(topo: &Topology) -> u64 {
+    let mut best = 1;
+    for lmc in 0..=MAX_LMC {
+        let k = 1u64 << lmc;
+        if is_realizable(topo, k) {
+            best = k;
+        }
+    }
+    best
+}
+
+/// Whether UMULTI (all `Π w_i` paths between the farthest pairs) is
+/// realizable — the situation the paper's introduction rules out for
+/// "reasonably sized" fabrics.
+pub fn umulti_realizable(topo: &Topology) -> bool {
+    let max_paths = topo.w_prod(topo.height());
+    lmc_for_budget(max_paths).is_some() && is_realizable(topo, max_paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xgft::XgftSpec;
+
+    #[test]
+    fn lmc_rounds_up() {
+        assert_eq!(lmc_for_budget(1), Some(0));
+        assert_eq!(lmc_for_budget(2), Some(1));
+        assert_eq!(lmc_for_budget(3), Some(2));
+        assert_eq!(lmc_for_budget(8), Some(3));
+        assert_eq!(lmc_for_budget(128), Some(7));
+        assert_eq!(lmc_for_budget(129), None);
+        assert_eq!(lmc_for_budget(144), None);
+    }
+
+    #[test]
+    fn ranger_scale_umulti_is_unrealizable() {
+        // The paper's §4.1 example: a 24-port 3-tree has 144 paths
+        // between far pairs; no LMC realizes that.
+        let topo = Topology::new(XgftSpec::m_port_n_tree(24, 3).unwrap());
+        assert_eq!(topo.w_prod(3), 144);
+        assert!(!umulti_realizable(&topo));
+        // Limited multi-path with K = 8 fits easily.
+        assert!(is_realizable(&topo, 8));
+        // K = 16 needs 3456·16 + 720 = 56016 LIDs > 49151: the LID wall
+        // bites well below the path count.
+        assert!(!is_realizable(&topo, 16));
+        assert_eq!(max_realizable_budget(&topo), 8);
+    }
+
+    #[test]
+    fn small_fabrics_realize_umulti() {
+        let topo = Topology::new(XgftSpec::m_port_n_tree(8, 3).unwrap());
+        assert_eq!(topo.w_prod(3), 16);
+        assert!(umulti_realizable(&topo));
+    }
+
+    #[test]
+    fn lid_accounting_includes_switches() {
+        let topo = Topology::new(XgftSpec::new(&[2, 2], &[1, 2]).unwrap());
+        // 4 PNs, 2 + 2 switches; K = 2 → LMC 1 → 4·2 + 4 = 12 LIDs.
+        assert_eq!(lids_required(&topo, 2), Some(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_budget_rejected() {
+        let _ = lmc_for_budget(0);
+    }
+}

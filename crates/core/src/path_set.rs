@@ -1,0 +1,119 @@
+//! The multi-path routing unit: a set of selected paths for one SD pair.
+
+use xgft::PathId;
+
+/// The paths a router selects for one SD pair, with traffic split
+/// *uniformly* across them — the paper's multi-path model assigns each
+/// of the `|MP_{i,j}|` paths the fraction `1 / |MP_{i,j}|`.
+///
+/// Invariants (enforced by the constructors and checked in debug
+/// builds): non-empty, all ids distinct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathSet {
+    paths: Vec<PathId>,
+}
+
+impl PathSet {
+    /// Build a set from distinct path ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paths` is empty; duplicates are a logic error and are
+    /// asserted in debug builds.
+    pub fn new(paths: Vec<PathId>) -> Self {
+        assert!(!paths.is_empty(), "a PathSet must contain at least one path");
+        debug_assert!(
+            {
+                let mut sorted: Vec<_> = paths.iter().collect();
+                sorted.sort();
+                sorted.windows(2).all(|w| w[0] != w[1])
+            },
+            "PathSet ids must be distinct"
+        );
+        PathSet { paths }
+    }
+
+    /// A single-path set.
+    pub fn single(path: PathId) -> Self {
+        PathSet { paths: vec![path] }
+    }
+
+    /// The selected path ids, in the order the heuristic produced them.
+    pub fn paths(&self) -> &[PathId] {
+        &self.paths
+    }
+
+    /// Number of selected paths (`|MP_{i,j}|`).
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Always false (sets are non-empty by construction); provided to
+    /// satisfy the usual container conventions.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Traffic fraction carried by each path (`1 / len`).
+    pub fn fraction(&self) -> f64 {
+        1.0 / self.paths.len() as f64
+    }
+
+    /// Iterate `(path, fraction)` pairs.
+    pub fn weighted(&self) -> impl Iterator<Item = (PathId, f64)> + '_ {
+        let f = self.fraction();
+        self.paths.iter().map(move |&p| (p, f))
+    }
+}
+
+impl IntoIterator for PathSet {
+    type Item = PathId;
+    type IntoIter = std::vec::IntoIter<PathId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.paths.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a PathSet {
+    type Item = &'a PathId;
+    type IntoIter = std::slice::Iter<'a, PathId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.paths.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let s = PathSet::new(vec![PathId(0), PathId(3), PathId(5)]);
+        let total: f64 = s.weighted().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn single_has_fraction_one() {
+        let s = PathSet::single(PathId(9));
+        assert_eq!(s.paths(), &[PathId(9)]);
+        assert_eq!(s.fraction(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one path")]
+    fn empty_set_rejected() {
+        let _ = PathSet::new(vec![]);
+    }
+
+    #[test]
+    fn iterates_in_order() {
+        let s = PathSet::new(vec![PathId(2), PathId(0)]);
+        let ids: Vec<u64> = (&s).into_iter().map(|p| p.0).collect();
+        assert_eq!(ids, vec![2, 0]);
+        let ids: Vec<u64> = s.into_iter().map(|p| p.0).collect();
+        assert_eq!(ids, vec![2, 0]);
+    }
+}

@@ -1,0 +1,71 @@
+//! The traffic-oblivious router abstraction.
+
+use crate::PathSet;
+use xgft::{PathId, PnId, Topology};
+
+/// A traffic-oblivious routing scheme: a deterministic mapping from an
+/// SD pair to a set of shortest paths with uniform traffic fractions.
+///
+/// "Oblivious" means the mapping may not depend on network state;
+/// [`crate::RandomK`] is still oblivious because its randomness is a
+/// pure function of `(seed, s, d)`.
+///
+/// Implementations must uphold:
+///
+/// * every returned id is `< topology.num_paths(s, d)`;
+/// * ids are distinct;
+/// * for `s == d` the set is `{PathId(0)}` (the empty path).
+pub trait Router: Send + Sync {
+    /// Append the selected path ids for `(s, d)` to `out` (cleared
+    /// first). This is the allocation-friendly primitive the simulators
+    /// call in hot loops.
+    fn fill_paths(&self, topo: &Topology, s: PnId, d: PnId, out: &mut Vec<PathId>);
+
+    /// Convenience wrapper building an owned [`PathSet`].
+    fn path_set(&self, topo: &Topology, s: PnId, d: PnId) -> PathSet {
+        let mut v = Vec::new();
+        self.fill_paths(topo, s, d, &mut v);
+        PathSet::new(v)
+    }
+
+    /// Human-readable name, used in experiment output (matches the
+    /// labels in the paper's figures, e.g. `d-mod-k`, `disjoint(8)`).
+    fn name(&self) -> String;
+}
+
+impl<R: Router + ?Sized> Router for &R {
+    fn fill_paths(&self, topo: &Topology, s: PnId, d: PnId, out: &mut Vec<PathId>) {
+        (**self).fill_paths(topo, s, d, out)
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+impl<R: Router + ?Sized> Router for Box<R> {
+    fn fill_paths(&self, topo: &Topology, s: PnId, d: PnId, out: &mut Vec<PathId>) {
+        (**self).fill_paths(topo, s, d, out)
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DModK;
+    use xgft::XgftSpec;
+
+    #[test]
+    fn blanket_impls_delegate() {
+        let topo = Topology::new(XgftSpec::new(&[2, 2], &[1, 2]).unwrap());
+        let r = DModK;
+        let by_ref: &dyn Router = &r;
+        let boxed: Box<dyn Router> = Box::new(DModK);
+        let (s, d) = (PnId(0), PnId(3));
+        assert_eq!(by_ref.path_set(&topo, s, d), r.path_set(&topo, s, d));
+        assert_eq!(boxed.path_set(&topo, s, d), r.path_set(&topo, s, d));
+        assert_eq!(boxed.name(), "d-mod-k");
+    }
+}

@@ -1,0 +1,127 @@
+//! The shift-1 limited multi-path heuristic.
+
+use crate::Router;
+use xgft::{PathId, PnId, Topology};
+
+/// Shift-1 heuristic (§4.2.2): select the `K` *consecutive* paths
+/// starting at the d-mod-k path,
+/// `ALLPATHS[i], ALLPATHS[(i+1) mod X], …, ALLPATHS[(i+K-1) mod X]`.
+///
+/// Because consecutive path ids differ in the least-significant up-port
+/// digit (the *top-level* choice), shift-1 is logically `K` copies of
+/// d-mod-k that spread traffic across top-level switches while reusing
+/// the same lower-level links — the limitation that motivates the
+/// [`crate::Disjoint`] heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShiftOne {
+    k: u64,
+}
+
+impl ShiftOne {
+    /// Build a shift-1 router with path budget `K ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: u64) -> Self {
+        assert!(k >= 1, "the path budget K must be at least 1");
+        ShiftOne { k }
+    }
+
+    /// The configured path budget.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+}
+
+impl Router for ShiftOne {
+    fn fill_paths(&self, topo: &Topology, s: PnId, d: PnId, out: &mut Vec<PathId>) {
+        out.clear();
+        let x = topo.num_paths(s, d);
+        let i = topo.dmodk_path(s, d).0;
+        let take = self.k.min(x);
+        out.extend((0..take).map(|j| PathId((i + j) % x)));
+    }
+
+    fn name(&self) -> String {
+        format!("shift-1({})", self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xgft::XgftSpec;
+
+    fn fig3() -> Topology {
+        Topology::new(XgftSpec::new(&[4, 4, 4], &[1, 2, 4]).unwrap())
+    }
+
+    #[test]
+    fn paper_example_k3() {
+        // §4.2.2: pair (0, 63), K = 3 → paths 7, 0, 1.
+        let set = ShiftOne::new(3).path_set(&fig3(), PnId(0), PnId(63));
+        let ids: Vec<u64> = set.paths().iter().map(|p| p.0).collect();
+        assert_eq!(ids, vec![7, 0, 1]);
+    }
+
+    #[test]
+    fn k1_is_dmodk() {
+        let topo = fig3();
+        let r = ShiftOne::new(1);
+        for (s, d) in [(0u32, 63u32), (3, 40), (10, 11)] {
+            let (s, d) = (PnId(s), PnId(d));
+            assert_eq!(r.path_set(&topo, s, d).paths(), &[topo.dmodk_path(s, d)]);
+        }
+    }
+
+    #[test]
+    fn saturates_at_all_paths() {
+        let topo = fig3();
+        let (s, d) = (PnId(0), PnId(63));
+        for k in [8, 9, 100] {
+            let set = ShiftOne::new(k).path_set(&topo, s, d);
+            assert_eq!(set.len(), 8);
+            let mut ids: Vec<u64> = set.paths().iter().map(|p| p.0).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..8).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn consecutive_paths_differ_only_at_top() {
+        // For K ≤ w_κ the selected paths share every up port except the
+        // last (top-level) one.
+        let topo = fig3();
+        let (s, d) = (PnId(0), PnId(63));
+        let set = ShiftOne::new(4).path_set(&topo, s, d);
+        let mut u = [0u32; xgft::MAX_HEIGHT];
+        let k0 = topo.path_up_ports(s, d, set.paths()[0], &mut u);
+        let prefix: Vec<u32> = u[..k0 - 1].to_vec();
+        for &p in &set.paths()[1..] {
+            let k = topo.path_up_ports(s, d, p, &mut u);
+            assert_eq!(k, k0);
+            // All but the last digit may wrap only when the id wraps past
+            // X; with i = 7 and K = 4 ids 0..2 have prefix (0, …).
+            let _ = &prefix; // prefix equality holds only pre-wrap; the
+                             // stronger invariant is exercised below.
+        }
+        // Non-wrapping case: pair with d-mod-k path 0.
+        let d0 = PnId(0);
+        let s0 = PnId(63);
+        assert_eq!(topo.dmodk_path(s0, d0).0, 0);
+        let set = ShiftOne::new(4).path_set(&topo, s0, d0);
+        let kk = topo.path_up_ports(s0, d0, set.paths()[0], &mut u);
+        let prefix: Vec<u32> = u[..kk - 1].to_vec();
+        for &p in set.paths() {
+            let k = topo.path_up_ports(s0, d0, p, &mut u);
+            assert_eq!(&u[..k - 1], prefix.as_slice());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_budget_rejected() {
+        let _ = ShiftOne::new(0);
+    }
+}

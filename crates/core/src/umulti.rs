@@ -1,0 +1,50 @@
+//! Unlimited multi-path routing.
+
+use crate::Router;
+use xgft::{PathId, PnId, Topology};
+
+/// UMULTI (§4.1): route every SD pair over *all* of its shortest paths
+/// with the traffic split evenly.
+///
+/// Theorem 1 of the paper proves `PERF(UMULTI) = 1`: for any traffic
+/// matrix its maximum link load equals the sub-tree cut lower bound
+/// `ML(TM)`, so no routing can do better. The catch is resource cost —
+/// on a 24-port 3-tree a pair can have 144 paths, overflowing e.g. the
+/// InfiniBand LID space (see [`crate::lid`]), which is exactly why
+/// limited multi-path routing exists.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Umulti;
+
+impl Router for Umulti {
+    fn fill_paths(&self, topo: &Topology, s: PnId, d: PnId, out: &mut Vec<PathId>) {
+        out.clear();
+        out.extend((0..topo.num_paths(s, d)).map(PathId));
+    }
+
+    fn name(&self) -> String {
+        "umulti".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xgft::XgftSpec;
+
+    #[test]
+    fn uses_every_path() {
+        let topo = Topology::new(XgftSpec::new(&[4, 4, 4], &[1, 2, 4]).unwrap());
+        let set = Umulti.path_set(&topo, PnId(0), PnId(63));
+        assert_eq!(set.len(), 8);
+        assert!((set.fraction() - 0.125).abs() < 1e-12);
+        let set = Umulti.path_set(&topo, PnId(0), PnId(1));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn self_pair_has_the_empty_path() {
+        let topo = Topology::new(XgftSpec::new(&[2], &[3]).unwrap());
+        let set = Umulti.path_set(&topo, PnId(1), PnId(1));
+        assert_eq!(set.paths(), &[PathId(0)]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Property-based tests for the routing heuristics: the guarantees the
+//! paper states ("work for any given limit of paths", "gracefully
+//! increase", "reach optimal when all paths are allowed") must hold on
+//! arbitrary XGFTs.
+
+use lmpr_core::{DModK, Disjoint, DisjointStride, RandomK, Router, ShiftOne, Umulti};
+use proptest::prelude::*;
+use xgft::{PnId, Topology, XgftSpec, MAX_HEIGHT};
+
+fn arb_topo() -> impl Strategy<Value = Topology> {
+    (1usize..=4)
+        .prop_flat_map(|h| {
+            (
+                prop::collection::vec(1u32..=4, h),
+                prop::collection::vec(1u32..=4, h),
+            )
+        })
+        .prop_map(|(m, w)| Topology::new(XgftSpec::new(&m, &w).expect("valid spec")))
+}
+
+fn topo_pair_k() -> impl Strategy<Value = (Topology, PnId, PnId, u64)> {
+    arb_topo().prop_flat_map(|t| {
+        let n = t.num_pns();
+        (Just(t), 0..n, 0..n, 1u64..=12).prop_map(|(t, s, d, k)| (t, PnId(s), PnId(d), k))
+    })
+}
+
+fn all_limited_routers(k: u64) -> Vec<Box<dyn Router>> {
+    vec![
+        Box::new(ShiftOne::new(k)),
+        Box::new(Disjoint::new(k)),
+        Box::new(DisjointStride::new(k)),
+        Box::new(RandomK::new(k, 0xFEED)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn cardinality_distinctness_and_range((t, s, d, k) in topo_pair_k()) {
+        let x = t.num_paths(s, d);
+        for r in all_limited_routers(k) {
+            let set = r.path_set(&t, s, d);
+            prop_assert_eq!(set.len() as u64, k.min(x), "router {}", r.name());
+            let mut ids: Vec<u64> = set.paths().iter().map(|p| p.0).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), set.len(), "duplicate ids in {}", r.name());
+            prop_assert!(ids.iter().all(|&p| p < x), "out-of-range id in {}", r.name());
+        }
+    }
+
+    #[test]
+    fn dmodk_anchoring((t, s, d, k) in topo_pair_k()) {
+        // shift-1, disjoint and stride all contain the d-mod-k path as
+        // their first selection; random must *contain* it only when the
+        // whole path space is selected.
+        let anchor = t.dmodk_path(s, d);
+        for r in [
+            Box::new(ShiftOne::new(k)) as Box<dyn Router>,
+            Box::new(Disjoint::new(k)),
+            Box::new(DisjointStride::new(k)),
+        ] {
+            prop_assert_eq!(r.path_set(&t, s, d).paths()[0], anchor, "router {}", r.name());
+        }
+    }
+
+    #[test]
+    fn full_budget_recovers_umulti((t, s, d, _k) in topo_pair_k()) {
+        let x = t.num_paths(s, d);
+        let reference: Vec<u64> = (0..x).collect();
+        for r in all_limited_routers(x.max(1)) {
+            let mut ids: Vec<u64> =
+                r.path_set(&t, s, d).paths().iter().map(|p| p.0).collect();
+            ids.sort_unstable();
+            prop_assert_eq!(&ids, &reference, "router {} at K = X", r.name());
+        }
+        let mut ids: Vec<u64> =
+            Umulti.path_set(&t, s, d).paths().iter().map(|p| p.0).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, reference);
+    }
+
+    #[test]
+    fn deterministic_selections_nest((t, s, d, k) in topo_pair_k()) {
+        // Growing the budget must extend, never reshuffle, the selection
+        // for shift-1, disjoint and stride-with-doubling (the stride
+        // variant nests only along the doubling chain K → 2K).
+        for (small, big) in [
+            (
+                Box::new(ShiftOne::new(k)) as Box<dyn Router>,
+                Box::new(ShiftOne::new(k + 1)) as Box<dyn Router>,
+            ),
+            (Box::new(Disjoint::new(k)), Box::new(Disjoint::new(k + 1))),
+        ] {
+            let a = small.path_set(&t, s, d);
+            let b = big.path_set(&t, s, d);
+            prop_assert_eq!(
+                a.paths(),
+                &b.paths()[..a.len()],
+                "{} is not a prefix of {}",
+                small.name(),
+                big.name()
+            );
+        }
+    }
+
+    #[test]
+    fn disjoint_first_w1_paths_are_link_disjoint((t, s, d, _k) in topo_pair_k()) {
+        prop_assume!(s != d);
+        let w1 = t.spec().w_at(1) as u64;
+        let set = Disjoint::new(w1).path_set(&t, s, d);
+        let mut link_sets: Vec<Vec<u32>> = Vec::new();
+        for &p in set.paths() {
+            let mut links = Vec::new();
+            t.walk_path(s, d, p, |l| links.push(l.0));
+            link_sets.push(links);
+        }
+        for (i, a) in link_sets.iter().enumerate() {
+            for b in link_sets.iter().skip(i + 1) {
+                prop_assert!(
+                    a.iter().all(|l| !b.contains(l)),
+                    "first w_1 disjoint paths share a link"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_spreads_low_levels_at_least_as_well_as_shift((t, s, d, k) in topo_pair_k()) {
+        // The design goal of §4.2.3: for the same K, the disjoint
+        // selection uses at least as many distinct level-1 up ports as
+        // shift-1 does.
+        prop_assume!(s != d);
+        let distinct_u1 = |r: &dyn Router| {
+            let mut u = [0u32; MAX_HEIGHT];
+            let mut set = std::collections::HashSet::new();
+            for &p in r.path_set(&t, s, d).paths() {
+                t.path_up_ports(s, d, p, &mut u);
+                set.insert(u[0]);
+            }
+            set.len()
+        };
+        prop_assert!(distinct_u1(&Disjoint::new(k)) >= distinct_u1(&ShiftOne::new(k)));
+    }
+
+    #[test]
+    fn self_pairs_get_the_empty_path((t, s, _d, k) in topo_pair_k()) {
+        for r in all_limited_routers(k) {
+            let set = r.path_set(&t, s, s);
+            prop_assert_eq!(set.len(), 1);
+            prop_assert_eq!(set.paths()[0].0, 0);
+        }
+        prop_assert_eq!(DModK.path_set(&t, s, s).paths()[0].0, 0);
+    }
+}
+
+mod forwarding_props {
+    use lmpr_core::forwarding::{ForwardingTables, SlotOrder};
+    use proptest::prelude::*;
+    use xgft::{PnId, Topology, XgftSpec};
+
+    fn arb_topo() -> impl Strategy<Value = Topology> {
+        (1usize..=3)
+            .prop_flat_map(|h| {
+                (
+                    prop::collection::vec(2u32..=3, h),
+                    prop::collection::vec(1u32..=3, h),
+                )
+            })
+            .prop_map(|(m, w)| Topology::new(XgftSpec::new(&m, &w).expect("valid")))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Every table walk terminates at the right PN on a shortest
+        /// path, for both slot orders and arbitrary topologies.
+        #[test]
+        fn all_walks_verify(topo in arb_topo(), k in 1u64..=6) {
+            for order in [SlotOrder::BottomFirst, SlotOrder::TopFirst] {
+                let ft = ForwardingTables::build(&topo, k, order);
+                for s in 0..topo.num_pns() {
+                    for d in 0..topo.num_pns() {
+                        let (s, d) = (PnId(s), PnId(d));
+                        for slot in 0..k {
+                            let nodes = ft.route(&topo, s, d, slot)
+                                .map_err(TestCaseError::fail)?;
+                            let expect = if s == d {
+                                1
+                            } else {
+                                2 * topo.nca_level(s, d) + 1
+                            };
+                            prop_assert_eq!(nodes.len(), expect);
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Distinct slots within the pair's path-space size reach
+        /// distinct apexes (the digit shift is injective).
+        #[test]
+        fn slots_reach_distinct_apexes(topo in arb_topo()) {
+            let h = topo.height();
+            let x = topo.w_prod(h).min(8);
+            let ft = ForwardingTables::build(&topo, x, SlotOrder::BottomFirst);
+            let n = topo.num_pns();
+            let (s, d) = (PnId(0), PnId(n - 1));
+            prop_assume!(topo.nca_level(s, d) == h);
+            let mut apexes = std::collections::HashSet::new();
+            for slot in 0..x.min(topo.num_paths(s, d)) {
+                let nodes = ft.route(&topo, s, d, slot).unwrap();
+                apexes.insert(nodes[h]);
+            }
+            prop_assert_eq!(apexes.len() as u64, x.min(topo.num_paths(s, d)));
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Simulator configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// How a source spreads packets over its SD pair's path set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PathPolicy {
+    /// Each packet independently picks a uniformly random path from the
+    /// set. Matches the paper's fractions in expectation but adds
+    /// sampling variance that measurably hurts large path sets (see the
+    /// `ablation` bench).
+    PerPacketRandom,
+    /// All packets of a message follow one randomly chosen path
+    /// (in-order delivery per message; coarser spreading).
+    PerMessageRandom,
+    /// Deterministic per-source rotation over the path set — the exact
+    /// flit-level realization of the paper's "fraction `1/K` of the
+    /// traffic on each path" (default).
+    RoundRobin,
+}
+
+/// Flit-level simulation parameters.
+///
+/// The defaults reproduce the paper's §5 setup. The OCR of the source
+/// text drops the exact constants ("a packet size of … flits and a
+/// fixed message size of … packets", buffers of "… packets each"); the
+/// chosen values — 16-flit packets, 4-packet messages, 4-packet buffers
+/// — preserve the only property the conclusions rely on: buffers hold a
+/// small whole number of packets and messages span several packets
+/// (documented in DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Flits per packet.
+    pub packet_flits: u16,
+    /// Packets per message (fixed message size, as in the paper).
+    pub packets_per_message: u16,
+    /// Input- and output-buffer capacity per port, in packets.
+    pub buffer_packets: u16,
+    /// Cycles simulated before statistics collection starts.
+    pub warmup_cycles: u32,
+    /// Length of the measurement window, in cycles.
+    pub measure_cycles: u32,
+    /// Offered load as a fraction of injection bandwidth
+    /// (1 flit/node/cycle), in `(0, 1]`.
+    pub offered_load: f64,
+    /// RNG seed (message arrivals, destinations, path choices).
+    pub seed: u64,
+    /// Path-selection policy across a pair's path set.
+    pub path_policy: PathPolicy,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            packet_flits: 16,
+            packets_per_message: 4,
+            buffer_packets: 4,
+            warmup_cycles: 20_000,
+            measure_cycles: 50_000,
+            offered_load: 0.5,
+            seed: 0xF117_F00D, // arbitrary fixed default
+            path_policy: PathPolicy::RoundRobin,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Buffer capacity per port in flits.
+    pub fn buffer_flits(&self) -> u32 {
+        self.buffer_packets as u32 * self.packet_flits as u32
+    }
+
+    /// Flits per message.
+    pub fn message_flits(&self) -> u32 {
+        self.packets_per_message as u32 * self.packet_flits as u32
+    }
+
+    /// Message arrival rate per node, in messages per cycle.
+    pub fn message_rate(&self) -> f64 {
+        self.offered_load / self.message_flits() as f64
+    }
+
+    /// Validate parameter consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive sizes, buffers smaller than one packet
+    /// (VCT could never forward a head flit) or an offered load outside
+    /// `(0, 1]`.
+    pub fn validate(&self) {
+        assert!(self.packet_flits >= 1, "packets need at least one flit");
+        assert!(self.packets_per_message >= 1, "messages need at least one packet");
+        assert!(
+            self.buffer_packets >= 1,
+            "virtual cut-through requires room for at least one whole packet per buffer"
+        );
+        assert!(
+            self.offered_load > 0.0 && self.offered_load <= 1.0,
+            "offered load must be in (0, 1], got {}",
+            self.offered_load
+        );
+        assert!(self.measure_cycles > 0, "measurement window must be non-empty");
+    }
+
+    /// Copy with a different offered load (sweep helper).
+    pub fn with_load(mut self, offered_load: f64) -> Self {
+        self.offered_load = offered_load;
+        self
+    }
+
+    /// Copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let c = SimConfig::default();
+        assert_eq!(c.buffer_flits(), 64);
+        assert_eq!(c.message_flits(), 64);
+        assert!((c.message_rate() - 0.5 / 64.0).abs() < 1e-15);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "offered load")]
+    fn zero_load_rejected() {
+        SimConfig { offered_load: 0.0, ..SimConfig::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "whole packet")]
+    fn zero_buffer_rejected() {
+        SimConfig { buffer_packets: 0, ..SimConfig::default() }.validate();
+    }
+
+    #[test]
+    fn builders() {
+        let c = SimConfig::default().with_load(0.25).with_seed(7);
+        assert_eq!(c.offered_load, 0.25);
+        assert_eq!(c.seed, 7);
+    }
+}

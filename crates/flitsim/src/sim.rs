@@ -1,0 +1,628 @@
+//! The cycle loop: ejection, crossbar traversal, link transfer,
+//! injection.
+
+use crate::config::SimConfig;
+use crate::inject::{Source, StreamingPacket};
+use crate::network::PortGraph;
+use crate::packet::{Flit, Message, Packet};
+use crate::stats::{percentile, SimStats};
+use crate::traffic_mode::TrafficMode;
+use crate::util::Slab;
+use lmpr_core::Router;
+use std::collections::VecDeque;
+use xgft::{PathId, PnId, Topology};
+
+/// A flit-level simulation of one routing scheme on one topology at one
+/// offered load.
+///
+/// See the crate docs for the network model. Construct with
+/// [`FlitSim::new`], drive with [`FlitSim::run`], or use the one-shot
+/// [`FlitSim::simulate`].
+pub struct FlitSim<R: Router> {
+    topo: Topology,
+    router: R,
+    cfg: SimConfig,
+    traffic: TrafficMode,
+    graph: PortGraph,
+    now: u32,
+
+    // Per-port state (indexed by port gid).
+    //
+    // Input buffers are organized as virtual output queues (VOQs): one
+    // FIFO per local output port of the owning node, all sharing the
+    // port's credit-managed capacity. Packets arrive contiguously per
+    // link (upstream outputs are packet-atomic) and each packet lands
+    // wholly in one VOQ, so packets stay contiguous per queue while
+    // head-of-line blocking across outputs disappears — matching
+    // shared-memory InfiniBand-style switches.
+    in_buf: Vec<Vec<VecDeque<Flit>>>,
+    out_buf: Vec<VecDeque<Flit>>,
+    /// Free flit slots in the downstream input buffer of each output.
+    credits: Vec<u32>,
+    /// Packet-atomic output reservation: `(input port gid, packet key)`.
+    grant: Vec<Option<(u32, u32)>>,
+    /// Round-robin arbitration pointer per output port (local input
+    /// index to scan first).
+    rr_ptr: Vec<u32>,
+
+    packets: Slab<Packet>,
+    messages: Slab<Message>,
+    sources: Vec<Source>,
+    path_buf: Vec<PathId>,
+
+    // Lifetime counters (conservation audits).
+    total_injected: u64,
+    total_delivered: u64,
+
+    // Measurement-window counters.
+    w_injected: u64,
+    w_delivered: u64,
+    w_created_messages: u64,
+    w_completed_messages: u64,
+    w_sum_delay: f64,
+    w_max_delay: u32,
+    /// Delays of measured completed messages (percentile source).
+    w_delays: Vec<u32>,
+    /// Per-output-port busy cycles during the measurement window.
+    link_busy: Vec<u64>,
+}
+
+impl<R: Router> FlitSim<R> {
+    /// Build a simulator with the paper's uniform random workload.
+    /// Validates the configuration.
+    pub fn new(topo: &Topology, router: R, cfg: SimConfig) -> Self {
+        Self::with_traffic(topo, router, cfg, TrafficMode::Uniform)
+    }
+
+    /// Build a simulator with an explicit workload (permutation or
+    /// hotspot traffic for cross-validation against the flow level).
+    pub fn with_traffic(topo: &Topology, router: R, cfg: SimConfig, traffic: TrafficMode) -> Self {
+        cfg.validate();
+        traffic.validate(topo.num_pns());
+        assert!(topo.num_pns() >= 2, "uniform traffic needs at least two PNs");
+        let graph = PortGraph::new(topo);
+        let ports = graph.num_ports() as usize;
+        let rate = cfg.message_rate();
+        let sources = (0..graph.num_pns())
+            .map(|pn| Source::new(cfg.seed, pn, topo.up_ports(0), rate))
+            .collect();
+        // One VOQ per local output of the owning node (PNs eject through
+        // a single queue).
+        let in_buf = (0..ports as u32)
+            .map(|p| {
+                let owner = graph.port_owner(p);
+                let voqs = if graph.is_pn(owner) {
+                    1
+                } else {
+                    (graph.ports_of(owner).len()).max(1)
+                };
+                vec![VecDeque::new(); voqs]
+            })
+            .collect();
+        FlitSim {
+            topo: topo.clone(),
+            router,
+            cfg,
+            traffic,
+            graph,
+            now: 0,
+            in_buf,
+            out_buf: vec![VecDeque::new(); ports],
+            credits: vec![cfg.buffer_flits(); ports],
+            grant: vec![None; ports],
+            rr_ptr: vec![0; ports],
+            packets: Slab::new(),
+            messages: Slab::new(),
+            sources,
+            path_buf: Vec::new(),
+            total_injected: 0,
+            total_delivered: 0,
+            w_injected: 0,
+            w_delivered: 0,
+            w_created_messages: 0,
+            w_completed_messages: 0,
+            w_sum_delay: 0.0,
+            w_max_delay: 0,
+            w_delays: Vec::new(),
+            link_busy: vec![0; ports],
+        }
+    }
+
+    /// One-shot: build, run warm-up plus measurement, return stats.
+    pub fn simulate(topo: &Topology, router: R, cfg: SimConfig) -> SimStats {
+        let mut sim = FlitSim::new(topo, router, cfg);
+        sim.run()
+    }
+
+    /// Run the configured warm-up and measurement phases and return the
+    /// window statistics.
+    pub fn run(&mut self) -> SimStats {
+        let end = self.cfg.warmup_cycles + self.cfg.measure_cycles;
+        while self.now < end {
+            self.step();
+        }
+        self.stats()
+    }
+
+    /// Advance one cycle. Public so tests can single-step.
+    pub fn step(&mut self) {
+        self.eject();
+        self.crossbar();
+        self.link_transfer();
+        self.inject();
+        self.now += 1;
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u32 {
+        self.now
+    }
+
+    /// Snapshot of the window statistics (valid any time; final after
+    /// [`FlitSim::run`]).
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            offered_load: self.cfg.offered_load,
+            measure_cycles: self.cfg.measure_cycles,
+            num_pns: self.graph.num_pns(),
+            injected_flits: self.w_injected,
+            delivered_flits: self.w_delivered,
+            created_messages: self.w_created_messages,
+            completed_messages: self.w_completed_messages,
+            sum_message_delay: self.w_sum_delay,
+            max_message_delay: self.w_max_delay,
+            delay_p50: percentile_of(&self.w_delays, 0.50),
+            delay_p95: percentile_of(&self.w_delays, 0.95),
+            delay_p99: percentile_of(&self.w_delays, 0.99),
+            final_source_backlog: self.sources.iter().map(|s| s.backlog() as u64).sum(),
+        }
+    }
+
+    /// Fraction of the measurement window each directed cable (indexed
+    /// by the *sending* port gid) spent transferring a flit. Only
+    /// meaningful after a full run.
+    pub fn link_utilization(&self) -> Vec<f64> {
+        let window = self.cfg.measure_cycles.max(1) as f64;
+        self.link_busy.iter().map(|&b| b as f64 / window).collect()
+    }
+
+    /// The port graph (to interpret [`FlitSim::link_utilization`]).
+    pub fn graph(&self) -> &PortGraph {
+        &self.graph
+    }
+
+    /// Conservation audit: every flit ever injected is either delivered
+    /// or sitting in some buffer.
+    pub fn flits_in_network(&self) -> u64 {
+        let inputs: usize = self
+            .in_buf
+            .iter()
+            .map(|voqs| voqs.iter().map(VecDeque::len).sum::<usize>())
+            .sum();
+        let outputs: usize = self.out_buf.iter().map(VecDeque::len).sum();
+        (inputs + outputs) as u64
+    }
+
+    /// Lifetime injected/delivered counters (for audits).
+    pub fn lifetime_counters(&self) -> (u64, u64) {
+        (self.total_injected, self.total_delivered)
+    }
+
+    fn in_window(&self) -> bool {
+        self.now >= self.cfg.warmup_cycles
+            && self.now < self.cfg.warmup_cycles + self.cfg.measure_cycles
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 1: ejection at processing nodes.
+    // ------------------------------------------------------------------
+    fn eject(&mut self) {
+        for pn in 0..self.graph.num_pns() {
+            for port in self.graph.ports_of(pn) {
+                let Some(&f) = self.in_buf[port as usize][0].front() else { continue };
+                if f.entered >= self.now {
+                    continue; // arrived this cycle; consumable next cycle
+                }
+                self.in_buf[port as usize][0].pop_front();
+                self.credits[self.graph.peer(port) as usize] += 1;
+                self.deliver(pn, f);
+            }
+        }
+    }
+
+    fn deliver(&mut self, pn: u32, f: Flit) {
+        let (msg_key, is_tail) = {
+            let pkt = self.packets.get(f.pkt);
+            debug_assert_eq!(pkt.dst, PnId(pn), "flit ejected at the wrong PN");
+            debug_assert_eq!(f.hop as usize, pkt.route.len(), "flit ejected mid-route");
+            (pkt.msg, pkt.is_tail(f.seq))
+        };
+        self.total_delivered += 1;
+        if self.in_window() {
+            self.w_delivered += 1;
+        }
+        if is_tail {
+            self.packets.remove(f.pkt);
+        }
+        let msg = self.messages.get_mut(msg_key);
+        msg.remaining_flits -= 1;
+        if msg.remaining_flits == 0 {
+            let msg = self.messages.remove(msg_key);
+            if msg.measured {
+                let delay = self.now - msg.created;
+                self.w_completed_messages += 1;
+                self.w_sum_delay += delay as f64;
+                self.w_max_delay = self.w_max_delay.max(delay);
+                self.w_delays.push(delay);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 2: crossbar traversal at switches (input → output buffers).
+    // ------------------------------------------------------------------
+    fn crossbar(&mut self) {
+        let cap = self.cfg.buffer_flits();
+        for node in self.graph.num_pns()..self.graph.num_nodes() {
+            let ports = self.graph.ports_of(node);
+            let n_ports = (ports.end - ports.start) as usize;
+            for out in ports.clone() {
+                let out_local = (out - ports.start) as usize;
+                if let Some((in_gid, pkt_key)) = self.grant[out as usize] {
+                    // A packet holds this output until its tail passes.
+                    let Some(&f) = self.in_buf[in_gid as usize][out_local].front() else {
+                        continue;
+                    };
+                    if f.entered >= self.now {
+                        continue;
+                    }
+                    debug_assert_eq!(
+                        f.pkt, pkt_key,
+                        "foreign packet at VOQ head while output is granted"
+                    );
+                    if self.out_buf[out as usize].len() as u32 == cap {
+                        continue; // output staging full; packet waits at the input
+                    }
+                    self.move_through_crossbar(in_gid, out_local, out);
+                    if self.packets.get(f.pkt).is_tail(f.seq) {
+                        self.grant[out as usize] = None;
+                    }
+                    continue;
+                }
+                // No grant: round-robin over the node's inputs for a VOQ
+                // head flit destined here.
+                //
+                // Note the whole-packet VCT reservation applies at the
+                // *link* (downstream input buffer); within the switch a
+                // blocked packet may straddle the input and output
+                // buffers, as in real combined-queue VCT switches.
+                if self.out_buf[out as usize].len() as u32 == cap {
+                    continue;
+                }
+                let start = self.rr_ptr[out as usize] as usize;
+                for k in 0..n_ports {
+                    let local_in = (start + k) % n_ports;
+                    let in_gid = ports.start + local_in as u32;
+                    let Some(&f) = self.in_buf[in_gid as usize][out_local].front() else {
+                        continue;
+                    };
+                    if f.entered >= self.now {
+                        continue;
+                    }
+                    debug_assert!(f.is_head(), "VOQ head must be a packet head between grants");
+                    let len = self.packets.get(f.pkt).len;
+                    debug_assert_eq!(
+                        self.packets.get(f.pkt).route[f.hop as usize] as usize,
+                        out_local
+                    );
+                    self.move_through_crossbar(in_gid, out_local, out);
+                    if len > 1 {
+                        self.grant[out as usize] = Some((in_gid, f.pkt));
+                    }
+                    self.rr_ptr[out as usize] = (local_in as u32 + 1) % n_ports as u32;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn move_through_crossbar(&mut self, in_gid: u32, voq: usize, out_gid: u32) {
+        let mut f =
+            self.in_buf[in_gid as usize][voq].pop_front().expect("VOQ head vanished");
+        self.credits[self.graph.peer(in_gid) as usize] += 1;
+        f.entered = self.now;
+        self.out_buf[out_gid as usize].push_back(f);
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 3: link transfer (output buffer → downstream input buffer).
+    // ------------------------------------------------------------------
+    fn link_transfer(&mut self) {
+        for out in 0..self.graph.num_ports() {
+            let Some(&f) = self.out_buf[out as usize].front() else { continue };
+            if f.entered >= self.now {
+                continue;
+            }
+            let need = if f.is_head() {
+                self.packets.get(f.pkt).len as u32
+            } else {
+                debug_assert!(
+                    self.credits[out as usize] >= 1,
+                    "credit reservation violated for a body flit"
+                );
+                1
+            };
+            if self.credits[out as usize] < need {
+                continue;
+            }
+            let mut f = self.out_buf[out as usize].pop_front().unwrap();
+            self.credits[out as usize] -= 1;
+            if self.in_window() {
+                self.link_busy[out as usize] += 1;
+            }
+            f.hop += 1;
+            f.entered = self.now;
+            let dst_in = self.graph.peer(out);
+            let voq = self.voq_of(dst_in, &f);
+            self.in_buf[dst_in as usize][voq].push_back(f);
+        }
+    }
+
+    /// VOQ a flit arriving on input port `in_gid` must join: the local
+    /// output it will leave through, or queue 0 at a processing node
+    /// (ejection).
+    fn voq_of(&self, in_gid: u32, f: &Flit) -> usize {
+        let owner = self.graph.port_owner(in_gid);
+        if self.graph.is_pn(owner) {
+            debug_assert_eq!(
+                f.hop as usize,
+                self.packets.get(f.pkt).route.len(),
+                "a flit reaching a PN must be at its final hop"
+            );
+            0
+        } else {
+            self.packets.get(f.pkt).route[f.hop as usize] as usize
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 4: message creation and source injection.
+    // ------------------------------------------------------------------
+    fn inject(&mut self) {
+        let rate = self.cfg.message_rate();
+        let num_pns = self.graph.num_pns();
+        for pn in 0..num_pns {
+            while self.sources[pn as usize].poll_arrival(self.now, rate) {
+                self.create_message(pn);
+            }
+            self.stream_source_flits(pn);
+        }
+    }
+
+    fn create_message(&mut self, pn: u32) {
+        let src = PnId(pn);
+        let traffic = std::mem::replace(&mut self.traffic, TrafficMode::Uniform);
+        let picked = self.sources[pn as usize].pick_destination_mode(
+            &traffic,
+            pn,
+            self.graph.num_pns(),
+        );
+        self.traffic = traffic;
+        let Some(dst) = picked else {
+            return; // self-mapped permutation entry: this source is silent
+        };
+        let dst = PnId(dst);
+        let measured = self.in_window();
+        if measured {
+            self.w_created_messages += 1;
+        }
+        let msg = self.messages.insert(Message {
+            created: self.now,
+            remaining_flits: self.cfg.message_flits(),
+            measured,
+        });
+        let mut paths = std::mem::take(&mut self.path_buf);
+        self.router.fill_paths(&self.topo, src, dst, &mut paths);
+        let per_message_choice = self.sources[pn as usize].pick_message_path(paths.len());
+        for _ in 0..self.cfg.packets_per_message {
+            let choice = self.sources[pn as usize].pick_path(
+                self.cfg.path_policy,
+                paths.len(),
+                per_message_choice,
+            );
+            let route: Box<[u16]> = self
+                .topo
+                .path_output_ports(src, dst, paths[choice])
+                .into_iter()
+                .map(|p| p as u16)
+                .collect();
+            debug_assert!(!route.is_empty(), "uniform traffic never self-addresses");
+            let first_port = route[0] as usize;
+            let pkt = self.packets.insert(Packet {
+                msg,
+                len: self.cfg.packet_flits,
+                route,
+                dst,
+            });
+            self.sources[pn as usize].queues[first_port]
+                .push_back(StreamingPacket { pkt, next_seq: 0 });
+        }
+        self.path_buf = paths;
+    }
+
+    fn stream_source_flits(&mut self, pn: u32) {
+        let cap = self.cfg.buffer_flits();
+        let n_ports = self.sources[pn as usize].queues.len();
+        for local in 0..n_ports {
+            let Some(&sp) = self.sources[pn as usize].queues[local].front() else { continue };
+            let len = self.packets.get(sp.pkt).len;
+            let out = self.graph.port_gid(pn, local as u32) as usize;
+            let _ = len;
+            if cap == self.out_buf[out].len() as u32 {
+                continue; // NIC staging buffer full
+            }
+            self.out_buf[out].push_back(Flit {
+                pkt: sp.pkt,
+                seq: sp.next_seq,
+                hop: 0,
+                entered: self.now,
+            });
+            self.total_injected += 1;
+            if self.in_window() {
+                self.w_injected += 1;
+            }
+            let q = &mut self.sources[pn as usize].queues[local];
+            let head = q.front_mut().unwrap();
+            head.next_seq += 1;
+            if head.next_seq == len {
+                q.pop_front();
+            }
+        }
+    }
+}
+
+/// Sort-and-query helper over an unsorted delay sample.
+fn percentile_of(delays: &[u32], q: f64) -> f64 {
+    let mut sorted = delays.to_vec();
+    sorted.sort_unstable();
+    percentile(&sorted, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PathPolicy;
+    use lmpr_core::{DModK, Disjoint};
+    use xgft::XgftSpec;
+
+    fn small_topo() -> Topology {
+        Topology::new(XgftSpec::new(&[4, 4], &[1, 4]).unwrap())
+    }
+
+    fn quick_cfg(load: f64) -> SimConfig {
+        SimConfig {
+            warmup_cycles: 2_000,
+            measure_cycles: 6_000,
+            offered_load: load,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn low_load_delivers_what_it_injects() {
+        let topo = small_topo();
+        let stats = FlitSim::simulate(&topo, DModK, quick_cfg(0.1));
+        let t = stats.accepted_throughput();
+        assert!(
+            (t - 0.1).abs() < 0.02,
+            "at 10% load throughput must track offered load, got {t}"
+        );
+        assert!(stats.completion_rate() > 0.95);
+        assert!(stats.avg_message_delay() > 0.0);
+    }
+
+    #[test]
+    fn conservation_of_flits() {
+        let topo = small_topo();
+        let mut sim = FlitSim::new(&topo, Disjoint::new(2), quick_cfg(0.6));
+        for _ in 0..5_000 {
+            sim.step();
+        }
+        let (injected, delivered) = sim.lifetime_counters();
+        assert_eq!(
+            injected,
+            delivered + sim.flits_in_network(),
+            "flits must be conserved"
+        );
+        assert!(delivered > 0);
+    }
+
+    #[test]
+    fn zero_load_latency_matches_pipeline_depth() {
+        // At a vanishing load a message's delay approaches the no-
+        // contention pipeline latency: each of the 2κ+1 link crossings
+        // costs ~2 cycles (buffer + wire) and the message streams
+        // message_flits flits behind its head.
+        let topo = small_topo();
+        let cfg = SimConfig {
+            warmup_cycles: 0,
+            measure_cycles: 60_000,
+            offered_load: 0.005,
+            ..SimConfig::default()
+        };
+        let stats = FlitSim::simulate(&topo, DModK, cfg);
+        assert!(stats.completed_messages > 10);
+        let delay = stats.avg_message_delay();
+        // Lower bound: serialization alone (64 flits) plus a couple of
+        // hops; upper bound: generous contention-free envelope.
+        assert!(delay > 64.0, "delay {delay} below serialization bound");
+        assert!(delay < 110.0, "delay {delay} too high for near-zero load");
+    }
+
+    #[test]
+    fn saturation_backlog_grows_with_overload() {
+        let topo = small_topo();
+        let low = FlitSim::simulate(&topo, DModK, quick_cfg(0.1));
+        let high = FlitSim::simulate(&topo, DModK, quick_cfg(1.0));
+        assert!(high.final_source_backlog > low.final_source_backlog);
+        // Overloaded d-mod-k cannot deliver the full offered load.
+        assert!(high.accepted_throughput() < 0.95);
+    }
+
+    #[test]
+    fn multipath_beats_single_path_at_high_load() {
+        // On the paper's 3-level Table-1 topology, limited multi-path
+        // routing must outperform d-mod-k at high uniform load.
+        let topo = Topology::new(XgftSpec::new(&[4, 4, 8], &[1, 4, 4]).unwrap());
+        let single = FlitSim::simulate(&topo, DModK, quick_cfg(0.8));
+        let multi = FlitSim::simulate(&topo, Disjoint::new(4), quick_cfg(0.8));
+        assert!(
+            multi.accepted_throughput() > single.accepted_throughput(),
+            "disjoint(4) {:.3} must beat d-mod-k {:.3} at 80% uniform load",
+            multi.accepted_throughput(),
+            single.accepted_throughput()
+        );
+    }
+
+    #[test]
+    fn policies_all_run() {
+        let topo = small_topo();
+        for policy in [
+            PathPolicy::PerPacketRandom,
+            PathPolicy::PerMessageRandom,
+            PathPolicy::RoundRobin,
+        ] {
+            let cfg = SimConfig { path_policy: policy, ..quick_cfg(0.4) };
+            let stats = FlitSim::simulate(&topo, Disjoint::new(4), cfg);
+            assert!(stats.delivered_flits > 0, "policy {policy:?} delivered nothing");
+        }
+    }
+
+    #[test]
+    fn percentiles_bracket_the_mean_and_util_is_sane() {
+        let topo = small_topo();
+        let mut sim = FlitSim::new(&topo, DModK, quick_cfg(0.4));
+        let stats = sim.run();
+        assert!(stats.delay_p50 > 0.0);
+        assert!(stats.delay_p50 <= stats.delay_p95);
+        assert!(stats.delay_p95 <= stats.delay_p99);
+        assert!(stats.delay_p99 <= stats.max_message_delay as f64);
+        assert!(stats.delay_p50 <= stats.avg_message_delay() * 1.5);
+        let util = sim.link_utilization();
+        assert_eq!(util.len(), sim.graph().num_ports() as usize);
+        assert!(util.iter().all(|&u| (0.0..=1.0).contains(&u)));
+        // Injection links carry roughly the offered load.
+        let pn0_out = util[sim.graph().port_gid(0, 0) as usize];
+        assert!((pn0_out - 0.4).abs() < 0.12, "PN0 injection utilization {pn0_out}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let topo = small_topo();
+        let a = FlitSim::simulate(&topo, Disjoint::new(2), quick_cfg(0.5));
+        let b = FlitSim::simulate(&topo, Disjoint::new(2), quick_cfg(0.5));
+        assert_eq!(a, b);
+        let c = FlitSim::simulate(&topo, Disjoint::new(2), quick_cfg(0.5).with_seed(9));
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,162 @@
+//! Measurement-window statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics collected over the measurement window of one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Offered load the run was driven at (flits/node/cycle).
+    pub offered_load: f64,
+    /// Length of the measurement window in cycles.
+    pub measure_cycles: u32,
+    /// Number of processing nodes.
+    pub num_pns: u32,
+    /// Flits entering the network during the window.
+    pub injected_flits: u64,
+    /// Flits delivered to destinations during the window.
+    pub delivered_flits: u64,
+    /// Messages created during the window.
+    pub created_messages: u64,
+    /// Window-created messages fully delivered before the run ended.
+    pub completed_messages: u64,
+    /// Sum of completed messages' delays (creation → last flit), cycles.
+    pub sum_message_delay: f64,
+    /// Largest completed message delay, cycles.
+    pub max_message_delay: u32,
+    /// Median completed-message delay, cycles (0 if none completed).
+    pub delay_p50: f64,
+    /// 95th-percentile completed-message delay, cycles.
+    pub delay_p95: f64,
+    /// 99th-percentile completed-message delay, cycles.
+    pub delay_p99: f64,
+    /// Packets still queued at sources when the run ended (saturation
+    /// indicator).
+    pub final_source_backlog: u64,
+}
+
+/// Nearest-rank percentile of a sorted sample (0 for an empty one).
+pub fn percentile(sorted: &[u32], q: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&q));
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1] as f64
+}
+
+impl SimStats {
+    /// Accepted throughput as a fraction of injection bandwidth
+    /// (delivered flits per node per cycle; the paper's Table 1 values
+    /// are this × 100).
+    pub fn accepted_throughput(&self) -> f64 {
+        self.delivered_flits as f64 / (self.measure_cycles as f64 * self.num_pns as f64)
+    }
+
+    /// Average message delay in cycles over completed, window-created
+    /// messages (`NaN` if none completed).
+    pub fn avg_message_delay(&self) -> f64 {
+        self.sum_message_delay / self.completed_messages as f64
+    }
+
+    /// Fraction of window-created messages that completed (drops below
+    /// one beyond saturation).
+    pub fn completion_rate(&self) -> f64 {
+        if self.created_messages == 0 {
+            1.0
+        } else {
+            self.completed_messages as f64 / self.created_messages as f64
+        }
+    }
+
+    /// Condensed form for sweep outputs.
+    pub fn load_point(&self) -> LoadPoint {
+        LoadPoint {
+            offered: self.offered_load,
+            throughput: self.accepted_throughput(),
+            avg_delay: self.avg_message_delay(),
+            completion_rate: self.completion_rate(),
+        }
+    }
+}
+
+/// One point of an offered-load sweep (one column of Figure 5 / one
+/// input to a Table 1 cell).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadPoint {
+    /// Offered load (fraction of injection bandwidth).
+    pub offered: f64,
+    /// Accepted throughput (fraction of injection bandwidth).
+    pub throughput: f64,
+    /// Average completed-message delay, cycles (`NaN` when nothing
+    /// completed).
+    pub avg_delay: f64,
+    /// Fraction of measured messages that completed.
+    pub completion_rate: f64,
+}
+
+/// The paper's Table 1 metric: the maximum accepted throughput achieved
+/// anywhere on the sweep (throughput peaks at saturation and then
+/// degrades under tree saturation).
+pub fn saturation_throughput(points: &[LoadPoint]) -> f64 {
+    points.iter().map(|p| p.throughput).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> SimStats {
+        SimStats {
+            offered_load: 0.5,
+            measure_cycles: 1000,
+            num_pns: 10,
+            injected_flits: 5000,
+            delivered_flits: 4000,
+            created_messages: 80,
+            completed_messages: 64,
+            sum_message_delay: 6400.0,
+            max_message_delay: 300,
+            delay_p50: 90.0,
+            delay_p95: 250.0,
+            delay_p99: 290.0,
+            final_source_backlog: 2,
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7], 0.5), 7.0);
+        assert_eq!(percentile(&[1, 2, 3, 4], 0.5), 2.0);
+        assert_eq!(percentile(&[1, 2, 3, 4], 0.95), 4.0);
+        assert_eq!(percentile(&[1, 2, 3, 4], 0.0), 1.0);
+        assert_eq!(percentile(&[1, 2, 3, 4], 1.0), 4.0);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let s = stats();
+        assert!((s.accepted_throughput() - 0.4).abs() < 1e-12);
+        assert!((s.avg_message_delay() - 100.0).abs() < 1e-12);
+        assert!((s.completion_rate() - 0.8).abs() < 1e-12);
+        let p = s.load_point();
+        assert_eq!(p.offered, 0.5);
+        assert!((p.throughput - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturation_is_the_sweep_max() {
+        let mk = |t: f64| LoadPoint { offered: 0.0, throughput: t, avg_delay: 0.0, completion_rate: 1.0 };
+        assert_eq!(saturation_throughput(&[mk(0.2), mk(0.55), mk(0.4)]), 0.55);
+        assert_eq!(saturation_throughput(&[]), 0.0);
+    }
+
+    #[test]
+    fn zero_created_messages_is_full_completion() {
+        let mut s = stats();
+        s.created_messages = 0;
+        s.completed_messages = 0;
+        assert_eq!(s.completion_rate(), 1.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Offered-load sweeps across worker threads.
+//!
+//! Table 1 and Figure 5 both need one simulation per offered-load point;
+//! the points are independent, so they fan out over threads. Results
+//! come back over a channel and are re-ordered by load index, keeping
+//! the output deterministic.
+
+use crate::{FlitSim, LoadPoint, SimConfig};
+use crossbeam::channel;
+use lmpr_core::Router;
+use xgft::Topology;
+
+/// Run one simulation per entry of `loads` (each uses `cfg` with the
+/// offered load replaced) and return the load points in input order.
+///
+/// `threads = 0` uses all available parallelism.
+pub fn run_sweep<R>(topo: &Topology, router: &R, cfg: SimConfig, loads: &[f64], threads: usize) -> Vec<LoadPoint>
+where
+    R: Router + Clone,
+{
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    }
+    .min(loads.len().max(1));
+
+    if threads <= 1 {
+        return loads
+            .iter()
+            .map(|&l| FlitSim::simulate(topo, router.clone(), cfg.with_load(l)).load_point())
+            .collect();
+    }
+
+    let (work_tx, work_rx) = channel::unbounded::<(usize, f64)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, LoadPoint)>();
+    for item in loads.iter().copied().enumerate() {
+        work_tx.send(item).expect("queueing work cannot fail");
+    }
+    drop(work_tx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let work_rx = work_rx.clone();
+            let res_tx = res_tx.clone();
+            let router = router.clone();
+            scope.spawn(move || {
+                while let Ok((i, load)) = work_rx.recv() {
+                    let stats = FlitSim::simulate(topo, router.clone(), cfg.with_load(load));
+                    res_tx
+                        .send((i, stats.load_point()))
+                        .expect("result channel outlives workers");
+                }
+            });
+        }
+        drop(res_tx);
+        let mut out = vec![
+            LoadPoint { offered: 0.0, throughput: 0.0, avg_delay: f64::NAN, completion_rate: 0.0 };
+            loads.len()
+        ];
+        for (i, p) in res_rx.iter() {
+            out[i] = p;
+        }
+        out
+    })
+}
+
+/// A standard sweep grid: `step, 2·step, …` up to and including 1.0.
+pub fn load_grid(step: f64) -> Vec<f64> {
+    assert!(step > 0.0 && step <= 1.0);
+    let n = (1.0 / step).round() as usize;
+    (1..=n).map(|i| (i as f64 * step).min(1.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::saturation_throughput;
+    use lmpr_core::DModK;
+    use xgft::XgftSpec;
+
+    #[test]
+    fn grid_shapes() {
+        let g = load_grid(0.25);
+        assert_eq!(g, vec![0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(load_grid(0.1).len(), 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_grid_step() {
+        let _ = load_grid(0.0);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_and_ordered() {
+        let topo = Topology::new(XgftSpec::new(&[4, 4], &[1, 4]).unwrap());
+        let cfg = SimConfig {
+            warmup_cycles: 1_000,
+            measure_cycles: 3_000,
+            ..SimConfig::default()
+        };
+        let loads = [0.2, 0.6];
+        let serial = run_sweep(&topo, &DModK, cfg, &loads, 1);
+        let parallel = run_sweep(&topo, &DModK, cfg, &loads, 2);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[0].offered, 0.2);
+        assert_eq!(serial[1].offered, 0.6);
+        assert!(saturation_throughput(&serial) > 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Workload selection for the flit simulator.
+//!
+//! The paper's flit-level experiments use uniform random traffic only;
+//! permutation and hotspot modes are provided so flit-level results can
+//! be cross-validated against the flow-level analysis (a permutation
+//! with flow-level maximum link load `L` saturates near `1/L` of
+//! injection bandwidth at the flit level).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// How sources pick message destinations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrafficMode {
+    /// Every message goes to a uniformly random other node (the paper's
+    /// §5 flit workload).
+    Uniform,
+    /// Node `i` always sends to `perm[i]`; self-mapped nodes stay
+    /// silent (matches the flow-level permutation semantics).
+    Permutation(Vec<u32>),
+    /// With probability `fraction` a message targets a uniformly chosen
+    /// hot node, otherwise a uniform other node.
+    Hotspot {
+        /// The hot destinations.
+        hot: Vec<u32>,
+        /// Fraction of traffic redirected to the hot set.
+        fraction: f64,
+    },
+}
+
+impl TrafficMode {
+    /// Validate against a node count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed permutations, out-of-range hot nodes or a
+    /// fraction outside `[0, 1]`.
+    pub fn validate(&self, n: u32) {
+        match self {
+            TrafficMode::Uniform => {}
+            TrafficMode::Permutation(p) => {
+                assert_eq!(p.len() as u32, n, "permutation length must equal node count");
+                let mut seen = vec![false; n as usize];
+                for &d in p {
+                    assert!(d < n, "permutation target out of range");
+                    assert!(!std::mem::replace(&mut seen[d as usize], true), "not a bijection");
+                }
+            }
+            TrafficMode::Hotspot { hot, fraction } => {
+                assert!(!hot.is_empty(), "hotspot needs at least one hot node");
+                assert!(hot.iter().all(|&h| h < n), "hot node out of range");
+                assert!((0.0..=1.0).contains(fraction), "fraction must be in [0, 1]");
+            }
+        }
+    }
+
+    /// Destination for the next message from `src`, or `None` when this
+    /// source does not send (self-mapped permutation entry).
+    pub fn pick(&self, src: u32, n: u32, rng: &mut SmallRng) -> Option<u32> {
+        match self {
+            TrafficMode::Uniform => Some(uniform_other(src, n, rng)),
+            TrafficMode::Permutation(p) => {
+                let d = p[src as usize];
+                (d != src).then_some(d)
+            }
+            TrafficMode::Hotspot { hot, fraction } => {
+                if rng.gen::<f64>() < *fraction {
+                    let h = hot[rng.gen_range(0..hot.len())];
+                    if h != src {
+                        return Some(h);
+                    }
+                }
+                Some(uniform_other(src, n, rng))
+            }
+        }
+    }
+}
+
+fn uniform_other(src: u32, n: u32, rng: &mut SmallRng) -> u32 {
+    let d = rng.gen_range(0..n - 1);
+    if d >= src {
+        d + 1
+    } else {
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn uniform_never_self() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let d = TrafficMode::Uniform.pick(3, 8, &mut r).unwrap();
+            assert_ne!(d, 3);
+            assert!(d < 8);
+        }
+    }
+
+    #[test]
+    fn permutation_is_fixed_and_silent_on_self() {
+        let mode = TrafficMode::Permutation(vec![1, 0, 2, 3]);
+        mode.validate(4);
+        let mut r = rng();
+        assert_eq!(mode.pick(0, 4, &mut r), Some(1));
+        assert_eq!(mode.pick(1, 4, &mut r), Some(0));
+        assert_eq!(mode.pick(2, 4, &mut r), None);
+    }
+
+    #[test]
+    fn hotspot_biases_toward_hot_nodes() {
+        let mode = TrafficMode::Hotspot { hot: vec![0], fraction: 0.8 };
+        mode.validate(16);
+        let mut r = rng();
+        let hits = (0..1000)
+            .filter(|_| mode.pick(5, 16, &mut r).unwrap() == 0)
+            .count();
+        assert!(hits > 600, "expected ~80% hot hits, got {hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bijection")]
+    fn invalid_permutation_rejected() {
+        TrafficMode::Permutation(vec![0, 0, 1]).validate(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn wrong_length_rejected() {
+        TrafficMode::Permutation(vec![0, 1]).validate(3);
+    }
+}

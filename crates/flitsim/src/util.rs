@@ -1,0 +1,131 @@
+//! Small utilities: a free-list slab for packet and message records.
+
+/// A minimal slab allocator: O(1) insert/remove with stable `u32` keys,
+/// reusing freed slots so long simulations do not grow memory with the
+/// total number of packets ever injected.
+#[derive(Debug, Clone)]
+pub struct Slab<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Slab { slots: Vec::new(), free: Vec::new(), len: 0 }
+    }
+
+    /// Insert a value and return its key.
+    pub fn insert(&mut self, value: T) -> u32 {
+        self.len += 1;
+        if let Some(key) = self.free.pop() {
+            debug_assert!(self.slots[key as usize].is_none());
+            self.slots[key as usize] = Some(value);
+            key
+        } else {
+            self.slots.push(Some(value));
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    /// Remove and return the value under `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is vacant (a double-free is a simulator bug).
+    pub fn remove(&mut self, key: u32) -> T {
+        let v = self.slots[key as usize].take().expect("slab slot already vacant");
+        self.free.push(key);
+        self.len -= 1;
+        v
+    }
+
+    /// Shared access to a live slot.
+    pub fn get(&self, key: u32) -> &T {
+        self.slots[key as usize].as_ref().expect("slab slot vacant")
+    }
+
+    /// Mutable access to a live slot.
+    pub fn get_mut(&mut self, key: u32) -> &mut T {
+        self.slots[key as usize].as_mut().expect("slab slot vacant")
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slab holds no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Capacity high-water mark (total slots ever allocated).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(*s.get(a), "a");
+        assert_eq!(*s.get(b), "b");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.remove(a), "a");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        s.remove(a);
+        let b = s.insert(2);
+        assert_eq!(a, b, "freed slot must be reused");
+        assert_eq!(s.capacity(), 1);
+    }
+
+    #[test]
+    fn high_water_mark_bounded_by_live_peak() {
+        let mut s = Slab::new();
+        for round in 0..10 {
+            let keys: Vec<u32> = (0..5).map(|i| s.insert(round * 10 + i)).collect();
+            for k in keys {
+                s.remove(k);
+            }
+        }
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already vacant")]
+    fn double_remove_panics() {
+        let mut s = Slab::new();
+        let a = s.insert(());
+        s.remove(a);
+        s.remove(a);
+    }
+
+    #[test]
+    fn get_mut_mutates() {
+        let mut s = Slab::new();
+        let a = s.insert(5);
+        *s.get_mut(a) += 1;
+        assert_eq!(*s.get(a), 6);
+    }
+}

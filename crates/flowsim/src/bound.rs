@@ -1,0 +1,148 @@
+//! Lemma 1: the sub-tree cut lower bound on the optimal load.
+
+use crate::LinkLoads;
+use lmpr_core::Router;
+use lmpr_traffic::TrafficMatrix;
+use xgft::Topology;
+
+/// `ML(TM)` — Lemma 1 of the paper.
+///
+/// For every sub-tree `st` of height `k < h`, all traffic entering or
+/// leaving `st` must cross its `TL(k) = Π_{i≤k+1} w_i` boundary links in
+/// the relevant direction, so some link carries at least
+/// `MT(TM, st) / TL(k)` where `MT` is the larger of the inbound and
+/// outbound volumes. The bound is the maximum over all sub-trees of all
+/// heights (height 0 = a single processing node).
+///
+/// Theorem 1 shows UMULTI *achieves* this bound for every traffic
+/// matrix, so `ML(TM) = OLOAD(TM)` exactly — which is what lets the
+/// flow-level experiments report true performance ratios.
+pub fn ml_lower_bound(topo: &Topology, tm: &TrafficMatrix) -> f64 {
+    assert_eq!(
+        tm.num_nodes(),
+        topo.num_pns(),
+        "traffic matrix and topology node counts must agree"
+    );
+    let h = topo.height();
+    let mut best = 0.0f64;
+    // Reused per-height accumulators, indexed by sub-tree.
+    let mut out = Vec::new();
+    let mut inc = Vec::new();
+    for k in 0..h {
+        let subtrees = topo.num_subtrees(k) as usize;
+        out.clear();
+        out.resize(subtrees, 0.0f64);
+        inc.clear();
+        inc.resize(subtrees, 0.0f64);
+        for f in tm.flows() {
+            let s_st = topo.subtree_of(f.src, k) as usize;
+            let d_st = topo.subtree_of(f.dst, k) as usize;
+            if s_st != d_st {
+                out[s_st] += f.demand;
+                inc[d_st] += f.demand;
+            }
+        }
+        let tl = topo.tl(k) as f64;
+        for st in 0..subtrees {
+            let mt = out[st].max(inc[st]);
+            best = best.max(mt / tl);
+        }
+    }
+    best
+}
+
+/// The performance ratio `PERF(r, TM) = MLOAD(r, TM) / OLOAD(TM)`,
+/// computed with `OLOAD = ML` (exact on XGFTs by Theorem 1).
+///
+/// Returns 1.0 for traffic matrices that load no links at all.
+pub fn performance_ratio<R: Router + ?Sized>(
+    topo: &Topology,
+    router: &R,
+    tm: &TrafficMatrix,
+) -> f64 {
+    let mload = LinkLoads::accumulate(topo, router, tm).max_load();
+    let oload = ml_lower_bound(topo, tm);
+    if oload == 0.0 {
+        debug_assert_eq!(mload, 0.0, "zero cut traffic must mean zero link load");
+        1.0
+    } else {
+        mload / oload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmpr_core::{DModK, Umulti};
+    use lmpr_traffic::{adversarial_concentration, random_permutation, Flow, TrafficMatrix};
+    use xgft::{PnId, XgftSpec};
+
+    #[test]
+    fn single_flow_bound_is_inverse_tl() {
+        let t = Topology::new(XgftSpec::new(&[4, 4], &[1, 4]).unwrap());
+        let tm = TrafficMatrix::from_flows(
+            t.num_pns(),
+            vec![Flow { src: PnId(0), dst: PnId(15), demand: 1.0 }],
+        );
+        // Tightest cut is the PN itself: 1 unit over TL(0) = w_1 = 1.
+        assert!((ml_lower_bound(&t, &tm) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn umulti_achieves_the_bound_on_permutations() {
+        // Theorem 1: MLOAD(UMULTI, TM) == ML(TM).
+        for spec in [
+            XgftSpec::new(&[4, 4], &[1, 4]).unwrap(),
+            XgftSpec::new(&[2, 3, 4], &[2, 2, 2]).unwrap(),
+            XgftSpec::m_port_n_tree(8, 2).unwrap(),
+        ] {
+            let t = Topology::new(spec);
+            for seed in 0..5u64 {
+                let tm =
+                    TrafficMatrix::permutation(&random_permutation(t.num_pns(), seed));
+                let mload = LinkLoads::accumulate(&t, &Umulti, &tm).max_load();
+                let ml = ml_lower_bound(&t, &tm);
+                assert!(
+                    (mload - ml).abs() < 1e-9,
+                    "UMULTI must meet the bound: mload={mload} ml={ml}"
+                );
+                assert!((performance_ratio(&t, &Umulti, &tm) - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn theorem2_ratio_on_adversarial_pattern() {
+        // PERF(d-mod-k) on the concentration pattern is exactly Π w_i.
+        let t = Topology::new(XgftSpec::new(&[4, 16], &[2, 2]).unwrap());
+        let p = adversarial_concentration(&t).unwrap();
+        let mload = LinkLoads::accumulate(&t, &DModK, &p.tm).max_load();
+        assert!((mload - p.concentrated_load).abs() < 1e-12);
+        let ml = ml_lower_bound(&t, &p.tm);
+        assert!((ml - p.optimal_load).abs() < 1e-12);
+        assert!((performance_ratio(&t, &DModK, &p.tm) - p.ratio).abs() < 1e-12);
+        // And UMULTI stays optimal on the same pattern.
+        assert!((performance_ratio(&t, &Umulti, &p.tm) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_matrix_has_ratio_one() {
+        let t = Topology::new(XgftSpec::new(&[2, 2], &[1, 2]).unwrap());
+        let tm = TrafficMatrix::from_flows(t.num_pns(), vec![]);
+        assert_eq!(ml_lower_bound(&t, &tm), 0.0);
+        assert_eq!(performance_ratio(&t, &DModK, &tm), 1.0);
+    }
+
+    #[test]
+    fn bound_sees_the_binding_height() {
+        // Traffic that is balanced at the PN cut but concentrated at the
+        // sub-tree cut: 4 nodes of sub-tree 0 each send 1 unit out.
+        let t = Topology::new(XgftSpec::new(&[4, 4], &[1, 2]).unwrap());
+        let flows = (0..4)
+            .map(|j| Flow { src: PnId(j), dst: PnId(4 + j), demand: 1.0 })
+            .collect();
+        let tm = TrafficMatrix::from_flows(t.num_pns(), flows);
+        // TL(1) = w_1 w_2 = 2 → bound 4/2 = 2 (the PN cut gives only 1).
+        assert!((ml_lower_bound(&t, &tm) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,37 @@
+//! Flow-level fat-tree simulator.
+//!
+//! Flow-level simulation evaluates a routing scheme analytically: route
+//! every traffic-matrix entry over its selected paths with the scheme's
+//! traffic fractions, add the contributions up per *directed link*, and
+//! report the **maximum link load** (`MLOAD(r, TM)` in the paper). This
+//! is the metric behind Figure 4.
+//!
+//! The crate also implements the paper's theory hooks:
+//!
+//! * [`ml_lower_bound`] — Lemma 1's sub-tree cut bound `ML(TM)` on the
+//!   optimal load `OLOAD(TM)`;
+//! * [`performance_ratio`] — `MLOAD / ML ≥ MLOAD / OLOAD`, which is the
+//!   exact performance ratio whenever some routing meets the bound
+//!   (UMULTI always does — Theorem 1);
+//! * [`PermutationStudy`] — the §5 evaluation methodology: sample random
+//!   permutations, average the maximum load, and keep doubling the
+//!   sample count until the 99 % confidence interval is within 1 % of
+//!   the mean. Sampling fans out over threads with deterministic
+//!   per-sample seeds, so results do not depend on the thread count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bound;
+mod loads;
+mod oblivious;
+mod report;
+mod study;
+mod worstcase;
+
+pub use bound::{ml_lower_bound, performance_ratio};
+pub use loads::LinkLoads;
+pub use oblivious::{estimate_oblivious_ratio, ObliviousEstimate};
+pub use report::{level_breakdown, LevelLoads};
+pub use study::{average_over_seeds, PermutationStudy, StudyConfig, StudyResult};
+pub use worstcase::{worst_permutation, SearchConfig, WorstCase};

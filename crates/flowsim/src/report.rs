@@ -1,0 +1,118 @@
+//! Per-level load breakdowns.
+//!
+//! §5 of the paper explains the heuristics' ranking through *where* the
+//! contention sits: shift-1 balances top-level links but leaves the
+//! lower levels as unbalanced as single-path routing, which is exactly
+//! what the disjoint heuristic fixes. This module quantifies that by
+//! splitting the link-load map per tree level and direction.
+
+use crate::LinkLoads;
+use xgft::{DirectedLinkId, LinkDir, Topology};
+
+/// Load statistics of one (level, direction) link class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelLoads {
+    /// Tree level of the links' upper endpoint (`1..=h`).
+    pub level: u8,
+    /// Link direction.
+    pub dir: LinkDir,
+    /// Largest load in the class.
+    pub max: f64,
+    /// Mean load over the class.
+    pub mean: f64,
+    /// Number of links in the class.
+    pub links: u32,
+}
+
+impl LevelLoads {
+    /// Max-to-mean ratio — 1.0 means the class is perfectly balanced.
+    /// Returns 1.0 for an idle class.
+    pub fn imbalance(&self) -> f64 {
+        if self.mean == 0.0 {
+            1.0
+        } else {
+            self.max / self.mean
+        }
+    }
+}
+
+/// Split a load map into per-(level, direction) statistics, ordered
+/// up-1, down-1, up-2, down-2, ….
+pub fn level_breakdown(topo: &Topology, loads: &LinkLoads) -> Vec<LevelLoads> {
+    let h = topo.height();
+    let mut sums = vec![0.0f64; 2 * h];
+    let mut maxes = vec![0.0f64; 2 * h];
+    let mut counts = vec![0u32; 2 * h];
+    for (i, &v) in loads.loads().iter().enumerate() {
+        let (level, dir) = topo.link_level_dir(DirectedLinkId(i as u32));
+        let idx = 2 * (level as usize - 1) + usize::from(dir == LinkDir::Down);
+        sums[idx] += v;
+        maxes[idx] = maxes[idx].max(v);
+        counts[idx] += 1;
+    }
+    (0..2 * h)
+        .map(|idx| LevelLoads {
+            level: (idx / 2 + 1) as u8,
+            dir: if idx % 2 == 0 { LinkDir::Up } else { LinkDir::Down },
+            max: maxes[idx],
+            mean: sums[idx] / counts[idx] as f64,
+            links: counts[idx],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmpr_core::{Disjoint, ShiftOne};
+    use lmpr_traffic::{random_permutation, TrafficMatrix};
+    use xgft::XgftSpec;
+
+    #[test]
+    fn classes_partition_the_link_set() {
+        let topo = Topology::new(XgftSpec::new(&[4, 4, 8], &[1, 4, 4]).unwrap());
+        let loads = LinkLoads::zero(&topo);
+        let classes = level_breakdown(&topo, &loads);
+        assert_eq!(classes.len(), 6);
+        let total: u32 = classes.iter().map(|c| c.links).sum();
+        assert_eq!(total, topo.num_links());
+        for c in &classes {
+            assert_eq!(c.max, 0.0);
+            assert_eq!(c.imbalance(), 1.0);
+        }
+    }
+
+    #[test]
+    fn shift_leaves_lower_levels_unbalanced() {
+        // The §5 claim, averaged over permutations: with the same K,
+        // shift-1's level-2 up-links are more imbalanced than
+        // disjoint's on a 3-level tree (shift spreads only at level 3).
+        let topo = Topology::new(XgftSpec::new(&[4, 4, 8], &[1, 4, 4]).unwrap());
+        let mut shift_imb = 0.0;
+        let mut disjoint_imb = 0.0;
+        let samples = 12;
+        for seed in 0..samples {
+            let tm = TrafficMatrix::permutation(&random_permutation(topo.num_pns(), seed));
+            let s = level_breakdown(&topo, &LinkLoads::accumulate(&topo, &ShiftOne::new(4), &tm));
+            let d = level_breakdown(&topo, &LinkLoads::accumulate(&topo, &Disjoint::new(4), &tm));
+            // Index 2 = up-links into level 2.
+            shift_imb += s[2].imbalance();
+            disjoint_imb += d[2].imbalance();
+        }
+        assert!(
+            disjoint_imb < shift_imb,
+            "disjoint must balance level-2 up-links better: {disjoint_imb:.2} vs {shift_imb:.2}"
+        );
+    }
+
+    #[test]
+    fn means_reflect_volume_conservation() {
+        let topo = Topology::new(XgftSpec::new(&[4, 4], &[1, 4]).unwrap());
+        let tm = TrafficMatrix::permutation(&random_permutation(topo.num_pns(), 1));
+        let loads = LinkLoads::accumulate(&topo, &Disjoint::new(2), &tm);
+        let classes = level_breakdown(&topo, &loads);
+        let recomposed: f64 =
+            classes.iter().map(|c| c.mean * c.links as f64).sum();
+        assert!((recomposed - loads.total()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,116 @@
+//! The Theorem 2 adversarial concentration pattern.
+//!
+//! Theorem 2 of the paper exhibits XGFTs on which d-mod-k's oblivious
+//! performance ratio is at least `Π_{i=1..h} w_i`. The construction:
+//! every processing node `j` of the *first* height-`(h-1)` sub-tree
+//! (there are `M = Π_{i<h} m_i` of them) sends one unit of traffic to
+//! node `(A + j) · W`, where `W = Π_{i=1..h} w_i` and `A` is the
+//! smallest integer with `A·W ≥ M` (so destinations land outside the
+//! source sub-tree).
+//!
+//! Because every destination is a multiple of `W`, d-mod-k's up-port at
+//! every level is `⌊d / Π_{i<k} w_i⌋ mod w_k = 0`: all `M` flows climb
+//! the *same* sequence of switches and exit the sub-tree through one
+//! up-link, giving a maximum link load of `M`. UMULTI spreads the same
+//! traffic over the `TL(h-1) = W` outgoing links for a load of `M / W`
+//! — hence the ratio `W`.
+
+use crate::{Flow, TrafficMatrix};
+use xgft::{PnId, Topology};
+
+/// The constructed pattern together with the quantities the theorem's
+/// proof predicts, so tests and the experiment harness can assert them.
+#[derive(Debug, Clone)]
+pub struct AdversarialPattern {
+    /// The traffic matrix (`M` unit flows).
+    pub tm: TrafficMatrix,
+    /// `M = Π_{i<h} m_i` — flows, and d-mod-k's maximum link load.
+    pub concentrated_load: f64,
+    /// `M / W` — UMULTI's maximum link load (the optimal load).
+    pub optimal_load: f64,
+    /// `W = Π_i w_i` — the performance-ratio lower bound realized.
+    pub ratio: f64,
+}
+
+/// Build the Theorem 2 pattern for a topology, or `None` when the tree
+/// is too small to host it (the construction needs
+/// `(A + M - 1)·W < N`, i.e. enough room to the right of the source
+/// sub-tree for `M` destinations that are multiples of `W`).
+pub fn adversarial_concentration(topo: &Topology) -> Option<AdversarialPattern> {
+    let h = topo.height();
+    let n = topo.num_pns() as u64;
+    let m = topo.m_prod(h - 1); // PNs per height-(h-1) sub-tree
+    let w = topo.w_prod(h); // number of top-level switches
+    let a = m.div_ceil(w); // smallest A with A·W ≥ M
+    let last_dst = (a + m - 1) * w;
+    if last_dst >= n {
+        return None;
+    }
+    let flows = (0..m)
+        .map(|j| Flow {
+            src: PnId(j as u32),
+            dst: PnId(((a + j) * w) as u32),
+            demand: 1.0,
+        })
+        .collect();
+    Some(AdversarialPattern {
+        tm: TrafficMatrix::from_flows(topo.num_pns(), flows),
+        concentrated_load: m as f64,
+        optimal_load: m as f64 / w as f64,
+        ratio: w as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xgft::{XgftSpec, MAX_HEIGHT};
+
+    #[test]
+    fn pattern_exists_on_wide_trees() {
+        // XGFT(2; 4, 16; 2, 2): M = 4, W = 4, A = 1, destinations
+        // 4, 8, 12, 16 — all valid.
+        let topo = Topology::new(XgftSpec::new(&[4, 16], &[2, 2]).unwrap());
+        let p = adversarial_concentration(&topo).expect("pattern must fit");
+        assert_eq!(p.tm.flows().len(), 4);
+        assert_eq!(p.concentrated_load, 4.0);
+        assert_eq!(p.optimal_load, 1.0);
+        assert_eq!(p.ratio, 4.0);
+        for f in p.tm.flows() {
+            assert_eq!(f.dst.0 as u64 % topo.w_prod(2), 0);
+            assert!(f.dst.0 >= 4, "destinations must leave the source sub-tree");
+        }
+    }
+
+    #[test]
+    fn all_dmodk_up_ports_are_zero() {
+        let topo = Topology::new(XgftSpec::new(&[4, 16], &[2, 2]).unwrap());
+        let p = adversarial_concentration(&topo).unwrap();
+        let mut u = [0u32; MAX_HEIGHT];
+        for f in p.tm.flows() {
+            let path = topo.dmodk_path(f.src, f.dst);
+            let k = topo.path_up_ports(f.src, f.dst, path, &mut u);
+            assert!(u[..k].iter().all(|&x| x == 0), "d-mod-k must climb port 0");
+        }
+    }
+
+    #[test]
+    fn too_small_trees_yield_none() {
+        // XGFT(2; 2, 2; 2, 2): M = 2, W = 4, A = 1, last dst = 2·4 = 8
+        // but N = 4 — no room.
+        let topo = Topology::new(XgftSpec::new(&[2, 2], &[2, 2]).unwrap());
+        assert!(adversarial_concentration(&topo).is_none());
+    }
+
+    #[test]
+    fn destinations_in_distinct_subtrees() {
+        let topo = Topology::new(XgftSpec::new(&[2, 2, 32], &[1, 2, 2]).unwrap());
+        let p = adversarial_concentration(&topo).unwrap();
+        let h = topo.height();
+        let mut seen = std::collections::HashSet::new();
+        for f in p.tm.flows() {
+            assert!(seen.insert(topo.subtree_of(f.dst, h - 1)));
+            assert_ne!(topo.subtree_of(f.dst, h - 1), 0, "destinations leave sub-tree 0");
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Hotspot and many-to-one workloads.
+//!
+//! Beyond the paper's two workloads, hotspot traffic is the classic
+//! stress test for oblivious routing: a fraction of every node's
+//! traffic converges on a few hot destinations, which no multi-path
+//! scheme can fix (the destination links saturate) — a useful negative
+//! control for the evaluation harness.
+
+use crate::{Flow, TrafficMatrix};
+use xgft::PnId;
+
+/// Uniform traffic with a twist: each source redirects `hot_fraction`
+/// of its unit demand to the hot nodes (evenly), spreading the rest
+/// uniformly over everyone else.
+///
+/// # Panics
+///
+/// Panics if `hot` is empty, contains out-of-range nodes, or
+/// `hot_fraction` is outside `[0, 1]`.
+pub fn hotspot(n: u32, hot: &[PnId], hot_fraction: f64) -> TrafficMatrix {
+    assert!(!hot.is_empty(), "need at least one hot node");
+    assert!((0.0..=1.0).contains(&hot_fraction), "fraction must be in [0, 1]");
+    assert!(hot.iter().all(|h| h.0 < n), "hot node out of range");
+    assert!(n >= 2);
+    let mut flows = Vec::new();
+    let hot_share = hot_fraction / hot.len() as f64;
+    let cold_share = (1.0 - hot_fraction) / (n - 1) as f64;
+    for s in 0..n {
+        let s = PnId(s);
+        for &h in hot {
+            if h != s {
+                flows.push(Flow { src: s, dst: h, demand: hot_share });
+            }
+        }
+        for d in 0..n {
+            let d = PnId(d);
+            if d != s {
+                flows.push(Flow { src: s, dst: d, demand: cold_share });
+            }
+        }
+    }
+    // Merge duplicate (s, d) entries (hot nodes also receive the
+    // uniform share).
+    let mut merged: std::collections::BTreeMap<(u32, u32), f64> = std::collections::BTreeMap::new();
+    for f in flows {
+        *merged.entry((f.src.0, f.dst.0)).or_insert(0.0) += f.demand;
+    }
+    TrafficMatrix::from_flows(
+        n,
+        merged
+            .into_iter()
+            .map(|((s, d), demand)| Flow { src: PnId(s), dst: PnId(d), demand })
+            .collect(),
+    )
+}
+
+/// All-to-one: every other node sends one unit to `sink` — the extreme
+/// hotspot, whose optimal load is dictated purely by the sink's cut.
+pub fn all_to_one(n: u32, sink: PnId) -> TrafficMatrix {
+    assert!(sink.0 < n);
+    let flows = (0..n)
+        .filter(|&s| s != sink.0)
+        .map(|s| Flow { src: PnId(s), dst: sink, demand: 1.0 })
+        .collect();
+    TrafficMatrix::from_flows(n, flows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotspot_volumes_add_up() {
+        let tm = hotspot(8, &[PnId(0)], 0.5);
+        // Every source emits one unit, except the hot node itself whose
+        // own hot share has nowhere to go (7 × 1.0 + 0.5).
+        assert!((tm.total_demand() - 7.5).abs() < 1e-9);
+        // The hot node receives far more than a cold one.
+        let to = |d: u32| -> f64 {
+            tm.flows().iter().filter(|f| f.dst.0 == d).map(|f| f.demand).sum()
+        };
+        assert!(to(0) > 3.0);
+        assert!(to(5) < 1.0);
+    }
+
+    #[test]
+    fn zero_fraction_is_uniform() {
+        let a = hotspot(6, &[PnId(2)], 0.0);
+        let b = TrafficMatrix::uniform(6, 1.0);
+        assert_eq!(a.flows().len(), b.flows().len());
+        assert!((a.total_demand() - b.total_demand()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_to_one_shape() {
+        let tm = all_to_one(5, PnId(3));
+        assert_eq!(tm.flows().len(), 4);
+        assert!((tm.max_ingress() - 4.0).abs() < 1e-12);
+        assert!((tm.max_egress() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hot node")]
+    fn empty_hot_set_rejected() {
+        let _ = hotspot(4, &[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_rejected() {
+        let _ = hotspot(4, &[PnId(0)], 1.5);
+    }
+}

@@ -1,0 +1,32 @@
+//! Traffic workloads for fat-tree routing studies.
+//!
+//! The paper evaluates routing with two workload families:
+//!
+//! * **permutation traffic** — every processing node sends one unit of
+//!   traffic to the node a random permutation assigns it (§5, Figure 4);
+//! * **uniform random traffic** — destinations drawn uniformly at
+//!   message granularity (§5, Table 1 / Figure 5; generated online by
+//!   the flit-level simulator, and available here as a dense matrix for
+//!   flow-level analysis).
+//!
+//! In addition this crate provides the **adversarial concentration
+//! pattern** from the proof of Theorem 2 (all d-mod-k routes of a
+//! sub-tree collapse onto one up-link) and a library of classic
+//! structured permutations (shift, bit-complement, bit-reversal,
+//! transpose) for wider studies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adversarial;
+mod hotspot;
+mod matrix;
+mod permutation;
+
+pub use adversarial::{adversarial_concentration, AdversarialPattern};
+pub use hotspot::{all_to_one, hotspot};
+pub use matrix::{Flow, TrafficMatrix};
+pub use permutation::{
+    bit_complement_permutation, bit_reversal_permutation, is_permutation, random_permutation,
+    shift_permutation, transpose_permutation,
+};

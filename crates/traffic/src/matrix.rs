@@ -1,0 +1,187 @@
+//! Sparse traffic matrices.
+
+use serde::{Deserialize, Serialize};
+use xgft::PnId;
+
+/// One entry of a traffic matrix: `demand` units of traffic from `src`
+/// to `dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Flow {
+    /// Sending processing node.
+    pub src: PnId,
+    /// Receiving processing node.
+    pub dst: PnId,
+    /// Traffic volume (the paper's `tm_{i,j}`; units are arbitrary but
+    /// consistent within a matrix).
+    pub demand: f64,
+}
+
+/// A traffic matrix stored sparsely as a list of non-zero flows.
+///
+/// Permutations have `N` entries and uniform all-to-all `N·(N-1)`; dense
+/// `N×N` storage is never needed. Self-flows (`src == dst`) are legal in
+/// the paper's model but load no links, so constructors drop them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficMatrix {
+    n: u32,
+    flows: Vec<Flow>,
+}
+
+impl TrafficMatrix {
+    /// Build from explicit flows for an `n`-node system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range or a demand is negative or
+    /// non-finite.
+    pub fn from_flows(n: u32, flows: Vec<Flow>) -> Self {
+        for f in &flows {
+            assert!(f.src.0 < n && f.dst.0 < n, "flow endpoint out of range");
+            assert!(f.demand.is_finite() && f.demand >= 0.0, "demand must be non-negative");
+        }
+        let flows = flows
+            .into_iter()
+            .filter(|f| f.src != f.dst && f.demand > 0.0)
+            .collect();
+        TrafficMatrix { n, flows }
+    }
+
+    /// Permutation traffic: node `i` sends one unit to `perm[i]`
+    /// (self-mappings allowed, as in the paper, but stored only when
+    /// they load links — i.e. never).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..perm.len()`.
+    pub fn permutation(perm: &[u32]) -> Self {
+        assert!(
+            crate::is_permutation(perm),
+            "permutation traffic requires a bijection on 0..n"
+        );
+        let n = perm.len() as u32;
+        let flows = perm
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| Flow { src: PnId(i as u32), dst: PnId(d), demand: 1.0 })
+            .collect();
+        Self::from_flows(n, flows)
+    }
+
+    /// Uniform all-to-all traffic: every node spreads `per_node` units
+    /// evenly over the other `n - 1` nodes — the flow-level analogue of
+    /// the flit simulator's uniform random workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `n < 2` or when the dense flow list would exceed 2^24
+    /// entries (use the flit-level simulator for larger fabrics).
+    pub fn uniform(n: u32, per_node: f64) -> Self {
+        assert!(n >= 2, "uniform traffic needs at least two nodes");
+        let entries = n as u64 * (n as u64 - 1);
+        assert!(entries <= 1 << 24, "dense uniform matrix too large ({entries} flows)");
+        let share = per_node / (n - 1) as f64;
+        let mut flows = Vec::with_capacity(entries as usize);
+        for s in 0..n {
+            for d in 0..n {
+                if s != d {
+                    flows.push(Flow { src: PnId(s), dst: PnId(d), demand: share });
+                }
+            }
+        }
+        Self::from_flows(n, flows)
+    }
+
+    /// Number of processing nodes this matrix addresses.
+    pub fn num_nodes(&self) -> u32 {
+        self.n
+    }
+
+    /// The non-zero flows.
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
+
+    /// Total traffic volume.
+    pub fn total_demand(&self) -> f64 {
+        self.flows.iter().map(|f| f.demand).sum()
+    }
+
+    /// Largest per-source egress volume.
+    pub fn max_egress(&self) -> f64 {
+        self.per_endpoint(|f| f.src)
+    }
+
+    /// Largest per-destination ingress volume.
+    pub fn max_ingress(&self) -> f64 {
+        self.per_endpoint(|f| f.dst)
+    }
+
+    fn per_endpoint(&self, key: impl Fn(&Flow) -> PnId) -> f64 {
+        let mut acc = vec![0.0f64; self.n as usize];
+        for f in &self.flows {
+            acc[key(f).0 as usize] += f.demand;
+        }
+        acc.into_iter().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_drops_self_flows() {
+        let tm = TrafficMatrix::permutation(&[2, 1, 0]);
+        assert_eq!(tm.num_nodes(), 3);
+        assert_eq!(tm.flows().len(), 2); // node 1 maps to itself
+        assert_eq!(tm.total_demand(), 2.0);
+        assert_eq!(tm.max_egress(), 1.0);
+        assert_eq!(tm.max_ingress(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bijection")]
+    fn non_permutation_rejected() {
+        let _ = TrafficMatrix::permutation(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn uniform_volumes() {
+        let tm = TrafficMatrix::uniform(4, 1.0);
+        assert_eq!(tm.flows().len(), 12);
+        assert!((tm.total_demand() - 4.0).abs() < 1e-12);
+        assert!((tm.max_egress() - 1.0).abs() < 1e-12);
+        assert!((tm.max_ingress() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn endpoint_bounds_checked() {
+        let _ = TrafficMatrix::from_flows(
+            2,
+            vec![Flow { src: PnId(0), dst: PnId(5), demand: 1.0 }],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_demand_rejected() {
+        let _ = TrafficMatrix::from_flows(
+            2,
+            vec![Flow { src: PnId(0), dst: PnId(1), demand: -1.0 }],
+        );
+    }
+
+    #[test]
+    fn zero_demand_flows_are_dropped() {
+        let tm = TrafficMatrix::from_flows(
+            3,
+            vec![
+                Flow { src: PnId(0), dst: PnId(1), demand: 0.0 },
+                Flow { src: PnId(1), dst: PnId(2), demand: 2.5 },
+            ],
+        );
+        assert_eq!(tm.flows().len(), 1);
+        assert_eq!(tm.total_demand(), 2.5);
+    }
+}

@@ -1,0 +1,64 @@
+//! Validation errors for [`crate::XgftSpec`].
+
+use std::fmt;
+
+/// Why an XGFT parameter set was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// `h == 0` (no switch levels) — the degenerate single-node tree is
+    /// not useful as a network and is excluded.
+    EmptyHeight,
+    /// `h` exceeds [`crate::MAX_HEIGHT`].
+    TooTall {
+        /// Requested height.
+        h: usize,
+    },
+    /// `m` and `w` have different lengths.
+    MismatchedArities {
+        /// Length of the child-arity vector `m`.
+        m_len: usize,
+        /// Length of the parent-arity vector `w`.
+        w_len: usize,
+    },
+    /// Some `m_i` is zero (a switch level with no children would
+    /// disconnect the tree).
+    ZeroChildArity {
+        /// 1-based level index of the offending entry.
+        level: usize,
+    },
+    /// Some `w_i` is zero (nodes below level `i` would have no parents).
+    ZeroParentArity {
+        /// 1-based level index of the offending entry.
+        level: usize,
+    },
+    /// The topology would exceed implementation limits (node, path or
+    /// link counts past `u32::MAX`).
+    TooLarge {
+        /// Human-readable description of the limit that was hit.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::EmptyHeight => write!(f, "XGFT height h must be at least 1"),
+            SpecError::TooTall { h } => {
+                write!(f, "XGFT height {h} exceeds MAX_HEIGHT = {}", crate::MAX_HEIGHT)
+            }
+            SpecError::MismatchedArities { m_len, w_len } => write!(
+                f,
+                "m and w must have the same length (got {m_len} and {w_len})"
+            ),
+            SpecError::ZeroChildArity { level } => {
+                write!(f, "child arity m_{level} must be positive")
+            }
+            SpecError::ZeroParentArity { level } => {
+                write!(f, "parent arity w_{level} must be positive")
+            }
+            SpecError::TooLarge { what } => write!(f, "XGFT too large: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}

@@ -1,0 +1,72 @@
+//! Strongly-typed identifiers used throughout the workspace.
+
+use serde::{Deserialize, Serialize};
+
+/// A processing node (level-0 node), numbered `0 .. N` exactly as in the
+/// paper: the PN with label digits `(a_h, …, a_1)` has rank
+/// `Σ a_i · Π_{j<i} m_j` (digit 1 least significant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PnId(pub u32);
+
+/// Any node of the tree: `(level, rank)` with `rank` dense within the
+/// level. Level 0 ranks coincide with [`PnId`] values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId {
+    /// Level in `0 ..= h`; level 0 is the processing nodes.
+    pub level: u8,
+    /// Dense rank within the level (mixed-radix value of the label
+    /// digits, digit `h` most significant).
+    pub rank: u32,
+}
+
+impl NodeId {
+    /// The node for a processing node id.
+    pub fn pn(pn: PnId) -> Self {
+        NodeId { level: 0, rank: pn.0 }
+    }
+}
+
+/// Direction of a directed link relative to the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkDir {
+    /// From a level-`l-1` node up to a level-`l` node.
+    Up,
+    /// From a level-`l` node down to a level-`l-1` node.
+    Down,
+}
+
+/// A directed link, densely numbered in `0 .. topology.num_links()`.
+///
+/// Up-links and down-links are distinct (full-duplex cabling), because
+/// the maximum-link-load metric of the paper treats the two directions
+/// independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DirectedLinkId(pub u32);
+
+/// Index of a shortest path within the canonical enumeration of all
+/// shortest paths of one SD pair (the paper's "Path i": the path through
+/// the `i`-th leftmost top-level switch of the NCA sub-tree).
+///
+/// A `PathId` is only meaningful together with the SD pair it was
+/// enumerated for; it is *not* a global identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PathId(pub u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_for_pn_is_level_zero() {
+        let n = NodeId::pn(PnId(17));
+        assert_eq!(n.level, 0);
+        assert_eq!(n.rank, 17);
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(PnId(1) < PnId(2));
+        assert!(PathId(0) < PathId(5));
+        assert!(DirectedLinkId(3) < DirectedLinkId(4));
+    }
+}

@@ -1,0 +1,109 @@
+//! Whole-fabric iteration and structural self-checks.
+
+use crate::{DirectedLinkId, NodeId, Topology};
+
+impl Topology {
+    /// Iterate every node, level by level from the processing nodes up.
+    pub fn all_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..=self.height()).flat_map(move |level| {
+            (0..self.nodes_at_level(level))
+                .map(move |rank| NodeId { level: level as u8, rank })
+        })
+    }
+
+    /// Iterate every directed link id.
+    pub fn all_links(&self) -> impl Iterator<Item = DirectedLinkId> {
+        (0..self.num_links()).map(DirectedLinkId)
+    }
+
+    /// Total number of nodes (processing nodes plus switches).
+    pub fn num_nodes(&self) -> u64 {
+        (0..=self.height()).map(|l| self.nodes_at_level(l) as u64).sum()
+    }
+
+    /// Exhaustive structural self-check of the fabric: port counts,
+    /// link-id bijectivity, parent/child inversion and digit-tuple
+    /// adjacency (label vectors of cabled nodes agree everywhere except
+    /// at the linking level). Intended for tests and for users composing
+    /// new equivalence constructors; cost is O(links · h).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated invariant.
+    pub fn validate_fabric(&self) {
+        let mut seen = vec![false; self.num_links() as usize];
+        let mut a = [0u32; crate::MAX_HEIGHT];
+        let mut b = [0u32; crate::MAX_HEIGHT];
+        for node in self.all_nodes() {
+            let level = node.level as usize;
+            for port in 0..self.ports_at_level(level) {
+                let link = self.link_from_port(node, port);
+                assert!(
+                    !std::mem::replace(&mut seen[link.0 as usize], true),
+                    "link {} emitted by two ports",
+                    link.0
+                );
+                let e = self.endpoints(link);
+                assert_eq!(e.from, node, "endpoint mismatch on link {}", link.0);
+                assert_eq!(e.from_port, port, "port mismatch on link {}", link.0);
+                assert_eq!(
+                    (e.from.level as i32 - e.to.level as i32).abs(),
+                    1,
+                    "links must span exactly one level"
+                );
+                // Digit-tuple adjacency (the paper's connectivity rule).
+                self.digits_of(e.from, &mut a);
+                self.digits_of(e.to, &mut b);
+                let linking = e.level as usize; // digits may differ at this position only
+                for i in 1..=self.height() {
+                    if i != linking {
+                        assert_eq!(
+                            a[i - 1],
+                            b[i - 1],
+                            "digit {i} differs across link {} (linking level {linking})",
+                            link.0
+                        );
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some link is not reachable from any port");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::XgftSpec;
+
+    #[test]
+    fn node_and_link_iteration_counts() {
+        let t = Topology::new(XgftSpec::new(&[4, 4], &[1, 4]).unwrap());
+        assert_eq!(t.all_nodes().count() as u64, t.num_nodes());
+        assert_eq!(t.num_nodes(), 16 + 4 + 4);
+        assert_eq!(t.all_links().count() as u32, t.num_links());
+    }
+
+    #[test]
+    fn paper_topologies_validate() {
+        for spec in [
+            XgftSpec::m_port_n_tree(8, 2).unwrap(),
+            XgftSpec::m_port_n_tree(8, 3).unwrap(),
+            XgftSpec::new(&[4, 4, 4], &[1, 2, 4]).unwrap(),
+            XgftSpec::new(&[3, 2, 4], &[2, 3, 2]).unwrap(),
+            XgftSpec::new(&[5], &[3]).unwrap(),
+        ] {
+            Topology::new(spec).validate_fabric();
+        }
+    }
+
+    #[test]
+    fn iteration_is_level_ordered() {
+        let t = Topology::new(XgftSpec::new(&[2, 2], &[2, 2]).unwrap());
+        let mut prev_level = 0u8;
+        for n in t.all_nodes() {
+            assert!(n.level >= prev_level);
+            prev_level = n.level;
+        }
+    }
+}

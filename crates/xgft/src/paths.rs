@@ -1,0 +1,328 @@
+//! Shortest-path enumeration between processing nodes.
+//!
+//! For an SD pair whose nearest common ancestor (NCA) is at level `κ`,
+//! every shortest path is determined by the sequence of up-port choices
+//! `(u_1, …, u_κ)` with `u_i < w_i`: the climb ends at the top-level
+//! switch of the NCA sub-tree whose low `κ` label digits are exactly
+//! `(u_1, …, u_κ)`, and the descent to the destination is then unique.
+//!
+//! The paper enumerates paths "by leftmost top-level switch"; in label
+//! arithmetic that is the mixed-radix number
+//!
+//! ```text
+//! PathId = u_1·(w_2 ⋯ w_κ) + u_2·(w_3 ⋯ w_κ) + … + u_κ
+//! ```
+//!
+//! with `u_1` most significant. This module implements that bijection and
+//! the destination-mod-k path index, and can walk a path's directed links
+//! without allocating.
+
+use crate::{DirectedLinkId, NodeId, PathId, PnId, Topology, MAX_HEIGHT};
+
+impl Topology {
+    /// Level of the nearest common ancestor of `s` and `d`: the highest
+    /// label position at which the two PNs differ, or 0 when `s == d`.
+    pub fn nca_level(&self, s: PnId, d: PnId) -> usize {
+        debug_assert!(s.0 < self.num_pns() && d.0 < self.num_pns());
+        for i in (1..=self.height()).rev() {
+            if self.pn_digit(s, i) != self.pn_digit(d, i) {
+                return i;
+            }
+        }
+        0
+    }
+
+    /// Number of distinct shortest paths between `s` and `d`
+    /// (Property 1: `Π_{i=1..κ} w_i`). Returns 1 for `s == d` (the empty
+    /// path), so the value is always a valid path-count denominator.
+    pub fn num_paths(&self, s: PnId, d: PnId) -> u64 {
+        self.w_prod(self.nca_level(s, d))
+    }
+
+    /// Decompose a path index into its up-port choices `(u_1, …, u_κ)`;
+    /// writes `u_i` to `out[i-1]` and returns `κ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is out of range for the pair.
+    pub fn path_up_ports(&self, s: PnId, d: PnId, path: PathId, out: &mut [u32]) -> usize {
+        let kappa = self.nca_level(s, d);
+        let x = self.w_prod(kappa);
+        assert!(path.0 < x, "path {} out of range (X = {x})", path.0);
+        let mut p = path.0;
+        // u_1 is most significant: weight of u_i is Π_{j=i+1..κ} w_j.
+        for i in 1..=kappa {
+            let weight = x / self.w_prod(i);
+            out[i - 1] = (p / weight) as u32;
+            p %= weight;
+        }
+        kappa
+    }
+
+    /// Compose a path index from up-port choices (inverse of
+    /// [`Topology::path_up_ports`]).
+    pub fn path_from_up_ports(&self, s: PnId, d: PnId, ports: &[u32]) -> PathId {
+        let kappa = self.nca_level(s, d);
+        debug_assert_eq!(ports.len(), kappa);
+        let x = self.w_prod(kappa);
+        let mut p: u64 = 0;
+        for i in 1..=kappa {
+            let weight = x / self.w_prod(i);
+            debug_assert!(ports[i - 1] < self.spec().w_at(i));
+            p += ports[i - 1] as u64 * weight;
+        }
+        PathId(p)
+    }
+
+    /// The destination-mod-k path for an SD pair: climbing from level
+    /// `k-1` to level `k`, d-mod-k takes the up port
+    /// `u_k = ⌊ d / Π_{i<k} w_i ⌋ mod w_k`.
+    ///
+    /// Verified against the paper's worked example: in
+    /// `XGFT(3; 4,4,4; 1,2,4)` the pair `(0, 63)` routes on Path 7.
+    pub fn dmodk_path(&self, s: PnId, d: PnId) -> PathId {
+        let kappa = self.nca_level(s, d);
+        let x = self.w_prod(kappa);
+        let mut p: u64 = 0;
+        for i in 1..=kappa {
+            let u = (d.0 as u64 / self.w_prod(i - 1)) % self.spec().w_at(i) as u64;
+            let weight = x / self.w_prod(i);
+            p += u * weight;
+        }
+        PathId(p)
+    }
+
+    /// The source-mod-k path (the symmetric scheme; the paper reports it
+    /// performs within noise of d-mod-k). Provided for completeness and
+    /// ablations.
+    pub fn smodk_path(&self, s: PnId, d: PnId) -> PathId {
+        let kappa = self.nca_level(s, d);
+        let x = self.w_prod(kappa);
+        let mut p: u64 = 0;
+        for i in 1..=kappa {
+            let u = (s.0 as u64 / self.w_prod(i - 1)) % self.spec().w_at(i) as u64;
+            let weight = x / self.w_prod(i);
+            p += u * weight;
+        }
+        PathId(p)
+    }
+
+    /// Visit every directed link of a path, in order (κ up-links then κ
+    /// down-links). Allocation-free. Does nothing when `s == d`.
+    pub fn walk_path<F: FnMut(DirectedLinkId)>(&self, s: PnId, d: PnId, path: PathId, mut f: F) {
+        let mut ports = [0u32; MAX_HEIGHT];
+        let kappa = self.path_up_ports(s, d, path, &mut ports);
+        if kappa == 0 {
+            return;
+        }
+        // Climb: maintain the current node's digits; at step l the level-
+        // (l-1) node's digit l (position l) flips from the source's m-radix
+        // digit to the chosen w-radix port.
+        let mut digits = [0u32; MAX_HEIGHT];
+        self.digits_of(NodeId::pn(s), &mut digits);
+        let mut rank = s.0;
+        for l in 1..=kappa {
+            f(self.up_link(l, rank, ports[l - 1]));
+            digits[l - 1] = ports[l - 1];
+            rank = self.node_from_digits(l, &digits).rank;
+        }
+        // Descend: at step l the child index is the destination's digit l.
+        for l in (1..=kappa).rev() {
+            let child = self.pn_digit(d, l);
+            f(self.down_link(l, rank, child));
+            digits[l - 1] = child;
+            rank = self.node_from_digits(l - 1, &digits).rank;
+        }
+        debug_assert_eq!(rank, d.0, "path must terminate at the destination");
+    }
+
+    /// The sequence of nodes a path visits, source and destination
+    /// included (`2κ + 1` nodes). Allocates; intended for tests, display
+    /// and route construction, not for hot loops.
+    pub fn path_nodes(&self, s: PnId, d: PnId, path: PathId) -> Vec<NodeId> {
+        let mut nodes = vec![NodeId::pn(s)];
+        self.walk_path(s, d, path, |link| {
+            nodes.push(self.endpoints(link).to);
+        });
+        nodes
+    }
+
+    /// The sequence of output-port indices a source-routed packet needs:
+    /// entry `j` is the output port taken at the `j`-th node of
+    /// [`Topology::path_nodes`] (so the vector has `2κ` entries).
+    pub fn path_output_ports(&self, s: PnId, d: PnId, path: PathId) -> Vec<u32> {
+        let mut ports = Vec::new();
+        self.walk_path(s, d, path, |link| {
+            ports.push(self.endpoints(link).from_port);
+        });
+        ports
+    }
+
+    /// Iterator over all path ids of an SD pair.
+    pub fn all_paths(&self, s: PnId, d: PnId) -> impl Iterator<Item = PathId> {
+        (0..self.num_paths(s, d)).map(PathId)
+    }
+}
+
+/// A materialized walk of one path: nodes and links, for pretty-printing
+/// (mirrors the path listings in the paper's Section 4).
+#[derive(Debug, Clone)]
+pub struct PathWalk {
+    /// Visited nodes, endpoints included.
+    pub nodes: Vec<NodeId>,
+    /// Traversed directed links.
+    pub links: Vec<DirectedLinkId>,
+}
+
+impl PathWalk {
+    /// Materialize a path.
+    pub fn collect(topo: &Topology, s: PnId, d: PnId, path: PathId) -> Self {
+        let mut links = Vec::new();
+        topo.walk_path(s, d, path, |l| links.push(l));
+        PathWalk { nodes: topo.path_nodes(s, d, path), links }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::XgftSpec;
+
+    fn fig3() -> Topology {
+        Topology::new(XgftSpec::new(&[4, 4, 4], &[1, 2, 4]).unwrap())
+    }
+
+    #[test]
+    fn nca_levels() {
+        let t = fig3();
+        assert_eq!(t.nca_level(PnId(0), PnId(0)), 0);
+        assert_eq!(t.nca_level(PnId(0), PnId(1)), 1); // same level-1 group
+        assert_eq!(t.nca_level(PnId(0), PnId(4)), 2); // differ in digit 2
+        assert_eq!(t.nca_level(PnId(0), PnId(63)), 3);
+        assert_eq!(t.num_paths(PnId(0), PnId(1)), 1);
+        assert_eq!(t.num_paths(PnId(0), PnId(4)), 2);
+        assert_eq!(t.num_paths(PnId(0), PnId(63)), 8);
+        assert_eq!(t.num_paths(PnId(5), PnId(5)), 1);
+    }
+
+    #[test]
+    fn paper_dmodk_example() {
+        // Worked example of §4.2: pair (0, 63) in XGFT(3; 4,4,4; 1,2,4)
+        // has 8 paths and d-mod-k picks Path 7.
+        let t = fig3();
+        assert_eq!(t.dmodk_path(PnId(0), PnId(63)), PathId(7));
+        // Up ports for path 7: u = (0, 1, 3).
+        let mut u = [0u32; MAX_HEIGHT];
+        let kappa = t.path_up_ports(PnId(0), PnId(63), PathId(7), &mut u);
+        assert_eq!(kappa, 3);
+        assert_eq!(&u[..3], &[0, 1, 3]);
+    }
+
+    #[test]
+    fn up_port_roundtrip() {
+        let t = fig3();
+        let (s, d) = (PnId(3), PnId(60));
+        let mut u = [0u32; MAX_HEIGHT];
+        for p in t.all_paths(s, d) {
+            let k = t.path_up_ports(s, d, p, &mut u);
+            assert_eq!(t.path_from_up_ports(s, d, &u[..k]), p);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn path_index_out_of_range_panics() {
+        let t = fig3();
+        let mut u = [0u32; MAX_HEIGHT];
+        t.path_up_ports(PnId(0), PnId(1), PathId(1), &mut u);
+    }
+
+    #[test]
+    fn walk_reaches_destination_through_distinct_top_switches() {
+        let t = fig3();
+        let (s, d) = (PnId(0), PnId(63));
+        let mut tops = std::collections::HashSet::new();
+        for p in t.all_paths(s, d) {
+            let nodes = t.path_nodes(s, d, p);
+            assert_eq!(nodes.len(), 7); // 2κ+1 with κ=3
+            assert_eq!(nodes[0], NodeId::pn(s));
+            assert_eq!(*nodes.last().unwrap(), NodeId::pn(d));
+            // Apex is the level-κ switch.
+            assert_eq!(nodes[3].level, 3);
+            tops.insert(nodes[3].rank);
+            // Levels rise then fall by exactly one per hop.
+            for w in nodes.windows(2) {
+                assert_eq!((w[0].level as i32 - w[1].level as i32).abs(), 1);
+            }
+        }
+        assert_eq!(tops.len(), 8, "each path uses a distinct top switch");
+    }
+
+    #[test]
+    fn leftmost_enumeration_orders_top_switches() {
+        // Path i uses the i-th leftmost top-level switch of the NCA
+        // sub-tree: the apex's construction number (the paper's
+        // left-to-right position) must equal the path index.
+        let t = fig3();
+        let (s, d) = (PnId(0), PnId(63));
+        for p in t.all_paths(s, d) {
+            let apex = t.path_nodes(s, d, p)[3];
+            assert_eq!(t.construction_number(apex), p.0);
+        }
+        // Also on a lower sub-tree, relative to the sub-tree's own
+        // leftmost top switch.
+        let (s, d) = (PnId(16), PnId(20)); // NCA level 2
+        let base = t
+            .all_paths(s, d)
+            .map(|p| t.construction_number(t.path_nodes(s, d, p)[2]))
+            .min()
+            .unwrap();
+        for p in t.all_paths(s, d) {
+            let apex = t.path_nodes(s, d, p)[2];
+            assert_eq!(t.construction_number(apex) - base, p.0);
+        }
+    }
+
+    #[test]
+    fn walk_path_empty_for_self_pair() {
+        let t = fig3();
+        let mut n = 0;
+        t.walk_path(PnId(9), PnId(9), PathId(0), |_| n += 1);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn low_nca_path_stays_inside_subtree() {
+        let t = fig3();
+        let (s, d) = (PnId(0), PnId(4)); // NCA at level 2
+        for p in t.all_paths(s, d) {
+            let nodes = t.path_nodes(s, d, p);
+            assert_eq!(nodes.len(), 5);
+            assert_eq!(nodes[2].level, 2);
+        }
+    }
+
+    #[test]
+    fn smodk_mirrors_dmodk() {
+        let t = fig3();
+        // s-mod-k of (s, d) equals d-mod-k of (d, s).
+        for (s, d) in [(0u32, 63u32), (5, 42), (17, 3)] {
+            assert_eq!(t.smodk_path(PnId(s), PnId(d)), t.dmodk_path(PnId(d), PnId(s)));
+        }
+    }
+
+    #[test]
+    fn output_ports_match_link_walk() {
+        let t = fig3();
+        let (s, d) = (PnId(2), PnId(61));
+        for p in t.all_paths(s, d) {
+            let ports = t.path_output_ports(s, d, p);
+            let nodes = t.path_nodes(s, d, p);
+            assert_eq!(ports.len(), nodes.len() - 1);
+            for (j, &port) in ports.iter().enumerate() {
+                let link = t.link_from_port(nodes[j], port);
+                assert_eq!(t.endpoints(link).to, nodes[j + 1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Graphviz export and text rendering of topologies.
+//!
+//! `dot -Tsvg` on the output reproduces diagrams like the paper's
+//! Figures 1–3. Ranks are pinned per level so the drawing is layered
+//! the way fat-trees are usually shown (top switches above, processing
+//! nodes at the bottom).
+
+use crate::{NodeId, Topology, MAX_HEIGHT};
+use std::fmt::Write;
+
+/// Render the topology in Graphviz DOT format. Each undirected cable is
+/// emitted once. Labels follow the paper's tuple notation.
+pub fn to_dot(topo: &Topology) -> String {
+    let mut out = String::new();
+    let h = topo.height();
+    writeln!(out, "graph xgft {{").unwrap();
+    writeln!(out, "  // {}", topo.spec()).unwrap();
+    writeln!(out, "  rankdir=TB;").unwrap();
+    writeln!(out, "  node [shape=box, fontsize=10];").unwrap();
+    for level in (0..=h).rev() {
+        write!(out, "  {{ rank=same; ").unwrap();
+        for rank in 0..topo.nodes_at_level(level) {
+            write!(out, "{} ", dot_id(topo, NodeId { level: level as u8, rank })).unwrap();
+        }
+        writeln!(out, "}}").unwrap();
+    }
+    for level in 0..=h {
+        let shape = if level == 0 { "circle" } else { "box" };
+        for rank in 0..topo.nodes_at_level(level) {
+            let n = NodeId { level: level as u8, rank };
+            writeln!(
+                out,
+                "  {} [shape={shape}, label=\"{}\"];",
+                dot_id(topo, n),
+                label(topo, n)
+            )
+            .unwrap();
+        }
+    }
+    for l in 1..=h {
+        for child in 0..topo.nodes_at_level(l - 1) {
+            for port in 0..topo.spec().w_at(l) {
+                let e = topo.endpoints(topo.up_link(l, child, port));
+                writeln!(out, "  {} -- {};", dot_id(topo, e.from), dot_id(topo, e.to)).unwrap();
+            }
+        }
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+/// The paper's tuple label `(l, a_h, …, a_1)`.
+pub fn label(topo: &Topology, node: NodeId) -> String {
+    let mut digits = [0u32; MAX_HEIGHT];
+    topo.digits_of(node, &mut digits);
+    let mut s = format!("({}", node.level);
+    for i in (1..=topo.height()).rev() {
+        write!(s, ",{}", digits[i - 1]).unwrap();
+    }
+    s.push(')');
+    s
+}
+
+fn dot_id(topo: &Topology, node: NodeId) -> String {
+    let _ = topo;
+    format!("n{}_{}", node.level, node.rank)
+}
+
+/// A one-line-per-level textual summary of a topology.
+pub fn summary(topo: &Topology) -> String {
+    let mut out = String::new();
+    writeln!(out, "{}", topo.spec()).unwrap();
+    writeln!(out, "  processing nodes : {}", topo.num_pns()).unwrap();
+    writeln!(out, "  directed links   : {}", topo.num_links()).unwrap();
+    for l in (1..=topo.height()).rev() {
+        writeln!(
+            out,
+            "  level {l} switches : {:>6} ({} up / {} down ports each)",
+            topo.nodes_at_level(l),
+            topo.up_ports(l),
+            topo.down_ports(l),
+        )
+        .unwrap();
+    }
+    writeln!(out, "  max paths/pair   : {}", topo.w_prod(topo.height())).unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::XgftSpec;
+
+    #[test]
+    fn dot_is_structurally_complete() {
+        let topo = Topology::new(XgftSpec::new(&[2, 2], &[1, 2]).unwrap());
+        let dot = to_dot(&topo);
+        assert!(dot.starts_with("graph xgft {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // 4 PNs + 2 + 2 switches declared.
+        assert_eq!(dot.matches("label=").count(), 8);
+        // Undirected edges = directed links / 2.
+        assert_eq!(dot.matches(" -- ").count() as u32, topo.num_links() / 2);
+    }
+
+    #[test]
+    fn labels_use_paper_tuples() {
+        let topo = Topology::new(XgftSpec::new(&[4, 4, 4], &[1, 2, 4]).unwrap());
+        assert_eq!(label(&topo, NodeId::pn(crate::PnId(0))), "(0,0,0,0)");
+        assert_eq!(label(&topo, NodeId::pn(crate::PnId(63))), "(0,3,3,3)");
+        let top = NodeId { level: 3, rank: 0 };
+        assert!(label(&topo, top).starts_with("(3,"));
+    }
+
+    #[test]
+    fn summary_mentions_key_quantities() {
+        let topo = Topology::new(XgftSpec::m_port_n_tree(8, 3).unwrap());
+        let s = summary(&topo);
+        assert!(s.contains("processing nodes : 128"));
+        assert!(s.contains("max paths/pair   : 16"));
+        assert!(s.contains("level 3 switches"));
+    }
+}

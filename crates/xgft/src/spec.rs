@@ -1,0 +1,233 @@
+//! XGFT parameter sets and fat-tree equivalence constructors.
+
+use crate::{SpecError, MAX_HEIGHT};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A validated `XGFT(h; m_1..m_h; w_1..w_h)` parameter set.
+///
+/// `m_i` is the number of children of a level-`i` node and `w_i` the
+/// number of parents of a level-`(i-1)` node. Vectors are stored
+/// 0-indexed: `m()[i-1] == m_i`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct XgftSpec {
+    m: Box<[u32]>,
+    w: Box<[u32]>,
+}
+
+impl XgftSpec {
+    /// Validate and build a spec. `m` and `w` are the paper's parameter
+    /// vectors, `m[0] = m_1` etc.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty or mismatched vectors, zero arities, heights above
+    /// [`MAX_HEIGHT`] and sizes whose node/link/path counts overflow the
+    /// `u32` ranks used internally.
+    pub fn new(m: &[u32], w: &[u32]) -> Result<Self, SpecError> {
+        if m.is_empty() && w.is_empty() {
+            return Err(SpecError::EmptyHeight);
+        }
+        if m.len() != w.len() {
+            return Err(SpecError::MismatchedArities { m_len: m.len(), w_len: w.len() });
+        }
+        if m.len() > MAX_HEIGHT {
+            return Err(SpecError::TooTall { h: m.len() });
+        }
+        for (i, &mi) in m.iter().enumerate() {
+            if mi == 0 {
+                return Err(SpecError::ZeroChildArity { level: i + 1 });
+            }
+        }
+        for (i, &wi) in w.iter().enumerate() {
+            if wi == 0 {
+                return Err(SpecError::ZeroParentArity { level: i + 1 });
+            }
+        }
+        let spec = XgftSpec { m: m.into(), w: w.into() };
+        // Node counts per level and the path count must fit comfortably.
+        let mut pns: u64 = 1;
+        for &mi in m {
+            pns = pns
+                .checked_mul(mi as u64)
+                .filter(|&v| v <= u32::MAX as u64)
+                .ok_or(SpecError::TooLarge { what: "processing-node count exceeds u32" })?;
+        }
+        let mut tops: u64 = 1;
+        for &wi in w {
+            tops = tops
+                .checked_mul(wi as u64)
+                .filter(|&v| v <= u32::MAX as u64)
+                .ok_or(SpecError::TooLarge { what: "top-switch/path count exceeds u32" })?;
+        }
+        // Per-level node counts (mixed products) and link counts.
+        let h = m.len();
+        let mut links: u64 = 0;
+        for l in 0..=h {
+            let mut c: u64 = 1;
+            for i in (l + 1)..=h {
+                c *= m[i - 1] as u64;
+            }
+            for i in 1..=l {
+                c *= w[i - 1] as u64;
+            }
+            if c > u32::MAX as u64 {
+                return Err(SpecError::TooLarge { what: "per-level node count exceeds u32" });
+            }
+            if l < h {
+                links += 2 * c * w[l] as u64;
+            }
+        }
+        if links > u32::MAX as u64 {
+            return Err(SpecError::TooLarge { what: "directed link count exceeds u32" });
+        }
+        Ok(spec)
+    }
+
+    /// Tree height `h` (number of switch levels).
+    pub fn height(&self) -> usize {
+        self.m.len()
+    }
+
+    /// Child arities `m_1 .. m_h` (0-indexed slice).
+    pub fn m(&self) -> &[u32] {
+        &self.m
+    }
+
+    /// Parent arities `w_1 .. w_h` (0-indexed slice).
+    pub fn w(&self) -> &[u32] {
+        &self.w
+    }
+
+    /// `m_i` with the paper's 1-based level index.
+    pub fn m_at(&self, i: usize) -> u32 {
+        self.m[i - 1]
+    }
+
+    /// `w_i` with the paper's 1-based level index.
+    pub fn w_at(&self, i: usize) -> u32 {
+        self.w[i - 1]
+    }
+
+    /// The `m`-port `n`-tree of Lin, Chung and Huang, expressed as an
+    /// XGFT. An `m`-port `n`-tree has `2 (m/2)^n` processing nodes and is
+    /// topologically equivalent to
+    /// `XGFT(n; (m/2), …, (m/2), m; 1, (m/2), …, (m/2))`
+    /// — the equivalence used in §5 of the paper ("XGFT(3; 4,4,8; 1,4,4)
+    /// … topologically equivalent to [an] 8-port 3-tree").
+    ///
+    /// # Errors
+    ///
+    /// `m` must be even and at least 2; `n` at least 1.
+    pub fn m_port_n_tree(m: u32, n: usize) -> Result<Self, SpecError> {
+        if m < 2 || !m.is_multiple_of(2) {
+            return Err(SpecError::ZeroChildArity { level: 1 });
+        }
+        if n == 0 {
+            return Err(SpecError::EmptyHeight);
+        }
+        let half = m / 2;
+        let mut ms = vec![half; n];
+        ms[n - 1] = m;
+        let mut ws = vec![half; n];
+        ws[0] = 1;
+        XgftSpec::new(&ms, &ws)
+    }
+
+    /// The `k`-ary `n`-tree of Petrini and Vanneschi:
+    /// `XGFT(n; k, …, k; 1, k, …, k)` with `k^n` processing nodes.
+    pub fn k_ary_n_tree(k: u32, n: usize) -> Result<Self, SpecError> {
+        if n == 0 {
+            return Err(SpecError::EmptyHeight);
+        }
+        let ms = vec![k; n];
+        let mut ws = vec![k; n];
+        ws[0] = 1;
+        XgftSpec::new(&ms, &ws)
+    }
+
+    /// A generalized fat-tree `GFT(h; m, w)` — uniform arities
+    /// `XGFT(h; m, …, m; w, …, w)`.
+    pub fn gft(h: usize, m: u32, w: u32) -> Result<Self, SpecError> {
+        XgftSpec::new(&vec![m; h], &vec![w; h])
+    }
+}
+
+impl fmt::Display for XgftSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XGFT({};", self.height())?;
+        for (i, mi) in self.m.iter().enumerate() {
+            write!(f, "{}{}", if i == 0 { " " } else { "," }, mi)?;
+        }
+        write!(f, ";")?;
+        for (i, wi) in self.w.iter().enumerate() {
+            write!(f, "{}{}", if i == 0 { " " } else { "," }, wi)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert_eq!(XgftSpec::new(&[], &[]), Err(SpecError::EmptyHeight));
+        assert_eq!(
+            XgftSpec::new(&[2], &[2, 2]),
+            Err(SpecError::MismatchedArities { m_len: 1, w_len: 2 })
+        );
+        assert_eq!(XgftSpec::new(&[2, 0], &[1, 2]), Err(SpecError::ZeroChildArity { level: 2 }));
+        assert_eq!(XgftSpec::new(&[2, 2], &[0, 2]), Err(SpecError::ZeroParentArity { level: 1 }));
+        assert!(matches!(
+            XgftSpec::new(&[2; MAX_HEIGHT + 1], &[1; MAX_HEIGHT + 1]),
+            Err(SpecError::TooTall { .. })
+        ));
+        assert!(matches!(
+            XgftSpec::new(&[u32::MAX, u32::MAX], &[1, 1]),
+            Err(SpecError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn accessors_use_one_based_levels() {
+        let s = XgftSpec::new(&[4, 4, 8], &[1, 4, 4]).unwrap();
+        assert_eq!(s.height(), 3);
+        assert_eq!(s.m_at(1), 4);
+        assert_eq!(s.m_at(3), 8);
+        assert_eq!(s.w_at(1), 1);
+        assert_eq!(s.w_at(3), 4);
+    }
+
+    #[test]
+    fn m_port_n_tree_matches_paper_equivalences() {
+        // §5: 8-port 3-tree == XGFT(3; 4,4,8; 1,4,4)
+        let t = XgftSpec::m_port_n_tree(8, 3).unwrap();
+        assert_eq!(t.m(), &[4, 4, 8]);
+        assert_eq!(t.w(), &[1, 4, 4]);
+        // 16-port 3-tree == XGFT(3; 8,8,16; 1,8,8)
+        let t = XgftSpec::m_port_n_tree(16, 3).unwrap();
+        assert_eq!(t.m(), &[8, 8, 16]);
+        assert_eq!(t.w(), &[1, 8, 8]);
+        // 24-port 2-tree == XGFT(2; 12,24; 1,12)
+        let t = XgftSpec::m_port_n_tree(24, 2).unwrap();
+        assert_eq!(t.m(), &[12, 24]);
+        assert_eq!(t.w(), &[1, 12]);
+        assert!(XgftSpec::m_port_n_tree(7, 2).is_err());
+        assert!(XgftSpec::m_port_n_tree(8, 0).is_err());
+    }
+
+    #[test]
+    fn k_ary_n_tree_shape() {
+        let t = XgftSpec::k_ary_n_tree(4, 3).unwrap();
+        assert_eq!(t.m(), &[4, 4, 4]);
+        assert_eq!(t.w(), &[1, 4, 4]);
+    }
+
+    #[test]
+    fn display_formats_like_the_paper() {
+        let s = XgftSpec::new(&[4, 4, 8], &[1, 4, 4]).unwrap();
+        assert_eq!(s.to_string(), "XGFT(3; 4,4,8; 1,4,4)");
+    }
+}

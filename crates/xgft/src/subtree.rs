@@ -1,0 +1,127 @@
+//! Sub-tree cuts — the machinery behind Lemma 1 of the paper.
+//!
+//! An `XGFT(h; …)` contains `Π_{i>k} m_i` disjoint sub-trees of height
+//! `k`, each a copy of `XGFT(k; m_1..m_k; w_1..w_k)` covering
+//! `Π_{i≤k} m_i` consecutive processing nodes. A height-`k` sub-tree is
+//! connected to the rest of the fabric by `TL(k) = Π_{i=1..k+1} w_i`
+//! links in each direction (its `Π_{i≤k} w_i` top switches each have
+//! `w_{k+1}` parents). The optimal-load lower bound `ML(TM)` maximizes
+//! `MT(TM, st) / TL(k)` over all sub-trees `st` of all heights
+//! `0 ≤ k ≤ h-1` (height 0 = a single processing node).
+
+use crate::{PnId, Topology};
+
+/// One sub-tree cut: the height-`k` sub-tree with index `index`
+/// (sub-trees at a height are numbered left to right).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubtreeCut {
+    /// Sub-tree height `k` in `0 ..= h-1`.
+    pub height: usize,
+    /// Index among the `Π_{i>k} m_i` sub-trees of this height.
+    pub index: u32,
+}
+
+impl Topology {
+    /// Number of height-`k` sub-trees (`k ≤ h`).
+    pub fn num_subtrees(&self, k: usize) -> u32 {
+        (self.m_prod(self.height()) / self.m_prod(k)) as u32
+    }
+
+    /// Number of processing nodes inside each height-`k` sub-tree.
+    pub fn subtree_pns(&self, k: usize) -> u32 {
+        self.m_prod(k) as u32
+    }
+
+    /// Index of the height-`k` sub-tree containing `pn`.
+    pub fn subtree_of(&self, pn: PnId, k: usize) -> u32 {
+        (pn.0 as u64 / self.m_prod(k)) as u32
+    }
+
+    /// `TL(k) = Π_{i=1..k+1} w_i` — the number of one-directional links
+    /// connecting a height-`k` sub-tree (`k < h`) to the rest of the
+    /// XGFT.
+    pub fn tl(&self, k: usize) -> u64 {
+        assert!(k < self.height(), "the whole tree has no outside links");
+        self.w_prod(k + 1)
+    }
+
+    /// Iterate over every cut relevant to Lemma 1 (all heights
+    /// `0 ..= h-1`, all sub-trees of each height).
+    pub fn all_cuts(&self) -> impl Iterator<Item = SubtreeCut> + '_ {
+        (0..self.height()).flat_map(move |k| {
+            (0..self.num_subtrees(k)).map(move |index| SubtreeCut { height: k, index })
+        })
+    }
+
+    /// Range of processing nodes inside a cut's sub-tree.
+    pub fn cut_pn_range(&self, cut: SubtreeCut) -> std::ops::Range<u32> {
+        let per = self.subtree_pns(cut.height);
+        (cut.index * per)..((cut.index + 1) * per)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::XgftSpec;
+
+    fn topo() -> Topology {
+        Topology::new(XgftSpec::new(&[4, 4, 8], &[1, 4, 4]).unwrap())
+    }
+
+    #[test]
+    fn subtree_counts_and_sizes() {
+        let t = topo();
+        assert_eq!(t.num_subtrees(0), 128);
+        assert_eq!(t.num_subtrees(1), 32);
+        assert_eq!(t.num_subtrees(2), 8);
+        assert_eq!(t.num_subtrees(3), 1);
+        assert_eq!(t.subtree_pns(0), 1);
+        assert_eq!(t.subtree_pns(2), 16);
+    }
+
+    #[test]
+    fn tl_is_cumulative_w_product() {
+        let t = topo();
+        assert_eq!(t.tl(0), 1); // w_1
+        assert_eq!(t.tl(1), 4); // w_1 w_2
+        assert_eq!(t.tl(2), 16); // w_1 w_2 w_3
+    }
+
+    #[test]
+    #[should_panic(expected = "no outside links")]
+    fn tl_of_whole_tree_panics() {
+        topo().tl(3);
+    }
+
+    #[test]
+    fn membership_matches_ranges() {
+        let t = topo();
+        for cut in t.all_cuts() {
+            for pn in t.cut_pn_range(cut) {
+                assert_eq!(t.subtree_of(PnId(pn), cut.height), cut.index);
+            }
+        }
+    }
+
+    #[test]
+    fn cut_count_totals() {
+        let t = topo();
+        assert_eq!(t.all_cuts().count(), 128 + 32 + 8);
+    }
+
+    #[test]
+    fn paths_within_subtree_stay_within() {
+        // A pair with NCA at level k never leaves its height-k sub-tree:
+        // every link's upper level is ≤ k.
+        let t = topo();
+        let (s, d) = (PnId(0), PnId(15)); // NCA level 2 (same 16-PN sub-tree)
+        assert_eq!(t.nca_level(s, d), 2);
+        for p in t.all_paths(s, d) {
+            t.walk_path(s, d, p, |link| {
+                let (level, _) = t.link_level_dir(link);
+                assert!(level <= 2);
+            });
+        }
+    }
+}

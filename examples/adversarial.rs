@@ -1,0 +1,58 @@
+//! Theorem 2 live: a traffic pattern on which d-mod-k is `Π w_i` times
+//! worse than optimal, plus the InfiniBand LID arithmetic that makes
+//! unlimited multi-path routing unrealizable on large fabrics.
+//!
+//! Run with: `cargo run --release --example adversarial`
+
+use lmpr::prelude::*;
+use lmpr::routing::lid;
+use lmpr::traffic::adversarial_concentration;
+use lmpr::flowsim::{ml_lower_bound, performance_ratio};
+
+fn main() {
+    // A tree wide enough to host the Theorem 2 construction.
+    let topo = Topology::new(XgftSpec::new(&[4, 4, 64], &[2, 2, 2]).expect("valid"));
+    println!("topology: {} ({} PNs)\n", topo.spec(), topo.num_pns());
+
+    let pattern = adversarial_concentration(&topo).expect("tree is wide enough");
+    println!(
+        "adversarial pattern: {} unit flows, every destination a multiple of Π w_i = {}",
+        pattern.tm.flows().len(),
+        topo.w_prod(topo.height())
+    );
+
+    for (name, r) in [
+        ("d-mod-k", Box::new(DModK) as Box<dyn Router>),
+        ("disjoint(2)", Box::new(Disjoint::new(2))),
+        ("disjoint(4)", Box::new(Disjoint::new(4))),
+        ("umulti", Box::new(Umulti)),
+    ] {
+        let mload = LinkLoads::accumulate(&topo, &r, &pattern.tm).max_load();
+        let ratio = performance_ratio(&topo, &r, &pattern.tm);
+        println!("  {name:12} max link load = {mload:6.2}   performance ratio = {ratio:5.2}");
+    }
+    println!(
+        "  {:12} optimal load  = {:6.2}   (Lemma 1 lower bound)",
+        "",
+        ml_lower_bound(&topo, &pattern.tm)
+    );
+
+    println!(
+        "\nd-mod-k concentrates all {} flows onto one up-link (ratio = Π w_i = {}),\n\
+         and already K = 2 disjoint paths halve the damage.",
+        pattern.concentrated_load, pattern.ratio
+    );
+
+    // Why not just use UMULTI everywhere? InfiniBand LIDs.
+    println!("\nInfiniBand LID budget (unicast space = {} LIDs):", lid::UNICAST_LIDS);
+    for (m, n) in [(8u32, 3usize), (16, 3), (24, 3)] {
+        let t = Topology::new(XgftSpec::m_port_n_tree(m, n).expect("valid"));
+        println!(
+            "  {:28} needs {:>3} paths for UMULTI; max realizable K = {:>3}; umulti fits: {}",
+            t.spec().to_string(),
+            t.w_prod(t.height()),
+            lid::max_realizable_budget(&t),
+            lid::umulti_realizable(&t),
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! A miniature Figure-4 experiment: average maximum link load over
+//! random permutations, with the paper's confidence-interval stopping
+//! rule, on an 8-port 2-tree.
+//!
+//! Run with: `cargo run --release --example permutation_study`
+
+use lmpr::prelude::*;
+
+fn main() {
+    let topo = Topology::new(XgftSpec::m_port_n_tree(8, 2).expect("valid"));
+    println!("topology: {} ({} PNs)\n", topo.spec(), topo.num_pns());
+
+    // The paper's methodology: sample permutations until the 99 % CI
+    // half-width falls below 1 % of the mean.
+    let study = PermutationStudy::new(topo.clone(), StudyConfig::default());
+
+    println!(
+        "{:>10} {:>14} {:>12} {:>10}",
+        "K", "avg max load", "99% CI ±", "samples"
+    );
+    let r = study.run(&DModK);
+    println!("{:>10} {:>14.3} {:>12.4} {:>10}", "d-mod-k", r.mean, r.half_width, r.samples);
+    let max_k = topo.w_prod(topo.height());
+    for k in [2u64, 3, 4] {
+        let r = study.run(&Disjoint::new(k));
+        println!(
+            "{:>10} {:>14.3} {:>12.4} {:>10}",
+            format!("disjoint {k}"),
+            r.mean,
+            r.half_width,
+            r.samples
+        );
+    }
+    let r = study.run(&Umulti);
+    println!("{:>10} {:>14.3} {:>12.4} {:>10}", "umulti", r.mean, r.half_width, r.samples);
+
+    println!(
+        "\nUMULTI needs {max_k} paths per far pair; limited multi-path routing\n\
+         recovers most of the gap with 2–4 (the paper's headline observation)."
+    );
+}

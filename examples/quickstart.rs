@@ -1,0 +1,57 @@
+//! Quickstart: build a fat-tree, route a pair, compare schemes.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lmpr::prelude::*;
+
+fn main() {
+    // ── 1. Build a topology ─────────────────────────────────────────
+    // The paper's Figure 3 example: XGFT(3; 4,4,4; 1,2,4).
+    let spec = XgftSpec::new(&[4, 4, 4], &[1, 2, 4]).expect("valid spec");
+    let topo = Topology::new(spec);
+    println!("topology : {}", topo.spec());
+    println!("PNs      : {}", topo.num_pns());
+    println!("links    : {} (directed)", topo.num_links());
+
+    // ── 2. Inspect the path space of an SD pair ─────────────────────
+    let (s, d) = (PnId(0), PnId(63));
+    println!("\npair ({}, {}):", s.0, d.0);
+    println!("  NCA level    : {}", topo.nca_level(s, d));
+    println!("  paths        : {}", topo.num_paths(s, d));
+    println!("  d-mod-k path : {}", topo.dmodk_path(s, d).0);
+
+    // List every path the way the paper does in §4.
+    for p in topo.all_paths(s, d) {
+        let hops: Vec<String> = topo
+            .path_nodes(s, d, p)
+            .iter()
+            .map(|n| format!("L{}#{}", n.level, n.rank))
+            .collect();
+        println!("  path {}: {}", p.0, hops.join(" -> "));
+    }
+
+    // ── 3. Ask each heuristic for K = 3 paths ───────────────────────
+    println!("\nK = 3 selections for ({}, {}):", s.0, d.0);
+    let routers: Vec<Box<dyn Router>> = vec![
+        Box::new(DModK),
+        Box::new(ShiftOne::new(3)),
+        Box::new(Disjoint::new(3)),
+        Box::new(RandomK::new(3, 42)),
+        Box::new(Umulti),
+    ];
+    for r in &routers {
+        let set = r.path_set(&topo, s, d);
+        let ids: Vec<u64> = set.paths().iter().map(|p| p.0).collect();
+        println!("  {:12} -> {:?} (each carries {:.0}%)", r.name(), ids, set.fraction() * 100.0);
+    }
+
+    // ── 4. Compare max link load on one random permutation ──────────
+    let tm = TrafficMatrix::permutation(&random_permutation(topo.num_pns(), 7));
+    println!("\nmax link load on one random permutation:");
+    for r in &routers {
+        let loads = LinkLoads::accumulate(&topo, r, &tm);
+        println!("  {:12} -> {:.3}", r.name(), loads.max_load());
+    }
+    let bound = lmpr::flowsim::ml_lower_bound(&topo, &tm);
+    println!("  {:12} -> {:.3}", "optimal (ML)", bound);
+}

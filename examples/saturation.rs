@@ -1,0 +1,47 @@
+//! A miniature Table-1 / Figure-5 experiment: drive the flit-level
+//! virtual cut-through simulator across offered loads and watch the
+//! saturation point move with the routing scheme.
+//!
+//! Run with: `cargo run --release --example saturation`
+
+use lmpr::flitsim::sweep::run_sweep;
+use lmpr::flitsim::saturation_throughput;
+use lmpr::prelude::*;
+
+fn main() {
+    // The paper's Table-1 topology (8-port 3-tree, 128 PNs).
+    let topo = Topology::new(XgftSpec::m_port_n_tree(8, 3).expect("valid"));
+    println!("topology: {} ({} PNs)", topo.spec(), topo.num_pns());
+
+    let cfg = SimConfig {
+        warmup_cycles: 3_000,
+        measure_cycles: 10_000,
+        ..SimConfig::default()
+    };
+    let loads: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
+
+    println!("\n{:>12} | accepted throughput at offered load", "scheme");
+    print!("{:>12} |", "");
+    for l in &loads {
+        print!(" {:>5.0}%", l * 100.0);
+    }
+    println!("  | saturation");
+
+    for (name, points) in [
+        ("d-mod-k", run_sweep(&topo, &DModK, cfg, &loads, 0)),
+        ("disjoint(2)", run_sweep(&topo, &Disjoint::new(2), cfg, &loads, 0)),
+        ("disjoint(8)", run_sweep(&topo, &Disjoint::new(8), cfg, &loads, 0)),
+    ] {
+        print!("{name:>12} |");
+        for p in &points {
+            print!(" {:>5.1}%", p.throughput * 100.0);
+        }
+        println!("  | {:>5.1}%", saturation_throughput(&points) * 100.0);
+    }
+
+    println!(
+        "\nBelow saturation every scheme delivers the offered load; beyond it\n\
+         the schemes separate — limited multi-path routing saturates later\n\
+         than d-mod-k, and the disjoint heuristic latest of all."
+    );
+}

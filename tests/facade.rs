@@ -1,0 +1,60 @@
+//! The facade crate's public API: everything a downstream user needs is
+//! reachable through `lmpr::prelude` and behaves coherently.
+
+use lmpr::prelude::*;
+use lmpr::routing::lid;
+
+#[test]
+fn prelude_covers_the_whole_workflow() {
+    let topo = Topology::new(XgftSpec::m_port_n_tree(8, 2).unwrap());
+    let tm = TrafficMatrix::permutation(&random_permutation(topo.num_pns(), 0));
+    let router = RouterKind::parse("disjoint:2").unwrap();
+    let loads = LinkLoads::accumulate(&topo, &router, &tm);
+    assert!(loads.max_load() >= 1.0);
+    let stats = FlitSim::simulate(
+        &topo,
+        router,
+        SimConfig { warmup_cycles: 500, measure_cycles: 1_500, ..SimConfig::default() },
+    );
+    assert!(stats.delivered_flits > 0);
+}
+
+#[test]
+fn router_kind_strings_round_trip_through_names() {
+    for (spec, name) in [
+        ("dmodk", "d-mod-k"),
+        ("shift1:4", "shift-1(4)"),
+        ("disjoint:8", "disjoint(8)"),
+        ("stride:2", "disjoint-stride(2)"),
+        ("random:3:7", "random(3)"),
+        ("umulti", "umulti"),
+    ] {
+        assert_eq!(RouterKind::parse(spec).unwrap().name(), name);
+    }
+}
+
+#[test]
+fn re_exported_crates_are_the_same_types() {
+    // The facade's re-exports must be the actual crates, not copies.
+    let topo: lmpr::topology::Topology =
+        Topology::new(lmpr::topology::XgftSpec::gft(2, 2, 2).unwrap());
+    let _set: lmpr::routing::PathSet =
+        lmpr::routing::Router::path_set(&DModK, &topo, PnId(0), PnId(3));
+}
+
+#[test]
+fn lid_budget_is_exposed() {
+    let topo = Topology::new(XgftSpec::m_port_n_tree(24, 3).unwrap());
+    assert!(!lid::umulti_realizable(&topo));
+    assert!(lid::max_realizable_budget(&topo) >= 1);
+}
+
+#[test]
+fn doc_example_from_readme_runs() {
+    // Keep README's five-line example honest.
+    let topo = Topology::new(XgftSpec::m_port_n_tree(8, 2).unwrap());
+    let tm = TrafficMatrix::permutation(&random_permutation(topo.num_pns(), 1));
+    let single = LinkLoads::accumulate(&topo, &DModK, &tm).max_load();
+    let multi = LinkLoads::accumulate(&topo, &Disjoint::new(4), &tm).max_load();
+    assert!(multi <= single);
+}
