@@ -57,7 +57,7 @@ fn path_policy_throughput(c: &mut Criterion) {
         };
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {
-                let stats = FlitSim::simulate(&topo, Disjoint::new(8), cfg);
+                let stats = FlitSim::simulate(&topo, Disjoint::new(8), cfg).expect("valid config");
                 black_box(stats.delivered_flits)
             })
         });

@@ -17,7 +17,7 @@ fn bench_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("flitsim_step/8port3tree");
     group.sample_size(20);
     group.bench_function(BenchmarkId::from_parameter("dmodk_1kcycles"), |b| {
-        let mut sim = FlitSim::new(&topo, DModK, cfg);
+        let mut sim = FlitSim::new(&topo, DModK, cfg).expect("valid config");
         b.iter(|| {
             for _ in 0..1_000 {
                 sim.step();
@@ -26,7 +26,7 @@ fn bench_step(c: &mut Criterion) {
         })
     });
     group.bench_function(BenchmarkId::from_parameter("disjoint8_1kcycles"), |b| {
-        let mut sim = FlitSim::new(&topo, Disjoint::new(8), cfg);
+        let mut sim = FlitSim::new(&topo, Disjoint::new(8), cfg).expect("valid config");
         b.iter(|| {
             for _ in 0..1_000 {
                 sim.step();

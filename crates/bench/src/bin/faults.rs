@@ -1,0 +1,102 @@
+//! E11 — degraded-mode routing under random link failures.
+//!
+//! Flow-level evaluation on XGFT(3; 4,4,8; 1,4,4) (the 8-port 3-tree of
+//! §5): sample random link-failure sets at several failure rates, route
+//! uniform all-to-all traffic through the fault-aware adapter and
+//! report, per heuristic and path budget, the degraded maximum link
+//! load and the probability that an SD pair loses connectivity.
+//!
+//! Usage: `faults [--quick] [--json PATH]`
+//! (without `--json` the records are printed as JSON after the table).
+
+use lmpr_bench::{records_to_json, write_json, CommonArgs, Record};
+use lmpr_core::{Router, RouterKind};
+use lmpr_flowsim::DegradedLoads;
+use lmpr_traffic::TrafficMatrix;
+use xgft::{FaultSet, Topology, XgftSpec};
+
+/// Seed for the random-K heuristic (a Table-1 seed, unrelated to the
+/// fault-sampling seeds).
+const RANDOM_K_SEED: u64 = 11;
+
+fn main() {
+    let args = match CommonArgs::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("faults: {e}");
+            std::process::exit(2);
+        }
+    };
+    let topo = Topology::new(XgftSpec::m_port_n_tree(8, 3).expect("valid"));
+    let label = topo.spec().to_string();
+    let tm = TrafficMatrix::uniform(topo.num_pns(), 1.0);
+    let fault_seeds: u64 = if args.quick { 3 } else { 10 };
+    let rates = [0.0, 0.01, 0.05];
+
+    println!("E11 — degraded-mode routing under random link failures");
+    println!(
+        "{label}, uniform all-to-all, {} links, {} fault samples per rate\n",
+        topo.num_links(),
+        fault_seeds
+    );
+    println!(
+        "{:>6} {:>16} {:>3} {:>14} {:>16}",
+        "rate", "scheme", "K", "max load", "P(disconnect)"
+    );
+
+    let mut records = Vec::new();
+    for rate in rates {
+        for (router, k) in schemes() {
+            let (mut load_sum, mut disc_sum) = (0.0f64, 0.0f64);
+            for seed in 0..fault_seeds {
+                let faults = FaultSet::sample(&topo, rate, 0.0, seed);
+                let d = DegradedLoads::accumulate(&topo, &router, &tm, &faults);
+                load_sum += d.max_load();
+                disc_sum += d.disconnection_rate();
+            }
+            let max_load = load_sum / fault_seeds as f64;
+            let p_disc = disc_sum / fault_seeds as f64;
+            println!(
+                "{:>5.0}% {:>16} {:>3} {:>14.2} {:>16.4}",
+                rate * 100.0,
+                router.name(),
+                k,
+                max_load,
+                p_disc
+            );
+            records.push(Record {
+                experiment: "faults".into(),
+                topology: label.clone(),
+                scheme: router.name(),
+                k,
+                x: rate,
+                y: max_load,
+                aux: Some(p_disc),
+            });
+        }
+        println!();
+    }
+
+    match args.json {
+        Some(path) => {
+            if let Err(e) = write_json(&path, &records) {
+                eprintln!("faults: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            println!("wrote {} records to {path}", records.len());
+        }
+        None => println!("{}", records_to_json(&records)),
+    }
+}
+
+/// The sweep's heuristic × budget grid: d-mod-k (single-path baseline)
+/// plus shift-1, disjoint and random at K ∈ {1, 4, 8}.
+fn schemes() -> Vec<(RouterKind, u64)> {
+    let mut out = vec![(RouterKind::DModK, 1)];
+    for k in [1u64, 4, 8] {
+        out.push((RouterKind::ShiftOne(k), k));
+        out.push((RouterKind::Disjoint(k), k));
+        out.push((RouterKind::RandomK(k, RANDOM_K_SEED), k));
+    }
+    out
+}

@@ -44,7 +44,10 @@ fn run_panel(
     let cfg = study_config(quick);
     let max_paths = topo.w_prod(topo.height());
     let ladder = k_ladder(max_paths);
-    println!("\nFigure 4({panel}) — {label}, N = {}, max paths = {max_paths}", topo.num_pns());
+    println!(
+        "\nFigure 4({panel}) — {label}, N = {}, max paths = {max_paths}",
+        topo.num_pns()
+    );
     println!(
         "{:>5} {:>12} {:>12} {:>12} {:>12}{}",
         "K",
@@ -52,7 +55,11 @@ fn run_panel(
         "shift-1",
         "disjoint",
         "random",
-        if ablation { format!("{:>12}", "dj-stride") } else { String::new() }
+        if ablation {
+            format!("{:>12}", "dj-stride")
+        } else {
+            String::new()
+        }
     );
 
     let study = PermutationStudy::new(topo.clone(), cfg);
@@ -74,12 +81,36 @@ fn run_panel(
         let shift = study.run(&RouterKind::ShiftOne(k));
         let disjoint = study.run(&RouterKind::Disjoint(k));
         let random = average_over_seeds(topo, RouterKind::RandomK(k, 0), &RANDOM_SEEDS, cfg);
-        emit(&RouterKind::ShiftOne(k).name(), k, shift.mean, shift.half_width, records);
-        emit(&RouterKind::Disjoint(k).name(), k, disjoint.mean, disjoint.half_width, records);
-        emit(&RouterKind::RandomK(k, 0).name(), k, random.mean, random.half_width, records);
+        emit(
+            &RouterKind::ShiftOne(k).name(),
+            k,
+            shift.mean,
+            shift.half_width,
+            records,
+        );
+        emit(
+            &RouterKind::Disjoint(k).name(),
+            k,
+            disjoint.mean,
+            disjoint.half_width,
+            records,
+        );
+        emit(
+            &RouterKind::RandomK(k, 0).name(),
+            k,
+            random.mean,
+            random.half_width,
+            records,
+        );
         let stride = ablation.then(|| study.run(&RouterKind::DisjointStride(k)));
         if let Some(s) = &stride {
-            emit(&RouterKind::DisjointStride(k).name(), k, s.mean, s.half_width, records);
+            emit(
+                &RouterKind::DisjointStride(k).name(),
+                k,
+                s.mean,
+                s.half_width,
+                records,
+            );
         }
         println!(
             "{:>5} {:>12.3} {:>12.3} {:>12.3} {:>12.3}{}",
@@ -95,7 +126,10 @@ fn run_panel(
     // UMULTI reference line (optimal for every TM — Theorem 1).
     let umulti = study.run(&RouterKind::Umulti);
     emit("umulti", max_paths, umulti.mean, umulti.half_width, records);
-    println!("{:>5} {:>12} {:>12.3} (umulti = optimal)", "opt", "", umulti.mean);
+    println!(
+        "{:>5} {:>12} {:>12.3} (umulti = optimal)",
+        "opt", "", umulti.mean
+    );
 }
 
 fn main() {

@@ -23,7 +23,11 @@ fn main() {
     let topo = Topology::new(XgftSpec::m_port_n_tree(8, 3).expect("valid"));
     let label = topo.spec().to_string();
     let cfg = if args.quick {
-        SimConfig { warmup_cycles: 3_000, measure_cycles: 8_000, ..SimConfig::default() }
+        SimConfig {
+            warmup_cycles: 3_000,
+            measure_cycles: 8_000,
+            ..SimConfig::default()
+        }
     } else {
         SimConfig::default()
     };
@@ -53,7 +57,7 @@ fn main() {
     let mut records = Vec::new();
     let mut columns = Vec::new();
     for s in &schemes {
-        columns.push(run_sweep(&topo, s, cfg, &loads, 0));
+        columns.push(run_sweep(&topo, s, cfg, &loads, 0).expect("sweep runs"));
     }
     for (i, &load) in loads.iter().enumerate() {
         print!("{:>5.0}%", load * 100.0);

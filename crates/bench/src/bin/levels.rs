@@ -24,7 +24,10 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let k: u64 = args.positional.first().map_or(4, |s| s.parse().expect("K must be a number"));
+    let k: u64 = args
+        .positional
+        .first()
+        .map_or(4, |s| s.parse().expect("K must be a number"));
     let samples = if args.quick { 20 } else { 200 };
     let topo = Topology::new(XgftSpec::m_port_n_tree(16, 3).expect("valid"));
     let label = topo.spec().to_string();

@@ -26,7 +26,11 @@ fn main() {
     let topo = Topology::new(XgftSpec::m_port_n_tree(8, 3).expect("valid"));
     let label = topo.spec().to_string();
     let cfg = if args.quick {
-        SimConfig { warmup_cycles: 3_000, measure_cycles: 8_000, ..SimConfig::default() }
+        SimConfig {
+            warmup_cycles: 3_000,
+            measure_cycles: 8_000,
+            ..SimConfig::default()
+        }
     } else {
         SimConfig::default()
     };
@@ -50,7 +54,7 @@ fn main() {
 }
 
 fn saturation(topo: &Topology, r: &RouterKind, cfg: SimConfig, loads: &[f64]) -> f64 {
-    let points = run_sweep(topo, r, cfg, loads, 0);
+    let points = run_sweep(topo, r, cfg, loads, 0).expect("sweep runs");
     saturation_throughput(&points)
 }
 
@@ -63,7 +67,10 @@ fn main_table(
 ) {
     println!("Table 1 — maximum throughput (% of injection bandwidth)");
     println!("uniform random traffic, {label}, VCT, 1 VC, round-robin path policy\n");
-    println!("{:>9} {:>10} {:>10} {:>10} {:>10}", "Num-Path", "d-mod-k", "shift-1", "random", "disjoint");
+    println!(
+        "{:>9} {:>10} {:>10} {:>10} {:>10}",
+        "Num-Path", "d-mod-k", "shift-1", "random", "disjoint"
+    );
     let dmodk = saturation(topo, &RouterKind::DModK, cfg, loads);
     records.push(Record {
         experiment: "table1".into(),
@@ -123,7 +130,10 @@ fn policy_ablation(
         ("per-packet-rand", PathPolicy::PerPacketRandom),
         ("per-message-rand", PathPolicy::PerMessageRandom),
     ] {
-        let cfg = SimConfig { path_policy: policy, ..cfg };
+        let cfg = SimConfig {
+            path_policy: policy,
+            ..cfg
+        };
         let v = saturation(topo, &RouterKind::Disjoint(8), cfg, loads);
         records.push(Record {
             experiment: "table1-policy".into(),

@@ -73,7 +73,10 @@ fn main() {
         let ml = ml_lower_bound(&topo, &p.tm);
         let ratio = performance_ratio(&topo, &DModK, &p.tm);
         let w_prod = topo.w_prod(topo.height()) as f64;
-        assert!((ratio - w_prod).abs() < 1e-9, "the pattern must realize the bound");
+        assert!(
+            (ratio - w_prod).abs() < 1e-9,
+            "the pattern must realize the bound"
+        );
         println!("  {label:34} {mload:>10.1} {ml:>10.2} {ratio:>10.1} {w_prod:>8.0}");
         records.push(Record {
             experiment: "theorem2".into(),
@@ -86,7 +89,10 @@ fn main() {
         });
     }
 
-    println!("\nLID budget — InfiniBand realizability (unicast LID space = {})", lid::UNICAST_LIDS);
+    println!(
+        "\nLID budget — InfiniBand realizability (unicast LID space = {})",
+        lid::UNICAST_LIDS
+    );
     println!(
         "  {:34} {:>8} {:>10} {:>12} {:>8}",
         "topology", "paths", "max K", "LIDs@K=16", "umulti?"
@@ -96,8 +102,7 @@ fn main() {
         let label = topo.spec().to_string();
         let paths = topo.w_prod(topo.height());
         let max_k = lid::max_realizable_budget(&topo);
-        let lids16 = lid::lids_required(&topo, 16)
-            .map_or("n/a".to_owned(), |v| v.to_string());
+        let lids16 = lid::lids_required(&topo, 16).map_or("n/a".to_owned(), |v| v.to_string());
         let um = lid::umulti_realizable(&topo);
         println!("  {label:34} {paths:>8} {max_k:>10} {lids16:>12} {um:>8}");
         records.push(Record {

@@ -16,7 +16,6 @@
 //! writes machine-readable results used by EXPERIMENTS.md.
 
 use lmpr_core::RouterKind;
-use serde::Serialize;
 use xgft::{Topology, XgftSpec};
 
 /// The evaluation topologies of §5, keyed the way the paper labels them.
@@ -64,7 +63,7 @@ pub fn heuristics_at(k: u64, random_seed: u64) -> Vec<RouterKind> {
 
 /// One emitted experiment record (schema shared across binaries so the
 /// JSON files can be post-processed uniformly).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Record {
     /// Experiment id: `fig4a`, `table1`, `fig5`, `theorems`, …
     pub experiment: String,
@@ -82,10 +81,75 @@ pub struct Record {
     pub aux: Option<f64>,
 }
 
-/// Write records as pretty JSON to `path`.
+/// Write records as pretty JSON to `path` (hand-rolled serializer —
+/// the build environment cannot pull in serde_json; the layout matches
+/// `serde_json::to_string_pretty`'s 2-space indentation).
 pub fn write_json(path: &str, records: &[Record]) -> std::io::Result<()> {
-    let body = serde_json::to_string_pretty(records).expect("records serialize");
-    std::fs::write(path, body)
+    std::fs::write(path, records_to_json(records))
+}
+
+/// Render records as a pretty-printed JSON array.
+pub fn records_to_json(records: &[Record]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("  {\n");
+        out.push_str(&format!(
+            "    \"experiment\": {},\n",
+            json_string(&r.experiment)
+        ));
+        out.push_str(&format!(
+            "    \"topology\": {},\n",
+            json_string(&r.topology)
+        ));
+        out.push_str(&format!("    \"scheme\": {},\n", json_string(&r.scheme)));
+        out.push_str(&format!("    \"k\": {},\n", r.k));
+        out.push_str(&format!("    \"x\": {},\n", json_f64(r.x)));
+        out.push_str(&format!("    \"y\": {},\n", json_f64(r.y)));
+        match r.aux {
+            Some(a) => out.push_str(&format!("    \"aux\": {}\n", json_f64(a))),
+            None => out.push_str("    \"aux\": null\n"),
+        }
+        out.push_str("  }");
+    }
+    out.push_str("\n]");
+    if records.is_empty() {
+        return "[]".to_owned();
+    }
+    out
+}
+
+/// JSON number for an `f64` (`1.0`, not `1`, for integral values —
+/// matching serde_json's float formatting; non-finite values become
+/// `null` as serde_json has no representation for them either).
+fn json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_owned();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// JSON string literal with the mandatory escapes.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Parse `--json PATH` and `--quick` style flags from `args`.
@@ -107,8 +171,7 @@ impl CommonArgs {
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--json" => {
-                    out.json =
-                        Some(it.next().ok_or_else(|| "--json needs a path".to_owned())?);
+                    out.json = Some(it.next().ok_or_else(|| "--json needs a path".to_owned())?);
                 }
                 "--quick" => out.quick = true,
                 _ if a.starts_with("--") => return Err(format!("unknown flag {a}")),
@@ -145,7 +208,9 @@ mod tests {
     #[test]
     fn args_parse() {
         let a = CommonArgs::parse(
-            ["a", "--quick", "--json", "out.json"].into_iter().map(String::from),
+            ["a", "--quick", "--json", "out.json"]
+                .into_iter()
+                .map(String::from),
         )
         .unwrap();
         assert!(a.quick);

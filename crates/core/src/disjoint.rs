@@ -38,8 +38,16 @@ impl Disjoint {
     ///
     /// Panics if `k == 0`.
     pub fn new(k: u64) -> Self {
-        assert!(k >= 1, "the path budget K must be at least 1");
-        Disjoint { k }
+        Self::try_new(k).expect("the path budget K must be at least 1")
+    }
+
+    /// Fallible constructor: [`RouteError::ZeroBudget`](crate::RouteError::ZeroBudget)
+    /// instead of a panic when `k == 0`.
+    pub fn try_new(k: u64) -> Result<Self, crate::RouteError> {
+        if k == 0 {
+            return Err(crate::RouteError::ZeroBudget);
+        }
+        Ok(Disjoint { k })
     }
 
     /// The configured path budget.
@@ -99,8 +107,16 @@ impl DisjointStride {
     ///
     /// Panics if `k == 0`.
     pub fn new(k: u64) -> Self {
-        assert!(k >= 1, "the path budget K must be at least 1");
-        DisjointStride { k }
+        Self::try_new(k).expect("the path budget K must be at least 1")
+    }
+
+    /// Fallible constructor: [`RouteError::ZeroBudget`](crate::RouteError::ZeroBudget)
+    /// instead of a panic when `k == 0`.
+    pub fn try_new(k: u64) -> Result<Self, crate::RouteError> {
+        if k == 0 {
+            return Err(crate::RouteError::ZeroBudget);
+        }
+        Ok(DisjointStride { k })
     }
 
     /// The configured path budget.
@@ -197,7 +213,11 @@ mod tests {
             topo.path_up_ports(s, d, p, &mut u);
             first_hops.insert(u[0]);
         }
-        assert_eq!(first_hops.len(), 2, "first w_1 paths must use distinct PN ports");
+        assert_eq!(
+            first_hops.len(),
+            2,
+            "first w_1 paths must use distinct PN ports"
+        );
     }
 
     #[test]

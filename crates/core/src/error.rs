@@ -1,0 +1,57 @@
+//! Typed routing errors.
+
+use xgft::PnId;
+
+/// Errors surfaced by the fallible routing APIs (`try_*` constructors
+/// and fault-aware path selection) instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The pair has no surviving shortest path under the active fault
+    /// set — the network is disconnected for this flow.
+    Disconnected {
+        /// Source processing node.
+        src: PnId,
+        /// Destination processing node.
+        dst: PnId,
+    },
+    /// A path budget of `K = 0` was requested (every heuristic needs at
+    /// least one path).
+    ZeroBudget,
+    /// An empty path set was supplied where at least one path is
+    /// required.
+    EmptyPathSet,
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::Disconnected { src, dst } => {
+                write!(f, "no surviving path from PN {} to PN {}", src.0, dst.0)
+            }
+            RouteError::ZeroBudget => write!(f, "the path budget K must be at least 1"),
+            RouteError::EmptyPathSet => {
+                write!(f, "a PathSet must contain at least one path")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = RouteError::Disconnected {
+            src: PnId(3),
+            dst: PnId(9),
+        };
+        assert_eq!(e.to_string(), "no surviving path from PN 3 to PN 9");
+        assert!(RouteError::ZeroBudget.to_string().contains("K"));
+        assert!(RouteError::EmptyPathSet
+            .to_string()
+            .contains("at least one"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Degraded-mode routing: filter any heuristic's selection to paths
+//! that survive a fault set.
+
+use crate::{PathSet, RouteError, Router};
+use xgft::{FaultSet, PathId, PnId, Topology};
+
+/// Adapter that makes any [`Router`] fault-aware.
+///
+/// For each SD pair it runs the inner heuristic on the *fault-free*
+/// enumeration (mirroring a subnet manager whose routing tables were
+/// computed before the failure), then:
+///
+/// 1. drops the selected paths that cross a failed link;
+/// 2. if fewer than the heuristic's budget survive, tops the set back
+///    up from the surviving ALLPATHS enumeration (in canonical order),
+///    so the degraded set always has `min(K, X_surviving)` paths;
+/// 3. if *no* path of the pair survives, reports
+///    [`RouteError::Disconnected`] instead of panicking.
+///
+/// With an empty fault set the adapter is an exact pass-through: step 1
+/// drops nothing and step 2 never triggers, so the selection is
+/// bit-for-bit the inner router's.
+#[derive(Debug, Clone)]
+pub struct FaultAware<R> {
+    inner: R,
+    faults: FaultSet,
+}
+
+impl<R: Router> FaultAware<R> {
+    /// Wrap a router with a fault set.
+    pub fn new(inner: R, faults: FaultSet) -> Self {
+        FaultAware { inner, faults }
+    }
+
+    /// The wrapped router.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+
+    /// The active fault set.
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// Fill `out` with the degraded-mode selection for `(s, d)`.
+    ///
+    /// Errors with [`RouteError::Disconnected`] when no shortest path of
+    /// the pair survives (`out` is left empty in that case).
+    pub fn try_fill_paths(
+        &self,
+        topo: &Topology,
+        s: PnId,
+        d: PnId,
+        out: &mut Vec<PathId>,
+    ) -> Result<(), RouteError> {
+        self.inner.fill_paths(topo, s, d, out);
+        if self.faults.is_empty() {
+            return Ok(());
+        }
+        let budget = out.len();
+        out.retain(|&p| self.faults.path_survives(topo, s, d, p));
+        if out.len() == budget {
+            return Ok(()); // every selected path survived
+        }
+        // Re-select from the surviving enumeration, preserving the
+        // already-selected survivors and topping up in canonical order.
+        for p in topo.all_paths(s, d) {
+            if out.len() == budget {
+                break;
+            }
+            if !out.contains(&p) && self.faults.path_survives(topo, s, d, p) {
+                out.push(p);
+            }
+        }
+        if out.is_empty() {
+            return Err(RouteError::Disconnected { src: s, dst: d });
+        }
+        Ok(())
+    }
+
+    /// Owned-set variant of [`FaultAware::try_fill_paths`].
+    pub fn try_path_set(&self, topo: &Topology, s: PnId, d: PnId) -> Result<PathSet, RouteError> {
+        let mut v = Vec::new();
+        self.try_fill_paths(topo, s, d, &mut v)?;
+        PathSet::try_new(v)
+    }
+}
+
+impl<R: Router> Router for FaultAware<R> {
+    /// Degraded-mode selection. **Contract deviation:** for a
+    /// disconnected pair `out` is left *empty* (the [`Router`] trait
+    /// normally guarantees a non-empty set). Callers that must
+    /// distinguish disconnection use [`FaultAware::try_fill_paths`].
+    fn fill_paths(&self, topo: &Topology, s: PnId, d: PnId, out: &mut Vec<PathId>) {
+        if self.try_fill_paths(topo, s, d, out).is_err() {
+            out.clear();
+        }
+    }
+
+    fn name(&self) -> String {
+        if self.faults.is_empty() {
+            self.inner.name()
+        } else {
+            format!("{}+faults", self.inner.name())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DModK, Disjoint, ShiftOne};
+    use xgft::XgftSpec;
+
+    fn fig3() -> Topology {
+        Topology::new(XgftSpec::new(&[4, 4, 4], &[1, 2, 4]).unwrap())
+    }
+
+    #[test]
+    fn empty_fault_set_is_a_pass_through() {
+        let topo = fig3();
+        let inner = ShiftOne::new(3);
+        let fa = FaultAware::new(ShiftOne::new(3), FaultSet::default());
+        let (s, d) = (PnId(0), PnId(63));
+        assert_eq!(
+            fa.try_path_set(&topo, s, d).unwrap(),
+            inner.path_set(&topo, s, d)
+        );
+        assert_eq!(fa.path_set(&topo, s, d), inner.path_set(&topo, s, d));
+        assert_eq!(fa.name(), "shift-1(3)");
+    }
+
+    #[test]
+    fn dead_paths_are_replaced_by_survivors() {
+        let topo = fig3();
+        let (s, d) = (PnId(0), PnId(63));
+        // Kill top switch 0 — path 0 dies; shift-1 at the d-mod-k index 7
+        // selects {7, 0, 1}; the degraded set must swap 0 for a survivor
+        // and keep cardinality 3.
+        let mut faults = FaultSet::new();
+        faults.fail_switch(&topo, xgft::NodeId { level: 3, rank: 0 });
+        let fa = FaultAware::new(ShiftOne::new(3), faults.clone());
+        let set = fa.try_path_set(&topo, s, d).unwrap();
+        assert_eq!(set.len(), 3);
+        assert!(set
+            .paths()
+            .iter()
+            .all(|&p| faults.path_survives(&topo, s, d, p)));
+        assert!(set.paths().contains(&PathId(7)));
+        assert!(set.paths().contains(&PathId(1)));
+        assert!(!set.paths().contains(&PathId(0)));
+        assert_eq!(fa.name(), "shift-1(3)+faults");
+    }
+
+    #[test]
+    fn disconnection_is_a_typed_error() {
+        let topo = fig3();
+        // w_1 = 1: PN 0's single up-link carries every path out of it.
+        let mut faults = FaultSet::new();
+        faults.fail_link(topo.up_link(1, 0, 0));
+        let fa = FaultAware::new(DModK, faults);
+        let err = fa.try_path_set(&topo, PnId(0), PnId(63)).unwrap_err();
+        assert_eq!(
+            err,
+            RouteError::Disconnected {
+                src: PnId(0),
+                dst: PnId(63)
+            }
+        );
+        // The infallible trait method leaves the set empty.
+        let mut out = vec![PathId(9)];
+        fa.fill_paths(&topo, PnId(0), PnId(63), &mut out);
+        assert!(out.is_empty());
+        // Other sources are unaffected.
+        assert!(fa.try_path_set(&topo, PnId(1), PnId(63)).is_ok());
+    }
+
+    #[test]
+    fn cardinality_is_min_k_surviving() {
+        let topo = fig3();
+        let (s, d) = (PnId(0), PnId(63));
+        // Fail one level-2 up-link: 4 of 8 paths survive.
+        let mut faults = FaultSet::new();
+        faults.fail_link(topo.up_link(2, 0, 0));
+        assert_eq!(faults.num_surviving(&topo, s, d), 4);
+        for k in [1u64, 2, 4, 6, 8] {
+            let fa = FaultAware::new(Disjoint::new(k), faults.clone());
+            let set = fa.try_path_set(&topo, s, d).unwrap();
+            assert_eq!(set.len() as u64, k.min(4), "budget {k}");
+        }
+    }
+}

@@ -65,7 +65,9 @@ pub enum SlotOrder {
 pub fn shift_vectors(topo: &Topology, k: u64, order: SlotOrder) -> Vec<ShiftVector> {
     let h = topo.height();
     let max = topo.w_prod(h);
-    (0..k.min(max)).map(|j| slot_vector(topo, j, order)).collect()
+    (0..k.min(max))
+        .map(|j| slot_vector(topo, j, order))
+        .collect()
 }
 
 fn slot_vector(topo: &Topology, j: u64, order: SlotOrder) -> ShiftVector {
@@ -141,13 +143,15 @@ impl ForwardingTables {
         for l in 1..=h {
             let mut level_tables = Vec::with_capacity(topo.nodes_at_level(l) as usize);
             for rank in 0..topo.nodes_at_level(l) {
-                let sw = NodeId { level: l as u8, rank };
+                let sw = NodeId {
+                    level: l as u8,
+                    rank,
+                };
                 topo.digits_of(sw, &mut digits);
                 let mut lft = vec![0u16; (n as u64 * k) as usize];
                 for d in 0..n {
                     let dst = PnId(d);
-                    let in_subtree =
-                        (l + 1..=h).all(|i| topo.pn_digit(dst, i) == digits[i - 1]);
+                    let in_subtree = (l + 1..=h).all(|i| topo.pn_digit(dst, i) == digits[i - 1]);
                     for j in 0..k {
                         let v = &vectors[(j % k_eff) as usize];
                         let port = if in_subtree {
@@ -166,7 +170,13 @@ impl ForwardingTables {
             }
             tables.push(level_tables);
         }
-        ForwardingTables { k, lmc, tables, pn_ports, num_pns: n }
+        ForwardingTables {
+            k,
+            lmc,
+            tables,
+            pn_ports,
+            num_pns: n,
+        }
     }
 
     /// Paths per destination these tables realize.
@@ -231,7 +241,10 @@ impl ForwardingTables {
             }
             port = self.lookup(node, dst, slot) as u32;
         }
-        Err(format!("route for ({}, {}) slot {slot} did not terminate", src.0, dst.0))
+        Err(format!(
+            "route for ({}, {}) slot {slot} did not terminate",
+            src.0, dst.0
+        ))
     }
 
     /// Total LFT entries across all switches (table-memory footprint a

@@ -46,7 +46,9 @@ impl RouterKind {
             "random" => {
                 let k = arg(&mut it)?;
                 let seed = match it.next() {
-                    Some(t) => t.parse::<u64>().map_err(|e| format!("bad seed in {s}: {e}"))?,
+                    Some(t) => t
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad seed in {s}: {e}"))?,
                     None => 0,
                 };
                 RouterKind::RandomK(k, seed)
@@ -96,9 +98,7 @@ impl Router for RouterKind {
             RouterKind::SModK => SModK.fill_paths(topo, s, d, out),
             RouterKind::ShiftOne(k) => ShiftOne::new(k).fill_paths(topo, s, d, out),
             RouterKind::Disjoint(k) => Disjoint::new(k).fill_paths(topo, s, d, out),
-            RouterKind::DisjointStride(k) => {
-                DisjointStride::new(k).fill_paths(topo, s, d, out)
-            }
+            RouterKind::DisjointStride(k) => DisjointStride::new(k).fill_paths(topo, s, d, out),
             RouterKind::RandomK(k, seed) => RandomK::new(k, seed).fill_paths(topo, s, d, out),
             RouterKind::Umulti => Umulti.fill_paths(topo, s, d, out),
         }
@@ -128,9 +128,15 @@ mod tests {
         assert_eq!(RouterKind::parse("d-mod-k"), Ok(RouterKind::DModK));
         assert_eq!(RouterKind::parse("shift1:4"), Ok(RouterKind::ShiftOne(4)));
         assert_eq!(RouterKind::parse("disjoint:8"), Ok(RouterKind::Disjoint(8)));
-        assert_eq!(RouterKind::parse("stride:2"), Ok(RouterKind::DisjointStride(2)));
+        assert_eq!(
+            RouterKind::parse("stride:2"),
+            Ok(RouterKind::DisjointStride(2))
+        );
         assert_eq!(RouterKind::parse("random:3"), Ok(RouterKind::RandomK(3, 0)));
-        assert_eq!(RouterKind::parse("random:3:77"), Ok(RouterKind::RandomK(3, 77)));
+        assert_eq!(
+            RouterKind::parse("random:3:77"),
+            Ok(RouterKind::RandomK(3, 77))
+        );
         assert_eq!(RouterKind::parse("umulti"), Ok(RouterKind::Umulti));
         assert!(RouterKind::parse("disjoint").is_err());
         assert!(RouterKind::parse("disjoint:0").is_err());

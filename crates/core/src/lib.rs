@@ -55,6 +55,8 @@
 
 mod disjoint;
 mod dmodk;
+mod error;
+mod fault_aware;
 pub mod forwarding;
 mod kind;
 pub mod lid;
@@ -66,6 +68,8 @@ mod umulti;
 
 pub use disjoint::{Disjoint, DisjointStride};
 pub use dmodk::{DModK, SModK};
+pub use error::RouteError;
+pub use fault_aware::FaultAware;
 pub use kind::RouterKind;
 pub use path_set::PathSet;
 pub use random::RandomK;

@@ -1,5 +1,6 @@
 //! The multi-path routing unit: a set of selected paths for one SD pair.
 
+use crate::RouteError;
 use xgft::PathId;
 
 /// The paths a router selects for one SD pair, with traffic split
@@ -21,7 +22,18 @@ impl PathSet {
     /// Panics if `paths` is empty; duplicates are a logic error and are
     /// asserted in debug builds.
     pub fn new(paths: Vec<PathId>) -> Self {
-        assert!(!paths.is_empty(), "a PathSet must contain at least one path");
+        match Self::try_new(paths) {
+            Ok(set) => set,
+            Err(_) => panic!("a PathSet must contain at least one path"),
+        }
+    }
+
+    /// Fallible constructor: [`RouteError::EmptyPathSet`] instead of a
+    /// panic when `paths` is empty.
+    pub fn try_new(paths: Vec<PathId>) -> Result<Self, RouteError> {
+        if paths.is_empty() {
+            return Err(RouteError::EmptyPathSet);
+        }
         debug_assert!(
             {
                 let mut sorted: Vec<_> = paths.iter().collect();
@@ -30,7 +42,7 @@ impl PathSet {
             },
             "PathSet ids must be distinct"
         );
-        PathSet { paths }
+        Ok(PathSet { paths })
     }
 
     /// A single-path set.

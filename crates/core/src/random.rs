@@ -27,8 +27,16 @@ impl RandomK {
     ///
     /// Panics if `k == 0`.
     pub fn new(k: u64, seed: u64) -> Self {
-        assert!(k >= 1, "the path budget K must be at least 1");
-        RandomK { k, seed }
+        Self::try_new(k, seed).expect("the path budget K must be at least 1")
+    }
+
+    /// Fallible constructor: [`RouteError::ZeroBudget`](crate::RouteError::ZeroBudget)
+    /// instead of a panic when `k == 0`.
+    pub fn try_new(k: u64, seed: u64) -> Result<Self, crate::RouteError> {
+        if k == 0 {
+            return Err(crate::RouteError::ZeroBudget);
+        }
+        Ok(RandomK { k, seed })
     }
 
     /// The configured path budget.
@@ -106,9 +114,8 @@ mod tests {
         let topo = fig3();
         let r1 = RandomK::new(2, 1);
         let r2 = RandomK::new(2, 2);
-        let differs = (0..topo.num_pns()).any(|d| {
-            r1.path_set(&topo, PnId(0), PnId(d)) != r2.path_set(&topo, PnId(0), PnId(d))
-        });
+        let differs = (0..topo.num_pns())
+            .any(|d| r1.path_set(&topo, PnId(0), PnId(d)) != r2.path_set(&topo, PnId(0), PnId(d)));
         assert!(differs);
     }
 

@@ -24,8 +24,16 @@ impl ShiftOne {
     ///
     /// Panics if `k == 0`.
     pub fn new(k: u64) -> Self {
-        assert!(k >= 1, "the path budget K must be at least 1");
-        ShiftOne { k }
+        Self::try_new(k).expect("the path budget K must be at least 1")
+    }
+
+    /// Fallible constructor: [`RouteError::ZeroBudget`](crate::RouteError::ZeroBudget)
+    /// instead of a panic when `k == 0`.
+    pub fn try_new(k: u64) -> Result<Self, crate::RouteError> {
+        if k == 0 {
+            return Err(crate::RouteError::ZeroBudget);
+        }
+        Ok(ShiftOne { k })
     }
 
     /// The configured path budget.

@@ -1,0 +1,113 @@
+//! Property-based tests for fault-aware routing: for arbitrary XGFTs,
+//! SD pairs and sampled fault sets, the degraded selection must stay
+//! inside the fault-free enumeration, avoid every failed link, keep the
+//! `min(K, X_surviving)` cardinality, and collapse to the inner
+//! heuristic bit-for-bit when the fault set is empty.
+
+use lmpr_core::{Disjoint, DisjointStride, FaultAware, RandomK, RouteError, Router, ShiftOne};
+use proptest::prelude::*;
+use xgft::{FaultSet, PathId, PnId, Topology, XgftSpec};
+
+fn arb_topo() -> impl Strategy<Value = Topology> {
+    (1usize..=3)
+        .prop_flat_map(|h| {
+            (
+                prop::collection::vec(2u32..=4, h),
+                prop::collection::vec(1u32..=4, h),
+            )
+        })
+        .prop_map(|(m, w)| Topology::new(XgftSpec::new(&m, &w).expect("valid spec")))
+}
+
+/// Topology, SD pair, budget and a sampled fault set (up to ~8 % of
+/// links plus occasionally a failed switch).
+fn degraded_case() -> impl Strategy<Value = (Topology, PnId, PnId, u64, FaultSet)> {
+    arb_topo().prop_flat_map(|t| {
+        let n = t.num_pns();
+        (Just(t), 0..n, 0..n, 1u64..=10, 0u64..=200, 0u32..=8).prop_map(
+            |(t, s, d, k, seed, rate_pct)| {
+                let faults = FaultSet::sample(&t, rate_pct as f64 / 100.0, 0.0, seed);
+                (t, PnId(s), PnId(d), k, faults)
+            },
+        )
+    })
+}
+
+fn all_limited_routers(k: u64) -> Vec<Box<dyn Router>> {
+    vec![
+        Box::new(ShiftOne::new(k)),
+        Box::new(Disjoint::new(k)),
+        Box::new(DisjointStride::new(k)),
+        Box::new(RandomK::new(k, 0xFEED)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn degraded_sets_are_surviving_subsets_of_the_enumeration(
+        (t, s, d, k, faults) in degraded_case()
+    ) {
+        let x = t.num_paths(s, d);
+        let surviving = faults.num_surviving(&t, s, d);
+        for r in all_limited_routers(k) {
+            let name = r.name();
+            let fa = FaultAware::new(r, faults.clone());
+            let mut out: Vec<PathId> = Vec::new();
+            match fa.try_fill_paths(&t, s, d, &mut out) {
+                Ok(()) => {
+                    // Cardinality: min(K, surviving X).
+                    prop_assert_eq!(
+                        out.len() as u64, k.min(surviving),
+                        "router {} cardinality", &name
+                    );
+                    for &p in &out {
+                        // Subset of the fault-free enumeration…
+                        prop_assert!(p.0 < x, "router {} out-of-range id", &name);
+                        // …using only surviving links.
+                        prop_assert!(
+                            faults.path_survives(&t, s, d, p),
+                            "router {} selected a dead path", &name
+                        );
+                    }
+                    let mut ids: Vec<u64> = out.iter().map(|p| p.0).collect();
+                    ids.sort_unstable();
+                    ids.dedup();
+                    prop_assert_eq!(ids.len(), out.len(), "router {} duplicates", &name);
+                }
+                Err(e) => {
+                    prop_assert_eq!(surviving, 0, "router {} spurious error", &name);
+                    prop_assert_eq!(e, RouteError::Disconnected { src: s, dst: d });
+                    prop_assert!(out.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_fault_set_reproduces_every_heuristic_bit_for_bit(
+        (t, s, d, k, _faults) in degraded_case()
+    ) {
+        for r in all_limited_routers(k) {
+            let plain = r.path_set(&t, s, d);
+            let fa = FaultAware::new(r, FaultSet::default());
+            prop_assert_eq!(
+                fa.try_path_set(&t, s, d).expect("fault-free routing cannot disconnect"),
+                plain.clone(),
+                "adapter altered {}", fa.name()
+            );
+            // The infallible trait path agrees too.
+            prop_assert_eq!(fa.path_set(&t, s, d), plain);
+        }
+    }
+
+    #[test]
+    fn disconnection_matches_the_connectivity_oracle(
+        (t, s, d, k, faults) in degraded_case()
+    ) {
+        let fa = FaultAware::new(Disjoint::new(k), faults.clone());
+        let routed = fa.try_path_set(&t, s, d).is_ok();
+        prop_assert_eq!(routed, faults.connected(&t, s, d));
+    }
+}

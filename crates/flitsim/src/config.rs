@@ -1,9 +1,24 @@
 //! Simulator configuration.
 
-use serde::{Deserialize, Serialize};
+use crate::error::ConfigError;
+
+/// What happens to a flit that reaches a failed link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// The flit is discarded and counted in
+    /// [`SimStats::dropped_flits`](crate::SimStats::dropped_flits) — the
+    /// conservation invariant becomes
+    /// `injected = delivered + in-flight + dropped` (default).
+    #[default]
+    Drop,
+    /// The link transfers nothing; traffic routed over it backs up until
+    /// the no-progress watchdog aborts the run with a
+    /// [`DeadlockReport`](crate::DeadlockReport).
+    Block,
+}
 
 /// How a source spreads packets over its SD pair's path set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PathPolicy {
     /// Each packet independently picks a uniformly random path from the
     /// set. Matches the paper's fractions in expectation but adds
@@ -28,7 +43,7 @@ pub enum PathPolicy {
 /// — preserve the only property the conclusions rely on: buffers hold a
 /// small whole number of packets and messages span several packets
 /// (documented in DESIGN.md).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// Flits per packet.
     pub packet_flits: u16,
@@ -47,6 +62,11 @@ pub struct SimConfig {
     pub seed: u64,
     /// Path-selection policy across a pair's path set.
     pub path_policy: PathPolicy,
+    /// No-progress watchdog horizon in cycles: if no flit moves for this
+    /// long while flits are in flight or backlogged, the run aborts with
+    /// a [`DeadlockReport`](crate::DeadlockReport). `0` disables the
+    /// watchdog.
+    pub watchdog_cycles: u32,
 }
 
 impl Default for SimConfig {
@@ -60,6 +80,7 @@ impl Default for SimConfig {
             offered_load: 0.5,
             seed: 0xF117_F00D, // arbitrary fixed default
             path_policy: PathPolicy::RoundRobin,
+            watchdog_cycles: 25_000,
         }
     }
 }
@@ -80,26 +101,26 @@ impl SimConfig {
         self.offered_load / self.message_flits() as f64
     }
 
-    /// Validate parameter consistency.
-    ///
-    /// # Panics
-    ///
-    /// Panics on non-positive sizes, buffers smaller than one packet
-    /// (VCT could never forward a head flit) or an offered load outside
-    /// `(0, 1]`.
-    pub fn validate(&self) {
-        assert!(self.packet_flits >= 1, "packets need at least one flit");
-        assert!(self.packets_per_message >= 1, "messages need at least one packet");
-        assert!(
-            self.buffer_packets >= 1,
-            "virtual cut-through requires room for at least one whole packet per buffer"
-        );
-        assert!(
-            self.offered_load > 0.0 && self.offered_load <= 1.0,
-            "offered load must be in (0, 1], got {}",
-            self.offered_load
-        );
-        assert!(self.measure_cycles > 0, "measurement window must be non-empty");
+    /// Validate parameter consistency: non-positive sizes, buffers
+    /// smaller than one packet (VCT could never forward a head flit) and
+    /// an offered load outside `(0, 1]` are rejected with a typed error.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.packet_flits < 1 {
+            return Err(ConfigError::ZeroPacketFlits);
+        }
+        if self.packets_per_message < 1 {
+            return Err(ConfigError::ZeroPacketsPerMessage);
+        }
+        if self.buffer_packets < 1 {
+            return Err(ConfigError::BufferBelowOnePacket);
+        }
+        if !(self.offered_load > 0.0 && self.offered_load <= 1.0) {
+            return Err(ConfigError::BadOfferedLoad(self.offered_load));
+        }
+        if self.measure_cycles == 0 {
+            return Err(ConfigError::EmptyMeasureWindow);
+        }
+        Ok(())
     }
 
     /// Copy with a different offered load (sweep helper).
@@ -125,19 +146,42 @@ mod tests {
         assert_eq!(c.buffer_flits(), 64);
         assert_eq!(c.message_flits(), 64);
         assert!((c.message_rate() - 0.5 / 64.0).abs() < 1e-15);
-        c.validate();
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]
-    #[should_panic(expected = "offered load")]
     fn zero_load_rejected() {
-        SimConfig { offered_load: 0.0, ..SimConfig::default() }.validate();
+        let err = SimConfig {
+            offered_load: 0.0,
+            ..SimConfig::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(err, ConfigError::BadOfferedLoad(0.0));
+        assert!(err.to_string().contains("offered load"));
     }
 
     #[test]
-    #[should_panic(expected = "whole packet")]
     fn zero_buffer_rejected() {
-        SimConfig { buffer_packets: 0, ..SimConfig::default() }.validate();
+        let err = SimConfig {
+            buffer_packets: 0,
+            ..SimConfig::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(err, ConfigError::BufferBelowOnePacket);
+        assert!(err.to_string().contains("whole packet"));
+    }
+
+    #[test]
+    fn nan_load_rejected() {
+        let err = SimConfig {
+            offered_load: f64::NAN,
+            ..SimConfig::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(matches!(err, ConfigError::BadOfferedLoad(_)));
     }
 
     #[test]

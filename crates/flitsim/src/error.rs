@@ -1,0 +1,223 @@
+//! Typed simulator errors: configuration problems, workload problems
+//! and the no-progress watchdog's deadlock report.
+
+use std::fmt;
+
+/// A rejected [`SimConfig`](crate::SimConfig).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `packet_flits == 0`.
+    ZeroPacketFlits,
+    /// `packets_per_message == 0`.
+    ZeroPacketsPerMessage,
+    /// Buffers smaller than one packet: virtual cut-through could never
+    /// forward a head flit.
+    BufferBelowOnePacket,
+    /// Offered load outside `(0, 1]`.
+    BadOfferedLoad(f64),
+    /// `measure_cycles == 0`.
+    EmptyMeasureWindow,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroPacketFlits => write!(f, "packets need at least one flit"),
+            ConfigError::ZeroPacketsPerMessage => {
+                write!(f, "messages need at least one packet")
+            }
+            ConfigError::BufferBelowOnePacket => write!(
+                f,
+                "virtual cut-through requires room for at least one whole packet per buffer"
+            ),
+            ConfigError::BadOfferedLoad(l) => {
+                write!(f, "offered load must be in (0, 1], got {l}")
+            }
+            ConfigError::EmptyMeasureWindow => {
+                write!(f, "measurement window must be non-empty")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A rejected [`TrafficMode`](crate::TrafficMode).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrafficError {
+    /// Permutation vector length differs from the node count.
+    PermutationLength {
+        /// Expected length (node count).
+        expected: u32,
+        /// Supplied length.
+        got: usize,
+    },
+    /// A permutation target is not a valid node.
+    TargetOutOfRange {
+        /// The offending target.
+        target: u32,
+        /// Node count.
+        nodes: u32,
+    },
+    /// A destination appears twice — the permutation is not a bijection.
+    NotABijection {
+        /// The duplicated destination.
+        duplicate: u32,
+    },
+    /// A hotspot needs at least one hot node.
+    EmptyHotSet,
+    /// A hot node is not a valid node.
+    HotNodeOutOfRange {
+        /// The offending hot node.
+        node: u32,
+        /// Node count.
+        nodes: u32,
+    },
+    /// Hotspot fraction outside `[0, 1]`.
+    BadFraction(f64),
+}
+
+impl fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficError::PermutationLength { expected, got } => write!(
+                f,
+                "permutation length must equal node count (expected {expected}, got {got})"
+            ),
+            TrafficError::TargetOutOfRange { target, nodes } => {
+                write!(f, "permutation target {target} out of range (< {nodes})")
+            }
+            TrafficError::NotABijection { duplicate } => {
+                write!(f, "not a bijection: destination {duplicate} appears twice")
+            }
+            TrafficError::EmptyHotSet => write!(f, "hotspot needs at least one hot node"),
+            TrafficError::HotNodeOutOfRange { node, nodes } => {
+                write!(f, "hot node {node} out of range (< {nodes})")
+            }
+            TrafficError::BadFraction(v) => {
+                write!(f, "fraction must be in [0, 1], got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrafficError {}
+
+/// Diagnostic snapshot taken when the no-progress watchdog aborts a
+/// stuck simulation (e.g. blocking faults jam every route of a flow).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockReport {
+    /// Cycle at which the watchdog fired.
+    pub cycle: u32,
+    /// Cycles since the last flit movement.
+    pub stalled_for: u32,
+    /// Flits sitting in network buffers.
+    pub flits_in_network: u64,
+    /// Packets created but not fully delivered (in-flight).
+    pub in_flight_packets: usize,
+    /// Output ports holding flits that cannot move.
+    pub blocked_ports: usize,
+    /// Packets still queued at the sources.
+    pub source_backlog: u64,
+}
+
+impl fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no progress for {} cycles at cycle {}: {} flits in network, \
+             {} in-flight packets, {} blocked ports, {} packets backlogged at sources",
+            self.stalled_for,
+            self.cycle,
+            self.flits_in_network,
+            self.in_flight_packets,
+            self.blocked_ports,
+            self.source_backlog
+        )
+    }
+}
+
+/// Everything that can go wrong constructing or running a
+/// [`FlitSim`](crate::FlitSim).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Invalid simulation parameters.
+    Config(ConfigError),
+    /// Invalid workload for the topology.
+    Traffic(TrafficError),
+    /// The topology has fewer than two processing nodes, so no traffic
+    /// pattern can be generated.
+    TooFewPns(u32),
+    /// The no-progress watchdog aborted a stuck simulation.
+    Deadlock(DeadlockReport),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "invalid simulation config: {e}"),
+            SimError::Traffic(e) => write!(f, "invalid workload: {e}"),
+            SimError::TooFewPns(n) => {
+                write!(
+                    f,
+                    "traffic generation needs at least two PNs, topology has {n}"
+                )
+            }
+            SimError::Deadlock(r) => write!(f, "simulation deadlocked: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            SimError::Traffic(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+impl From<TrafficError> for SimError {
+    fn from(e: TrafficError) -> Self {
+        SimError::Traffic(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_the_numbers() {
+        let e = SimError::from(ConfigError::BadOfferedLoad(1.5));
+        assert!(e.to_string().contains("1.5"));
+        let e = SimError::from(TrafficError::NotABijection { duplicate: 7 });
+        assert!(e.to_string().contains("7"));
+        let r = DeadlockReport {
+            cycle: 900,
+            stalled_for: 500,
+            flits_in_network: 64,
+            in_flight_packets: 4,
+            blocked_ports: 2,
+            source_backlog: 10,
+        };
+        let msg = SimError::Deadlock(r).to_string();
+        assert!(msg.contains("900") && msg.contains("64") && msg.contains("blocked"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        assert!(SimError::from(ConfigError::EmptyMeasureWindow)
+            .source()
+            .is_some());
+        assert!(SimError::TooFewPns(1).source().is_none());
+    }
+}

@@ -36,7 +36,12 @@ impl Source {
     pub fn new(seed: u64, pn: u32, ports: u32, rate: f64) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed ^ (0xA5A5_0000_0000_0000 | pn as u64));
         let first = exp_sample(&mut rng, rate);
-        Source { rng, next_arrival: first, queues: vec![VecDeque::new(); ports as usize], rr: 0 }
+        Source {
+            rng,
+            next_arrival: first,
+            queues: vec![VecDeque::new(); ports as usize],
+            rr: 0,
+        }
     }
 
     /// Whether a message arrives at or before `now`; advances the
@@ -150,8 +155,9 @@ mod tests {
     #[test]
     fn round_robin_cycles() {
         let mut src = Source::new(0, 0, 1, 0.5);
-        let picks: Vec<usize> =
-            (0..6).map(|_| src.pick_path(PathPolicy::RoundRobin, 3, 0)).collect();
+        let picks: Vec<usize> = (0..6)
+            .map(|_| src.pick_path(PathPolicy::RoundRobin, 3, 0))
+            .collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
     }
 
@@ -176,8 +182,14 @@ mod tests {
     #[test]
     fn backlog_counts_all_queues() {
         let mut src = Source::new(0, 0, 2, 0.5);
-        src.queues[0].push_back(StreamingPacket { pkt: 0, next_seq: 0 });
-        src.queues[1].push_back(StreamingPacket { pkt: 1, next_seq: 0 });
+        src.queues[0].push_back(StreamingPacket {
+            pkt: 0,
+            next_seq: 0,
+        });
+        src.queues[1].push_back(StreamingPacket {
+            pkt: 1,
+            next_seq: 0,
+        });
         assert_eq!(src.backlog(), 2);
     }
 }

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod error;
 mod inject;
 mod network;
 mod packet;
@@ -50,9 +51,11 @@ pub mod sweep;
 mod traffic_mode;
 mod util;
 
-pub use config::{PathPolicy, SimConfig};
+pub use config::{FaultPolicy, PathPolicy, SimConfig};
+pub use error::{ConfigError, DeadlockReport, SimError, TrafficError};
 pub use network::PortGraph;
 pub use sim::FlitSim;
 pub use stats::{saturation_throughput, LoadPoint, SimStats};
+pub use sweep::SweepError;
 pub use traffic_mode::TrafficMode;
 pub use util::Slab;

@@ -38,7 +38,10 @@ impl PortGraph {
         for l in 0..=h {
             let ports = topo.ports_at_level(l);
             for rank in 0..topo.nodes_at_level(l) {
-                nodes.push(NodeId { level: l as u8, rank });
+                nodes.push(NodeId {
+                    level: l as u8,
+                    rank,
+                });
                 port_base.push(next_port);
                 let gid = nodes.len() as u32 - 1;
                 for _ in 0..ports {
@@ -107,8 +110,7 @@ impl PortGraph {
     /// Global port id of a node's local port.
     pub fn port_gid(&self, node_gid: u32, local_port: u32) -> u32 {
         debug_assert!(
-            self.port_base[node_gid as usize] + local_port
-                < self.port_base[node_gid as usize + 1]
+            self.port_base[node_gid as usize] + local_port < self.port_base[node_gid as usize + 1]
         );
         self.port_base[node_gid as usize] + local_port
     }

@@ -66,9 +66,26 @@ mod tests {
 
     #[test]
     fn head_and_tail_classification() {
-        let p = Packet { msg: 0, len: 4, route: Box::new([0, 1]), dst: PnId(3) };
-        assert!(Flit { pkt: 0, seq: 0, hop: 0, entered: 0 }.is_head());
-        assert!(!Flit { pkt: 0, seq: 1, hop: 0, entered: 0 }.is_head());
+        let p = Packet {
+            msg: 0,
+            len: 4,
+            route: Box::new([0, 1]),
+            dst: PnId(3),
+        };
+        assert!(Flit {
+            pkt: 0,
+            seq: 0,
+            hop: 0,
+            entered: 0
+        }
+        .is_head());
+        assert!(!Flit {
+            pkt: 0,
+            seq: 1,
+            hop: 0,
+            entered: 0
+        }
+        .is_head());
         assert!(p.is_tail(3));
         assert!(!p.is_tail(2));
     }

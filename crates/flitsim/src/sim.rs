@@ -1,7 +1,8 @@
 //! The cycle loop: ejection, crossbar traversal, link transfer,
 //! injection.
 
-use crate::config::SimConfig;
+use crate::config::{FaultPolicy, SimConfig};
+use crate::error::{DeadlockReport, SimError};
 use crate::inject::{Source, StreamingPacket};
 use crate::network::PortGraph;
 use crate::packet::{Flit, Message, Packet};
@@ -10,7 +11,7 @@ use crate::traffic_mode::TrafficMode;
 use crate::util::Slab;
 use lmpr_core::Router;
 use std::collections::VecDeque;
-use xgft::{PathId, PnId, Topology};
+use xgft::{FaultSet, PathId, PnId, Topology};
 
 /// A flit-level simulation of one routing scheme on one topology at one
 /// offered load.
@@ -50,13 +51,26 @@ pub struct FlitSim<R: Router> {
     sources: Vec<Source>,
     path_buf: Vec<PathId>,
 
+    // Fault model: `failed_out[port]` marks output ports whose cable is
+    // down; `fault_policy` decides whether flits reaching one are
+    // discarded or jam (see [`FaultPolicy`]).
+    failed_out: Vec<bool>,
+    fault_policy: FaultPolicy,
+
+    // No-progress watchdog state.
+    last_progress: u32,
+    progress: bool,
+
     // Lifetime counters (conservation audits).
     total_injected: u64,
     total_delivered: u64,
+    total_dropped: u64,
 
     // Measurement-window counters.
     w_injected: u64,
     w_delivered: u64,
+    w_dropped: u64,
+    w_disconnected: u64,
     w_created_messages: u64,
     w_completed_messages: u64,
     w_sum_delay: f64,
@@ -70,16 +84,45 @@ pub struct FlitSim<R: Router> {
 impl<R: Router> FlitSim<R> {
     /// Build a simulator with the paper's uniform random workload.
     /// Validates the configuration.
-    pub fn new(topo: &Topology, router: R, cfg: SimConfig) -> Self {
+    pub fn new(topo: &Topology, router: R, cfg: SimConfig) -> Result<Self, SimError> {
         Self::with_traffic(topo, router, cfg, TrafficMode::Uniform)
     }
 
     /// Build a simulator with an explicit workload (permutation or
     /// hotspot traffic for cross-validation against the flow level).
-    pub fn with_traffic(topo: &Topology, router: R, cfg: SimConfig, traffic: TrafficMode) -> Self {
-        cfg.validate();
-        traffic.validate(topo.num_pns());
-        assert!(topo.num_pns() >= 2, "uniform traffic needs at least two PNs");
+    pub fn with_traffic(
+        topo: &Topology,
+        router: R,
+        cfg: SimConfig,
+        traffic: TrafficMode,
+    ) -> Result<Self, SimError> {
+        Self::with_faults(
+            topo,
+            router,
+            cfg,
+            traffic,
+            &FaultSet::default(),
+            FaultPolicy::Drop,
+        )
+    }
+
+    /// Build a simulator with an explicit workload and a fault set:
+    /// output ports whose cable is in `faults` transfer nothing — their
+    /// flits are discarded or jam according to `policy`. An empty fault
+    /// set reproduces the fault-free simulator exactly.
+    pub fn with_faults(
+        topo: &Topology,
+        router: R,
+        cfg: SimConfig,
+        traffic: TrafficMode,
+        faults: &FaultSet,
+        policy: FaultPolicy,
+    ) -> Result<Self, SimError> {
+        cfg.validate()?;
+        traffic.validate(topo.num_pns())?;
+        if topo.num_pns() < 2 {
+            return Err(SimError::TooFewPns(topo.num_pns()));
+        }
         let graph = PortGraph::new(topo);
         let ports = graph.num_ports() as usize;
         let rate = cfg.message_rate();
@@ -99,7 +142,14 @@ impl<R: Router> FlitSim<R> {
                 vec![VecDeque::new(); voqs]
             })
             .collect();
-        FlitSim {
+        // Map each failed directed link to the output port that feeds it.
+        let mut failed_out = vec![false; ports];
+        for link in faults.failed_links() {
+            let e = topo.endpoints(link);
+            let gid = graph.port_gid(graph.node_gid(e.from), e.from_port);
+            failed_out[gid as usize] = true;
+        }
+        Ok(FlitSim {
             topo: topo.clone(),
             router,
             cfg,
@@ -115,42 +165,65 @@ impl<R: Router> FlitSim<R> {
             messages: Slab::new(),
             sources,
             path_buf: Vec::new(),
+            failed_out,
+            fault_policy: policy,
+            last_progress: 0,
+            progress: false,
             total_injected: 0,
             total_delivered: 0,
+            total_dropped: 0,
             w_injected: 0,
             w_delivered: 0,
+            w_dropped: 0,
+            w_disconnected: 0,
             w_created_messages: 0,
             w_completed_messages: 0,
             w_sum_delay: 0.0,
             w_max_delay: 0,
             w_delays: Vec::new(),
             link_busy: vec![0; ports],
-        }
+        })
     }
 
     /// One-shot: build, run warm-up plus measurement, return stats.
-    pub fn simulate(topo: &Topology, router: R, cfg: SimConfig) -> SimStats {
-        let mut sim = FlitSim::new(topo, router, cfg);
-        sim.run()
+    pub fn simulate(topo: &Topology, router: R, cfg: SimConfig) -> Result<SimStats, SimError> {
+        FlitSim::new(topo, router, cfg)?.run()
     }
 
     /// Run the configured warm-up and measurement phases and return the
     /// window statistics.
-    pub fn run(&mut self) -> SimStats {
+    ///
+    /// Errors with [`SimError::Deadlock`] when the no-progress watchdog
+    /// fires: no flit moved for `cfg.watchdog_cycles` cycles while flits
+    /// were in flight or backlogged (e.g. blocking faults jam every
+    /// route of a flow).
+    pub fn run(&mut self) -> Result<SimStats, SimError> {
         let end = self.cfg.warmup_cycles + self.cfg.measure_cycles;
         while self.now < end {
             self.step();
+            if self.cfg.watchdog_cycles > 0 {
+                let stalled = self.now - self.last_progress;
+                if stalled > self.cfg.watchdog_cycles
+                    && (self.flits_in_network() > 0 || self.source_backlog() > 0)
+                {
+                    return Err(SimError::Deadlock(self.deadlock_report(stalled)));
+                }
+            }
         }
-        self.stats()
+        Ok(self.stats())
     }
 
     /// Advance one cycle. Public so tests can single-step.
     pub fn step(&mut self) {
+        self.progress = false;
         self.eject();
         self.crossbar();
         self.link_transfer();
         self.inject();
         self.now += 1;
+        if self.progress {
+            self.last_progress = self.now;
+        }
     }
 
     /// Current cycle.
@@ -167,6 +240,8 @@ impl<R: Router> FlitSim<R> {
             num_pns: self.graph.num_pns(),
             injected_flits: self.w_injected,
             delivered_flits: self.w_delivered,
+            dropped_flits: self.w_dropped,
+            disconnected_messages: self.w_disconnected,
             created_messages: self.w_created_messages,
             completed_messages: self.w_completed_messages,
             sum_message_delay: self.w_sum_delay,
@@ -208,6 +283,30 @@ impl<R: Router> FlitSim<R> {
         (self.total_injected, self.total_delivered)
     }
 
+    /// Lifetime count of flits discarded at failed links
+    /// ([`FaultPolicy::Drop`]). The conservation invariant under faults
+    /// is `injected = delivered + in-network + dropped`.
+    pub fn dropped_in_lifetime(&self) -> u64 {
+        self.total_dropped
+    }
+
+    /// Packets currently queued at the sources (open-loop backlog).
+    pub fn source_backlog(&self) -> u64 {
+        self.sources.iter().map(|s| s.backlog() as u64).sum()
+    }
+
+    /// Snapshot for the watchdog's diagnostic report.
+    fn deadlock_report(&self, stalled_for: u32) -> DeadlockReport {
+        DeadlockReport {
+            cycle: self.now,
+            stalled_for,
+            flits_in_network: self.flits_in_network(),
+            in_flight_packets: self.packets.len(),
+            blocked_ports: self.out_buf.iter().filter(|b| !b.is_empty()).count(),
+            source_backlog: self.source_backlog(),
+        }
+    }
+
     fn in_window(&self) -> bool {
         self.now >= self.cfg.warmup_cycles
             && self.now < self.cfg.warmup_cycles + self.cfg.measure_cycles
@@ -219,7 +318,9 @@ impl<R: Router> FlitSim<R> {
     fn eject(&mut self) {
         for pn in 0..self.graph.num_pns() {
             for port in self.graph.ports_of(pn) {
-                let Some(&f) = self.in_buf[port as usize][0].front() else { continue };
+                let Some(&f) = self.in_buf[port as usize][0].front() else {
+                    continue;
+                };
                 if f.entered >= self.now {
                     continue; // arrived this cycle; consumable next cycle
                 }
@@ -237,6 +338,7 @@ impl<R: Router> FlitSim<R> {
             debug_assert_eq!(f.hop as usize, pkt.route.len(), "flit ejected mid-route");
             (pkt.msg, pkt.is_tail(f.seq))
         };
+        self.progress = true;
         self.total_delivered += 1;
         if self.in_window() {
             self.w_delivered += 1;
@@ -327,11 +429,13 @@ impl<R: Router> FlitSim<R> {
     }
 
     fn move_through_crossbar(&mut self, in_gid: u32, voq: usize, out_gid: u32) {
-        let mut f =
-            self.in_buf[in_gid as usize][voq].pop_front().expect("VOQ head vanished");
+        let mut f = self.in_buf[in_gid as usize][voq]
+            .pop_front()
+            .expect("VOQ head vanished");
         self.credits[self.graph.peer(in_gid) as usize] += 1;
         f.entered = self.now;
         self.out_buf[out_gid as usize].push_back(f);
+        self.progress = true;
     }
 
     // ------------------------------------------------------------------
@@ -339,9 +443,32 @@ impl<R: Router> FlitSim<R> {
     // ------------------------------------------------------------------
     fn link_transfer(&mut self) {
         for out in 0..self.graph.num_ports() {
-            let Some(&f) = self.out_buf[out as usize].front() else { continue };
+            let Some(&f) = self.out_buf[out as usize].front() else {
+                continue;
+            };
             if f.entered >= self.now {
                 continue;
+            }
+            if self.failed_out[out as usize] {
+                match self.fault_policy {
+                    // A dead cable transfers nothing; traffic routed over
+                    // it backs up until the watchdog aborts the run.
+                    FaultPolicy::Block => continue,
+                    // Discard at the failure point. The packet's other
+                    // flits keep draining here, so no credit moves and
+                    // nothing downstream ever sees the packet; its slab
+                    // entry stays (the message can never complete), which
+                    // bounds bookkeeping at one entry per dropped packet.
+                    FaultPolicy::Drop => {
+                        self.out_buf[out as usize].pop_front();
+                        self.total_dropped += 1;
+                        if self.in_window() {
+                            self.w_dropped += 1;
+                        }
+                        self.progress = true;
+                        continue;
+                    }
+                }
             }
             let need = if f.is_head() {
                 self.packets.get(f.pkt).len as u32
@@ -357,6 +484,7 @@ impl<R: Router> FlitSim<R> {
             }
             let mut f = self.out_buf[out as usize].pop_front().unwrap();
             self.credits[out as usize] -= 1;
+            self.progress = true;
             if self.in_window() {
                 self.link_busy[out as usize] += 1;
             }
@@ -402,16 +530,24 @@ impl<R: Router> FlitSim<R> {
     fn create_message(&mut self, pn: u32) {
         let src = PnId(pn);
         let traffic = std::mem::replace(&mut self.traffic, TrafficMode::Uniform);
-        let picked = self.sources[pn as usize].pick_destination_mode(
-            &traffic,
-            pn,
-            self.graph.num_pns(),
-        );
+        let picked =
+            self.sources[pn as usize].pick_destination_mode(&traffic, pn, self.graph.num_pns());
         self.traffic = traffic;
         let Some(dst) = picked else {
             return; // self-mapped permutation entry: this source is silent
         };
         let dst = PnId(dst);
+        let mut paths = std::mem::take(&mut self.path_buf);
+        self.router.fill_paths(&self.topo, src, dst, &mut paths);
+        if paths.is_empty() {
+            // A fault-aware router found no surviving route: the message
+            // is never materialized, only counted.
+            self.path_buf = paths;
+            if self.in_window() {
+                self.w_disconnected += 1;
+            }
+            return;
+        }
         let measured = self.in_window();
         if measured {
             self.w_created_messages += 1;
@@ -421,8 +557,6 @@ impl<R: Router> FlitSim<R> {
             remaining_flits: self.cfg.message_flits(),
             measured,
         });
-        let mut paths = std::mem::take(&mut self.path_buf);
-        self.router.fill_paths(&self.topo, src, dst, &mut paths);
         let per_message_choice = self.sources[pn as usize].pick_message_path(paths.len());
         for _ in 0..self.cfg.packets_per_message {
             let choice = self.sources[pn as usize].pick_path(
@@ -454,7 +588,9 @@ impl<R: Router> FlitSim<R> {
         let cap = self.cfg.buffer_flits();
         let n_ports = self.sources[pn as usize].queues.len();
         for local in 0..n_ports {
-            let Some(&sp) = self.sources[pn as usize].queues[local].front() else { continue };
+            let Some(&sp) = self.sources[pn as usize].queues[local].front() else {
+                continue;
+            };
             let len = self.packets.get(sp.pkt).len;
             let out = self.graph.port_gid(pn, local as u32) as usize;
             let _ = len;
@@ -468,6 +604,7 @@ impl<R: Router> FlitSim<R> {
                 entered: self.now,
             });
             self.total_injected += 1;
+            self.progress = true;
             if self.in_window() {
                 self.w_injected += 1;
             }
@@ -511,7 +648,7 @@ mod tests {
     #[test]
     fn low_load_delivers_what_it_injects() {
         let topo = small_topo();
-        let stats = FlitSim::simulate(&topo, DModK, quick_cfg(0.1));
+        let stats = FlitSim::simulate(&topo, DModK, quick_cfg(0.1)).expect("valid config");
         let t = stats.accepted_throughput();
         assert!(
             (t - 0.1).abs() < 0.02,
@@ -524,7 +661,7 @@ mod tests {
     #[test]
     fn conservation_of_flits() {
         let topo = small_topo();
-        let mut sim = FlitSim::new(&topo, Disjoint::new(2), quick_cfg(0.6));
+        let mut sim = FlitSim::new(&topo, Disjoint::new(2), quick_cfg(0.6)).expect("valid config");
         for _ in 0..5_000 {
             sim.step();
         }
@@ -550,7 +687,7 @@ mod tests {
             offered_load: 0.005,
             ..SimConfig::default()
         };
-        let stats = FlitSim::simulate(&topo, DModK, cfg);
+        let stats = FlitSim::simulate(&topo, DModK, cfg).expect("valid config");
         assert!(stats.completed_messages > 10);
         let delay = stats.avg_message_delay();
         // Lower bound: serialization alone (64 flits) plus a couple of
@@ -562,8 +699,8 @@ mod tests {
     #[test]
     fn saturation_backlog_grows_with_overload() {
         let topo = small_topo();
-        let low = FlitSim::simulate(&topo, DModK, quick_cfg(0.1));
-        let high = FlitSim::simulate(&topo, DModK, quick_cfg(1.0));
+        let low = FlitSim::simulate(&topo, DModK, quick_cfg(0.1)).expect("valid config");
+        let high = FlitSim::simulate(&topo, DModK, quick_cfg(1.0)).expect("valid config");
         assert!(high.final_source_backlog > low.final_source_backlog);
         // Overloaded d-mod-k cannot deliver the full offered load.
         assert!(high.accepted_throughput() < 0.95);
@@ -574,8 +711,9 @@ mod tests {
         // On the paper's 3-level Table-1 topology, limited multi-path
         // routing must outperform d-mod-k at high uniform load.
         let topo = Topology::new(XgftSpec::new(&[4, 4, 8], &[1, 4, 4]).unwrap());
-        let single = FlitSim::simulate(&topo, DModK, quick_cfg(0.8));
-        let multi = FlitSim::simulate(&topo, Disjoint::new(4), quick_cfg(0.8));
+        let single = FlitSim::simulate(&topo, DModK, quick_cfg(0.8)).expect("valid config");
+        let multi =
+            FlitSim::simulate(&topo, Disjoint::new(4), quick_cfg(0.8)).expect("valid config");
         assert!(
             multi.accepted_throughput() > single.accepted_throughput(),
             "disjoint(4) {:.3} must beat d-mod-k {:.3} at 80% uniform load",
@@ -592,17 +730,23 @@ mod tests {
             PathPolicy::PerMessageRandom,
             PathPolicy::RoundRobin,
         ] {
-            let cfg = SimConfig { path_policy: policy, ..quick_cfg(0.4) };
-            let stats = FlitSim::simulate(&topo, Disjoint::new(4), cfg);
-            assert!(stats.delivered_flits > 0, "policy {policy:?} delivered nothing");
+            let cfg = SimConfig {
+                path_policy: policy,
+                ..quick_cfg(0.4)
+            };
+            let stats = FlitSim::simulate(&topo, Disjoint::new(4), cfg).expect("valid config");
+            assert!(
+                stats.delivered_flits > 0,
+                "policy {policy:?} delivered nothing"
+            );
         }
     }
 
     #[test]
     fn percentiles_bracket_the_mean_and_util_is_sane() {
         let topo = small_topo();
-        let mut sim = FlitSim::new(&topo, DModK, quick_cfg(0.4));
-        let stats = sim.run();
+        let mut sim = FlitSim::new(&topo, DModK, quick_cfg(0.4)).expect("valid config");
+        let stats = sim.run().expect("no deadlock");
         assert!(stats.delay_p50 > 0.0);
         assert!(stats.delay_p50 <= stats.delay_p95);
         assert!(stats.delay_p95 <= stats.delay_p99);
@@ -613,16 +757,151 @@ mod tests {
         assert!(util.iter().all(|&u| (0.0..=1.0).contains(&u)));
         // Injection links carry roughly the offered load.
         let pn0_out = util[sim.graph().port_gid(0, 0) as usize];
-        assert!((pn0_out - 0.4).abs() < 0.12, "PN0 injection utilization {pn0_out}");
+        assert!(
+            (pn0_out - 0.4).abs() < 0.12,
+            "PN0 injection utilization {pn0_out}"
+        );
     }
 
     #[test]
     fn deterministic_given_seed() {
         let topo = small_topo();
-        let a = FlitSim::simulate(&topo, Disjoint::new(2), quick_cfg(0.5));
-        let b = FlitSim::simulate(&topo, Disjoint::new(2), quick_cfg(0.5));
+        let a = FlitSim::simulate(&topo, Disjoint::new(2), quick_cfg(0.5)).expect("valid config");
+        let b = FlitSim::simulate(&topo, Disjoint::new(2), quick_cfg(0.5)).expect("valid config");
         assert_eq!(a, b);
-        let c = FlitSim::simulate(&topo, Disjoint::new(2), quick_cfg(0.5).with_seed(9));
+        let c = FlitSim::simulate(&topo, Disjoint::new(2), quick_cfg(0.5).with_seed(9))
+            .expect("valid config");
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn empty_fault_set_is_bit_identical() {
+        let topo = small_topo();
+        let a = FlitSim::simulate(&topo, DModK, quick_cfg(0.5)).expect("valid config");
+        let b = FlitSim::with_faults(
+            &topo,
+            DModK,
+            quick_cfg(0.5),
+            TrafficMode::Uniform,
+            &FaultSet::default(),
+            FaultPolicy::Block,
+        )
+        .expect("valid config")
+        .run()
+        .expect("no deadlock");
+        assert_eq!(a, b);
+        assert_eq!(a.dropped_flits, 0);
+        assert_eq!(a.disconnected_messages, 0);
+    }
+
+    #[test]
+    fn dropped_flits_balance_the_conservation_audit() {
+        let topo = small_topo();
+        // Fail one level-2 up-link: inter-group traffic whose d-mod-k
+        // path climbs through it is discarded at the failure point.
+        let mut faults = FaultSet::new();
+        faults.fail_link(topo.up_link(2, 0, 0));
+        let mut sim = FlitSim::with_faults(
+            &topo,
+            DModK,
+            quick_cfg(0.5),
+            TrafficMode::Uniform,
+            &faults,
+            FaultPolicy::Drop,
+        )
+        .expect("valid config");
+        for _ in 0..6_000 {
+            sim.step();
+        }
+        let (injected, delivered) = sim.lifetime_counters();
+        assert!(
+            sim.dropped_in_lifetime() > 0,
+            "the failed link saw no traffic"
+        );
+        assert!(delivered > 0);
+        assert_eq!(
+            injected,
+            delivered + sim.flits_in_network() + sim.dropped_in_lifetime(),
+            "conservation under faults: injected = delivered + in-flight + dropped"
+        );
+        assert!(sim.stats().dropped_flits > 0);
+    }
+
+    #[test]
+    fn blocking_faults_trip_the_watchdog() {
+        let topo = small_topo();
+        // Sever every PN's injection cable with the blocking policy: the
+        // NIC staging buffers fill, then nothing can ever move again.
+        let mut faults = FaultSet::new();
+        for pn in 0..topo.num_pns() {
+            faults.fail_link(topo.up_link(1, pn, 0));
+        }
+        let cfg = SimConfig {
+            watchdog_cycles: 500,
+            ..quick_cfg(0.5)
+        };
+        let err = FlitSim::with_faults(
+            &topo,
+            DModK,
+            cfg,
+            TrafficMode::Uniform,
+            &faults,
+            FaultPolicy::Block,
+        )
+        .expect("valid config")
+        .run()
+        .unwrap_err();
+        let SimError::Deadlock(report) = err else {
+            panic!("expected a deadlock, got {err:?}")
+        };
+        assert!(report.stalled_for > 500);
+        assert!(report.flits_in_network > 0);
+        assert!(report.blocked_ports > 0);
+        assert!(report.in_flight_packets > 0);
+    }
+
+    #[test]
+    fn fault_aware_routing_counts_disconnected_messages() {
+        use lmpr_core::FaultAware;
+        let topo = small_topo();
+        // PN 0 cannot send (its only up-link is down); a fault-aware
+        // router reports its pairs as disconnected instead of panicking,
+        // and the rest of the network keeps delivering.
+        let mut faults = FaultSet::new();
+        faults.fail_link(topo.up_link(1, 0, 0));
+        let router = FaultAware::new(DModK, faults.clone());
+        let stats = FlitSim::with_faults(
+            &topo,
+            router,
+            quick_cfg(0.3),
+            TrafficMode::Uniform,
+            &faults,
+            FaultPolicy::Drop,
+        )
+        .expect("valid config")
+        .run()
+        .expect("no deadlock");
+        assert!(stats.disconnected_messages > 0);
+        assert!(stats.delivered_flits > 0);
+        // Routing around the failure means nothing is ever dropped.
+        assert_eq!(stats.dropped_flits, 0);
+    }
+
+    #[test]
+    fn bad_configs_are_typed_errors_not_panics() {
+        let topo = small_topo();
+        let bad = SimConfig {
+            offered_load: 2.0,
+            ..SimConfig::default()
+        };
+        assert!(matches!(
+            FlitSim::simulate(&topo, DModK, bad),
+            Err(SimError::Config(_))
+        ));
+        let bad_traffic = TrafficMode::Permutation(vec![0, 1]);
+        assert!(matches!(
+            FlitSim::with_traffic(&topo, DModK, quick_cfg(0.5), bad_traffic),
+            Err(SimError::Traffic(_))
+        ));
     }
 }

@@ -1,9 +1,7 @@
 //! Measurement-window statistics.
 
-use serde::{Deserialize, Serialize};
-
 /// Statistics collected over the measurement window of one simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimStats {
     /// Offered load the run was driven at (flits/node/cycle).
     pub offered_load: f64,
@@ -15,6 +13,12 @@ pub struct SimStats {
     pub injected_flits: u64,
     /// Flits delivered to destinations during the window.
     pub delivered_flits: u64,
+    /// Flits discarded at failed links during the window (only non-zero
+    /// under [`FaultPolicy::Drop`](crate::FaultPolicy::Drop)).
+    pub dropped_flits: u64,
+    /// Messages whose pair had no surviving route (fault-aware routing
+    /// declined them) during the window.
+    pub disconnected_messages: u64,
     /// Messages created during the window.
     pub created_messages: u64,
     /// Window-created messages fully delivered before the run ended.
@@ -82,7 +86,7 @@ impl SimStats {
 
 /// One point of an offered-load sweep (one column of Figure 5 / one
 /// input to a Table 1 cell).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadPoint {
     /// Offered load (fraction of injection bandwidth).
     pub offered: f64,
@@ -113,6 +117,8 @@ mod tests {
             num_pns: 10,
             injected_flits: 5000,
             delivered_flits: 4000,
+            dropped_flits: 0,
+            disconnected_messages: 0,
             created_messages: 80,
             completed_messages: 64,
             sum_message_delay: 6400.0,
@@ -147,7 +153,12 @@ mod tests {
 
     #[test]
     fn saturation_is_the_sweep_max() {
-        let mk = |t: f64| LoadPoint { offered: 0.0, throughput: t, avg_delay: 0.0, completion_rate: 1.0 };
+        let mk = |t: f64| LoadPoint {
+            offered: 0.0,
+            throughput: t,
+            avg_delay: 0.0,
+            completion_rate: 1.0,
+        };
         assert_eq!(saturation_throughput(&[mk(0.2), mk(0.55), mk(0.4)]), 0.55);
         assert_eq!(saturation_throughput(&[]), 0.0);
     }

@@ -1,20 +1,99 @@
 //! Offered-load sweeps across worker threads.
 //!
 //! Table 1 and Figure 5 both need one simulation per offered-load point;
-//! the points are independent, so they fan out over threads. Results
-//! come back over a channel and are re-ordered by load index, keeping
-//! the output deterministic.
+//! the points are independent, so they fan out over threads. Workers
+//! pull load indices from a shared atomic counter and send results back
+//! over a channel; results are re-ordered by load index, keeping the
+//! output deterministic. A panicking worker is caught and reported as a
+//! [`SweepError`] naming the failing load point instead of poisoning
+//! the whole sweep.
 
+use crate::error::SimError;
 use crate::{FlitSim, LoadPoint, SimConfig};
-use crossbeam::channel;
 use lmpr_core::Router;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 use xgft::Topology;
+
+/// Why a sweep failed, always naming the offending load point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepError {
+    /// One simulation returned a typed error (bad config or deadlock).
+    Sim {
+        /// The offered load of the failing point.
+        load: f64,
+        /// Index of the point within the sweep grid.
+        index: usize,
+        /// The underlying simulator error.
+        source: SimError,
+    },
+    /// One worker panicked while simulating a load point.
+    WorkerPanicked {
+        /// The offered load of the failing point.
+        load: f64,
+        /// Index of the point within the sweep grid.
+        index: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// A load index produced no result (a worker died without
+    /// reporting) — surfaced instead of silently emitting a NaN point.
+    MissingResult {
+        /// Index of the unfilled point.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Sim {
+                load,
+                index,
+                source,
+            } => {
+                write!(f, "sweep point {index} (load {load}) failed: {source}")
+            }
+            SweepError::WorkerPanicked {
+                load,
+                index,
+                message,
+            } => {
+                write!(f, "sweep point {index} (load {load}) panicked: {message}")
+            }
+            SweepError::MissingResult { index } => {
+                write!(f, "sweep point {index} produced no result")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Sim { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of one worker simulation, sent back over the result channel.
+type PointResult = (usize, Result<LoadPoint, SweepError>);
 
 /// Run one simulation per entry of `loads` (each uses `cfg` with the
 /// offered load replaced) and return the load points in input order.
 ///
-/// `threads = 0` uses all available parallelism.
-pub fn run_sweep<R>(topo: &Topology, router: &R, cfg: SimConfig, loads: &[f64], threads: usize) -> Vec<LoadPoint>
+/// `threads = 0` uses all available parallelism. The first failing load
+/// point (lowest index) is reported; every index is guaranteed to be
+/// filled on success.
+pub fn run_sweep<R>(
+    topo: &Topology,
+    router: &R,
+    cfg: SimConfig,
+    loads: &[f64],
+    threads: usize,
+) -> Result<Vec<LoadPoint>, SweepError>
 where
     R: Router + Clone,
 {
@@ -28,41 +107,96 @@ where
     if threads <= 1 {
         return loads
             .iter()
-            .map(|&l| FlitSim::simulate(topo, router.clone(), cfg.with_load(l)).load_point())
+            .enumerate()
+            .map(|(i, &l)| simulate_point(topo, router.clone(), cfg, i, l))
             .collect();
     }
 
-    let (work_tx, work_rx) = channel::unbounded::<(usize, f64)>();
-    let (res_tx, res_rx) = channel::unbounded::<(usize, LoadPoint)>();
-    for item in loads.iter().copied().enumerate() {
-        work_tx.send(item).expect("queueing work cannot fail");
-    }
-    drop(work_tx);
+    let next = AtomicUsize::new(0);
+    let (res_tx, res_rx) = mpsc::channel::<PointResult>();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let work_rx = work_rx.clone();
             let res_tx = res_tx.clone();
             let router = router.clone();
-            scope.spawn(move || {
-                while let Ok((i, load)) = work_rx.recv() {
-                    let stats = FlitSim::simulate(topo, router.clone(), cfg.with_load(load));
-                    res_tx
-                        .send((i, stats.load_point()))
-                        .expect("result channel outlives workers");
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&load) = loads.get(i) else { break };
+                let outcome = simulate_point(topo, router.clone(), cfg, i, load);
+                if res_tx.send((i, outcome)).is_err() {
+                    break; // receiver gone: the sweep already failed
                 }
             });
         }
         drop(res_tx);
-        let mut out = vec![
-            LoadPoint { offered: 0.0, throughput: 0.0, avg_delay: f64::NAN, completion_rate: 0.0 };
-            loads.len()
-        ];
-        for (i, p) in res_rx.iter() {
-            out[i] = p;
+
+        let mut out: Vec<Option<LoadPoint>> = vec![None; loads.len()];
+        let mut first_error: Option<SweepError> = None;
+        for (i, outcome) in res_rx.iter() {
+            match outcome {
+                Ok(p) => out[i] = Some(p),
+                // Keep draining so workers finish, but remember the
+                // lowest-index failure for a deterministic report.
+                Err(e) => match &first_error {
+                    Some(prev) if error_index(prev) <= i => {}
+                    _ => first_error = Some(e),
+                },
+            }
         }
-        out
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        out.into_iter()
+            .enumerate()
+            .map(|(index, p)| p.ok_or(SweepError::MissingResult { index }))
+            .collect()
     })
+}
+
+/// Run one load point, converting panics and simulator errors into
+/// [`SweepError`]s that name the point.
+fn simulate_point<R: Router>(
+    topo: &Topology,
+    router: R,
+    cfg: SimConfig,
+    index: usize,
+    load: f64,
+) -> Result<LoadPoint, SweepError> {
+    let sim = catch_unwind(AssertUnwindSafe(|| {
+        FlitSim::simulate(topo, router, cfg.with_load(load))
+    }));
+    match sim {
+        Ok(Ok(stats)) => Ok(stats.load_point()),
+        Ok(Err(source)) => Err(SweepError::Sim {
+            load,
+            index,
+            source,
+        }),
+        Err(payload) => Err(SweepError::WorkerPanicked {
+            load,
+            index,
+            message: panic_message(payload.as_ref()),
+        }),
+    }
+}
+
+fn error_index(e: &SweepError) -> usize {
+    match e {
+        SweepError::Sim { index, .. }
+        | SweepError::WorkerPanicked { index, .. }
+        | SweepError::MissingResult { index } => *index,
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
 }
 
 /// A standard sweep grid: `step, 2·step, …` up to and including 1.0.
@@ -101,11 +235,45 @@ mod tests {
             ..SimConfig::default()
         };
         let loads = [0.2, 0.6];
-        let serial = run_sweep(&topo, &DModK, cfg, &loads, 1);
-        let parallel = run_sweep(&topo, &DModK, cfg, &loads, 2);
+        let serial = run_sweep(&topo, &DModK, cfg, &loads, 1).expect("sweep runs");
+        let parallel = run_sweep(&topo, &DModK, cfg, &loads, 2).expect("sweep runs");
         assert_eq!(serial, parallel);
         assert_eq!(serial[0].offered, 0.2);
         assert_eq!(serial[1].offered, 0.6);
         assert!(saturation_throughput(&serial) > 0.0);
+    }
+
+    #[test]
+    fn invalid_load_point_names_its_index() {
+        let topo = Topology::new(XgftSpec::new(&[4, 4], &[1, 4]).unwrap());
+        let cfg = SimConfig {
+            warmup_cycles: 100,
+            measure_cycles: 300,
+            ..SimConfig::default()
+        };
+        // Load 1.5 fails config validation inside the worker.
+        let loads = [0.2, 1.5];
+        for threads in [1, 2] {
+            let err = run_sweep(&topo, &DModK, cfg, &loads, threads).unwrap_err();
+            match err {
+                SweepError::Sim {
+                    load,
+                    index,
+                    source,
+                } => {
+                    assert_eq!(load, 1.5);
+                    assert_eq!(index, 1);
+                    assert!(matches!(source, SimError::Config(_)));
+                }
+                other => panic!("expected a Sim error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sweep_is_empty() {
+        let topo = Topology::new(XgftSpec::new(&[4, 4], &[1, 4]).unwrap());
+        let cfg = SimConfig::default();
+        assert_eq!(run_sweep(&topo, &DModK, cfg, &[], 4), Ok(vec![]));
     }
 }

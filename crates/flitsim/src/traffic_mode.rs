@@ -6,6 +6,7 @@
 //! with flow-level maximum link load `L` saturates near `1/L` of
 //! injection bandwidth at the flit level).
 
+use crate::error::TrafficError;
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -29,29 +30,45 @@ pub enum TrafficMode {
 }
 
 impl TrafficMode {
-    /// Validate against a node count.
-    ///
-    /// # Panics
-    ///
-    /// Panics on malformed permutations, out-of-range hot nodes or a
-    /// fraction outside `[0, 1]`.
-    pub fn validate(&self, n: u32) {
+    /// Validate against a node count: malformed permutations,
+    /// out-of-range hot nodes and a fraction outside `[0, 1]` are
+    /// rejected with a typed error.
+    pub fn validate(&self, n: u32) -> Result<(), TrafficError> {
         match self {
             TrafficMode::Uniform => {}
             TrafficMode::Permutation(p) => {
-                assert_eq!(p.len() as u32, n, "permutation length must equal node count");
+                if p.len() as u32 != n {
+                    return Err(TrafficError::PermutationLength {
+                        expected: n,
+                        got: p.len(),
+                    });
+                }
                 let mut seen = vec![false; n as usize];
                 for &d in p {
-                    assert!(d < n, "permutation target out of range");
-                    assert!(!std::mem::replace(&mut seen[d as usize], true), "not a bijection");
+                    if d >= n {
+                        return Err(TrafficError::TargetOutOfRange {
+                            target: d,
+                            nodes: n,
+                        });
+                    }
+                    if std::mem::replace(&mut seen[d as usize], true) {
+                        return Err(TrafficError::NotABijection { duplicate: d });
+                    }
                 }
             }
             TrafficMode::Hotspot { hot, fraction } => {
-                assert!(!hot.is_empty(), "hotspot needs at least one hot node");
-                assert!(hot.iter().all(|&h| h < n), "hot node out of range");
-                assert!((0.0..=1.0).contains(fraction), "fraction must be in [0, 1]");
+                if hot.is_empty() {
+                    return Err(TrafficError::EmptyHotSet);
+                }
+                if let Some(&h) = hot.iter().find(|&&h| h >= n) {
+                    return Err(TrafficError::HotNodeOutOfRange { node: h, nodes: n });
+                }
+                if !(0.0..=1.0).contains(fraction) {
+                    return Err(TrafficError::BadFraction(*fraction));
+                }
             }
         }
+        Ok(())
     }
 
     /// Destination for the next message from `src`, or `None` when this
@@ -107,7 +124,7 @@ mod tests {
     #[test]
     fn permutation_is_fixed_and_silent_on_self() {
         let mode = TrafficMode::Permutation(vec![1, 0, 2, 3]);
-        mode.validate(4);
+        assert_eq!(mode.validate(4), Ok(()));
         let mut r = rng();
         assert_eq!(mode.pick(0, 4, &mut r), Some(1));
         assert_eq!(mode.pick(1, 4, &mut r), Some(0));
@@ -116,8 +133,11 @@ mod tests {
 
     #[test]
     fn hotspot_biases_toward_hot_nodes() {
-        let mode = TrafficMode::Hotspot { hot: vec![0], fraction: 0.8 };
-        mode.validate(16);
+        let mode = TrafficMode::Hotspot {
+            hot: vec![0],
+            fraction: 0.8,
+        };
+        assert_eq!(mode.validate(16), Ok(()));
         let mut r = rng();
         let hits = (0..1000)
             .filter(|_| mode.pick(5, 16, &mut r).unwrap() == 0)
@@ -126,14 +146,51 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bijection")]
     fn invalid_permutation_rejected() {
-        TrafficMode::Permutation(vec![0, 0, 1]).validate(3);
+        let err = TrafficMode::Permutation(vec![0, 0, 1])
+            .validate(3)
+            .unwrap_err();
+        assert_eq!(err, TrafficError::NotABijection { duplicate: 0 });
+        assert!(err.to_string().contains("bijection"));
     }
 
     #[test]
-    #[should_panic(expected = "length")]
     fn wrong_length_rejected() {
-        TrafficMode::Permutation(vec![0, 1]).validate(3);
+        let err = TrafficMode::Permutation(vec![0, 1])
+            .validate(3)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TrafficError::PermutationLength {
+                expected: 3,
+                got: 2
+            }
+        );
+        assert!(err.to_string().contains("length"));
+    }
+
+    #[test]
+    fn hotspot_errors_are_typed() {
+        let e = TrafficMode::Hotspot {
+            hot: vec![],
+            fraction: 0.5,
+        }
+        .validate(4);
+        assert_eq!(e, Err(TrafficError::EmptyHotSet));
+        let e = TrafficMode::Hotspot {
+            hot: vec![9],
+            fraction: 0.5,
+        }
+        .validate(4);
+        assert_eq!(
+            e,
+            Err(TrafficError::HotNodeOutOfRange { node: 9, nodes: 4 })
+        );
+        let e = TrafficMode::Hotspot {
+            hot: vec![1],
+            fraction: 1.5,
+        }
+        .validate(4);
+        assert_eq!(e, Err(TrafficError::BadFraction(1.5)));
     }
 }

@@ -19,7 +19,11 @@ impl<T> Default for Slab<T> {
 impl<T> Slab<T> {
     /// An empty slab.
     pub fn new() -> Self {
-        Slab { slots: Vec::new(), free: Vec::new(), len: 0 }
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
     }
 
     /// Insert a value and return its key.
@@ -41,7 +45,9 @@ impl<T> Slab<T> {
     ///
     /// Panics if the slot is vacant (a double-free is a simulator bug).
     pub fn remove(&mut self, key: u32) -> T {
-        let v = self.slots[key as usize].take().expect("slab slot already vacant");
+        let v = self.slots[key as usize]
+            .take()
+            .expect("slab slot already vacant");
         self.free.push(key);
         self.len -= 1;
         v

@@ -82,7 +82,11 @@ mod tests {
         let t = Topology::new(XgftSpec::new(&[4, 4], &[1, 4]).unwrap());
         let tm = TrafficMatrix::from_flows(
             t.num_pns(),
-            vec![Flow { src: PnId(0), dst: PnId(15), demand: 1.0 }],
+            vec![Flow {
+                src: PnId(0),
+                dst: PnId(15),
+                demand: 1.0,
+            }],
         );
         // Tightest cut is the PN itself: 1 unit over TL(0) = w_1 = 1.
         assert!((ml_lower_bound(&t, &tm) - 1.0).abs() < 1e-12);
@@ -98,8 +102,7 @@ mod tests {
         ] {
             let t = Topology::new(spec);
             for seed in 0..5u64 {
-                let tm =
-                    TrafficMatrix::permutation(&random_permutation(t.num_pns(), seed));
+                let tm = TrafficMatrix::permutation(&random_permutation(t.num_pns(), seed));
                 let mload = LinkLoads::accumulate(&t, &Umulti, &tm).max_load();
                 let ml = ml_lower_bound(&t, &tm);
                 assert!(
@@ -139,7 +142,11 @@ mod tests {
         // sub-tree cut: 4 nodes of sub-tree 0 each send 1 unit out.
         let t = Topology::new(XgftSpec::new(&[4, 4], &[1, 2]).unwrap());
         let flows = (0..4)
-            .map(|j| Flow { src: PnId(j), dst: PnId(4 + j), demand: 1.0 })
+            .map(|j| Flow {
+                src: PnId(j),
+                dst: PnId(4 + j),
+                demand: 1.0,
+            })
             .collect();
         let tm = TrafficMatrix::from_flows(t.num_pns(), flows);
         // TL(1) = w_1 w_2 = 2 → bound 4/2 = 2 (the PN cut gives only 1).

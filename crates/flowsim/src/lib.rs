@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 mod bound;
+mod degraded;
 mod loads;
 mod oblivious;
 mod report;
@@ -30,6 +31,7 @@ mod study;
 mod worstcase;
 
 pub use bound::{ml_lower_bound, performance_ratio};
+pub use degraded::DegradedLoads;
 pub use loads::LinkLoads;
 pub use oblivious::{estimate_oblivious_ratio, ObliviousEstimate};
 pub use report::{level_breakdown, LevelLoads};

@@ -14,7 +14,9 @@ pub struct LinkLoads {
 impl LinkLoads {
     /// An all-zero load map for a topology.
     pub fn zero(topo: &Topology) -> Self {
-        LinkLoads { loads: vec![0.0; topo.num_links() as usize] }
+        LinkLoads {
+            loads: vec![0.0; topo.num_links() as usize],
+        }
     }
 
     /// Route `tm` with `router` and return the per-link loads.
@@ -35,12 +37,7 @@ impl LinkLoads {
         let mut paths: Vec<PathId> = Vec::new();
         for f in tm.flows() {
             router.fill_paths(topo, f.src, f.dst, &mut paths);
-            let share = f.demand / paths.len() as f64;
-            for &p in &paths {
-                topo.walk_path(f.src, f.dst, p, |link| {
-                    self.loads[link.0 as usize] += share;
-                });
-            }
+            self.deposit(topo, f.src, f.dst, &paths, f.demand);
         }
     }
 
@@ -55,8 +52,27 @@ impl LinkLoads {
     ) {
         let mut paths = Vec::new();
         router.fill_paths(topo, src, dst, &mut paths);
+        self.deposit(topo, src, dst, &paths, demand);
+    }
+
+    /// Spread `demand` evenly over the pair's selected `paths` (the
+    /// deposit step every accumulator shares). `paths` must be
+    /// non-empty — degraded-mode callers skip disconnected flows before
+    /// depositing.
+    pub fn deposit(
+        &mut self,
+        topo: &Topology,
+        src: PnId,
+        dst: PnId,
+        paths: &[PathId],
+        demand: f64,
+    ) {
+        assert!(
+            !paths.is_empty(),
+            "cannot deposit a flow over an empty path set"
+        );
         let share = demand / paths.len() as f64;
-        for &p in &paths {
+        for &p in paths {
             topo.walk_path(src, dst, p, |link| {
                 self.loads[link.0 as usize] += share;
             });
@@ -128,12 +144,15 @@ mod tests {
         let t = topo();
         let tm = TrafficMatrix::from_flows(
             t.num_pns(),
-            vec![Flow { src: PnId(0), dst: PnId(15), demand: 2.0 }],
+            vec![Flow {
+                src: PnId(0),
+                dst: PnId(15),
+                demand: 2.0,
+            }],
         );
         let loads = LinkLoads::accumulate(&t, &DModK, &tm);
         // NCA level 2 → 4 links, each carrying the full 2.0.
-        let non_zero: Vec<f64> =
-            loads.loads().iter().copied().filter(|&v| v > 0.0).collect();
+        let non_zero: Vec<f64> = loads.loads().iter().copied().filter(|&v| v > 0.0).collect();
         assert_eq!(non_zero.len(), 4);
         assert!(non_zero.iter().all(|&v| (v - 2.0).abs() < 1e-12));
         assert_eq!(loads.max_load(), 2.0);
@@ -145,7 +164,11 @@ mod tests {
         let t = topo();
         let tm = TrafficMatrix::from_flows(
             t.num_pns(),
-            vec![Flow { src: PnId(0), dst: PnId(15), demand: 4.0 }],
+            vec![Flow {
+                src: PnId(0),
+                dst: PnId(15),
+                demand: 4.0,
+            }],
         );
         let loads = LinkLoads::accumulate(&t, &Umulti, &tm);
         // 4 paths, demand 4 → each path carries 1; the first up-link is
@@ -188,7 +211,11 @@ mod tests {
         let t = topo();
         let tm = TrafficMatrix::from_flows(
             t.num_pns(),
-            vec![Flow { src: PnId(3), dst: PnId(9), demand: 1.5 }],
+            vec![Flow {
+                src: PnId(3),
+                dst: PnId(9),
+                demand: 1.5,
+            }],
         );
         let a = LinkLoads::accumulate(&t, &Umulti, &tm);
         let mut b = LinkLoads::zero(&t);
@@ -201,7 +228,11 @@ mod tests {
         let t = topo();
         let tm = TrafficMatrix::from_flows(
             t.num_pns(),
-            vec![Flow { src: PnId(0), dst: PnId(1), demand: 7.0 }],
+            vec![Flow {
+                src: PnId(0),
+                dst: PnId(1),
+                demand: 7.0,
+            }],
         );
         let loads = LinkLoads::accumulate(&t, &DModK, &tm);
         let (link, load) = loads.argmax();

@@ -36,7 +36,10 @@ pub fn estimate_oblivious_ratio<R: Router + ?Sized>(
     seed: u64,
 ) -> ObliviousEstimate {
     let n = topo.num_pns();
-    let mut best = ObliviousEstimate { ratio: 1.0, witness: "uniform (trivial)".into() };
+    let mut best = ObliviousEstimate {
+        ratio: 1.0,
+        witness: "uniform (trivial)".into(),
+    };
     let consider = |ratio: f64, witness: String, best: &mut ObliviousEstimate| {
         if ratio > best.ratio {
             *best = ObliviousEstimate { ratio, witness };
@@ -61,14 +64,26 @@ pub fn estimate_oblivious_ratio<R: Router + ?Sized>(
     }
     if n.is_power_of_two() {
         let tm = TrafficMatrix::permutation(&bit_complement_permutation(n));
-        consider(performance_ratio(topo, router, &tm), "bit-complement".into(), &mut best);
+        consider(
+            performance_ratio(topo, router, &tm),
+            "bit-complement".into(),
+            &mut best,
+        );
         let tm = TrafficMatrix::permutation(&bit_reversal_permutation(n));
-        consider(performance_ratio(topo, router, &tm), "bit-reversal".into(), &mut best);
+        consider(
+            performance_ratio(topo, router, &tm),
+            "bit-reversal".into(),
+            &mut best,
+        );
     }
     let r = (n as f64).sqrt().round() as u32;
     if r * r == n {
         let tm = TrafficMatrix::permutation(&transpose_permutation(n));
-        consider(performance_ratio(topo, router, &tm), "transpose".into(), &mut best);
+        consider(
+            performance_ratio(topo, router, &tm),
+            "transpose".into(),
+            &mut best,
+        );
     }
     if let Some(p) = adversarial_concentration(topo) {
         consider(
@@ -110,7 +125,10 @@ mod tests {
         let r4 = estimate_oblivious_ratio(&topo, &Disjoint::new(4), 8, 1).ratio;
         assert!(r2 <= r1 + 1e-9);
         assert!(r4 <= r2 + 1e-9);
-        assert!((r4 - 1.0).abs() < 1e-9, "full budget is optimal on all witnesses");
+        assert!(
+            (r4 - 1.0).abs() < 1e-9,
+            "full budget is optimal on all witnesses"
+        );
     }
 
     #[test]

@@ -53,7 +53,11 @@ pub fn level_breakdown(topo: &Topology, loads: &LinkLoads) -> Vec<LevelLoads> {
     (0..2 * h)
         .map(|idx| LevelLoads {
             level: (idx / 2 + 1) as u8,
-            dir: if idx % 2 == 0 { LinkDir::Up } else { LinkDir::Down },
+            dir: if idx % 2 == 0 {
+                LinkDir::Up
+            } else {
+                LinkDir::Down
+            },
             max: maxes[idx],
             mean: sums[idx] / counts[idx] as f64,
             links: counts[idx],
@@ -111,8 +115,7 @@ mod tests {
         let tm = TrafficMatrix::permutation(&random_permutation(topo.num_pns(), 1));
         let loads = LinkLoads::accumulate(&topo, &Disjoint::new(2), &tm);
         let classes = level_breakdown(&topo, &loads);
-        let recomposed: f64 =
-            classes.iter().map(|c| c.mean * c.links as f64).sum();
+        let recomposed: f64 = classes.iter().map(|c| c.mean * c.links as f64).sum();
         assert!((recomposed - loads.total()).abs() < 1e-9);
     }
 }

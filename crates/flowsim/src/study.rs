@@ -75,7 +75,10 @@ pub struct PermutationStudy {
 impl PermutationStudy {
     /// Create a study over `topo` with the given configuration.
     pub fn new(topo: Topology, cfg: StudyConfig) -> Self {
-        assert!(cfg.initial_samples >= 2, "need at least two samples for a CI");
+        assert!(
+            cfg.initial_samples >= 2,
+            "need at least two samples for a CI"
+        );
         assert!(cfg.rel_half_width > 0.0 && cfg.z > 0.0);
         PermutationStudy { topo, cfg }
     }
@@ -110,13 +113,7 @@ impl PermutationStudy {
 
     /// Evaluate samples `from..to` in parallel and append them (in
     /// sample-index order) to `values`.
-    fn sample_range<R: Router>(
-        &self,
-        router: &R,
-        from: usize,
-        to: usize,
-        values: &mut Vec<f64>,
-    ) {
+    fn sample_range<R: Router>(&self, router: &R, from: usize, to: usize, values: &mut Vec<f64>) {
         let n = to - from;
         let threads = if self.cfg.threads == 0 {
             std::thread::available_parallelism().map_or(1, |p| p.get())
@@ -173,7 +170,13 @@ pub fn average_over_seeds(
     cfg: StudyConfig,
 ) -> StudyResult {
     assert!(!seeds.is_empty());
-    let mut acc = StudyResult { mean: 0.0, half_width: 0.0, std_dev: 0.0, samples: 0, converged: true };
+    let mut acc = StudyResult {
+        mean: 0.0,
+        half_width: 0.0,
+        std_dev: 0.0,
+        samples: 0,
+        converged: true,
+    };
     for &seed in seeds {
         let study = PermutationStudy::new(topo.clone(), cfg);
         let r = study.run(&kind.with_seed(seed));
@@ -239,7 +242,10 @@ mod tests {
         let single = study.run(&DModK);
         let multi = study.run(&Umulti);
         assert!(multi.mean < single.mean);
-        assert!(multi.mean >= 1.0 - 1e-9, "a permutation always loads some link fully");
+        assert!(
+            multi.mean >= 1.0 - 1e-9,
+            "a permutation always loads some link fully"
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@ pub struct SearchConfig {
 
 impl Default for SearchConfig {
     fn default() -> Self {
-        SearchConfig { restarts: 4, steps_per_restart: 400, seed: 0xBAD_5EED }
+        SearchConfig {
+            restarts: 4,
+            steps_per_restart: 400,
+            seed: 0xBAD_5EED,
+        }
     }
 }
 
@@ -53,9 +57,12 @@ pub fn worst_permutation<R: Router + ?Sized>(
     let n = topo.num_pns();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut loads = LinkLoads::zero(topo);
-    let mut best = WorstCase { permutation: (0..n).collect(), ratio: 1.0 };
+    let mut best = WorstCase {
+        permutation: (0..n).collect(),
+        ratio: 1.0,
+    };
 
-    let mut score = |perm: &[u32], loads: &mut LinkLoads| -> f64 {
+    let score = |perm: &[u32], loads: &mut LinkLoads| -> f64 {
         let tm = TrafficMatrix::permutation(perm);
         loads.clear();
         loads.add(topo, router, &tm);
@@ -86,7 +93,10 @@ pub fn worst_permutation<R: Router + ?Sized>(
             }
         }
         if current > best.ratio {
-            best = WorstCase { permutation: perm, ratio: current };
+            best = WorstCase {
+                permutation: perm,
+                ratio: current,
+            };
         }
     }
     best
@@ -103,7 +113,11 @@ mod tests {
     mod lmpr_flowsim_test_util {
         use super::SearchConfig;
         pub fn quick() -> SearchConfig {
-            SearchConfig { restarts: 2, steps_per_restart: 120, seed: 7 }
+            SearchConfig {
+                restarts: 2,
+                steps_per_restart: 120,
+                seed: 7,
+            }
         }
     }
 
@@ -135,7 +149,10 @@ mod tests {
     fn umulti_cannot_be_attacked() {
         let topo = Topology::new(XgftSpec::new(&[3, 4], &[2, 2]).unwrap());
         let w = worst_permutation(&topo, &Umulti, quick());
-        assert!((w.ratio - 1.0).abs() < 1e-9, "Theorem 1 holds under attack: {w:?}");
+        assert!(
+            (w.ratio - 1.0).abs() < 1e-9,
+            "Theorem 1 holds under attack: {w:?}"
+        );
     }
 
     #[test]

@@ -110,7 +110,11 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for f in p.tm.flows() {
             assert!(seen.insert(topo.subtree_of(f.dst, h - 1)));
-            assert_ne!(topo.subtree_of(f.dst, h - 1), 0, "destinations leave sub-tree 0");
+            assert_ne!(
+                topo.subtree_of(f.dst, h - 1),
+                0,
+                "destinations leave sub-tree 0"
+            );
         }
     }
 }

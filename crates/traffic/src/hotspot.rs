@@ -19,7 +19,10 @@ use xgft::PnId;
 /// `hot_fraction` is outside `[0, 1]`.
 pub fn hotspot(n: u32, hot: &[PnId], hot_fraction: f64) -> TrafficMatrix {
     assert!(!hot.is_empty(), "need at least one hot node");
-    assert!((0.0..=1.0).contains(&hot_fraction), "fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&hot_fraction),
+        "fraction must be in [0, 1]"
+    );
     assert!(hot.iter().all(|h| h.0 < n), "hot node out of range");
     assert!(n >= 2);
     let mut flows = Vec::new();
@@ -29,13 +32,21 @@ pub fn hotspot(n: u32, hot: &[PnId], hot_fraction: f64) -> TrafficMatrix {
         let s = PnId(s);
         for &h in hot {
             if h != s {
-                flows.push(Flow { src: s, dst: h, demand: hot_share });
+                flows.push(Flow {
+                    src: s,
+                    dst: h,
+                    demand: hot_share,
+                });
             }
         }
         for d in 0..n {
             let d = PnId(d);
             if d != s {
-                flows.push(Flow { src: s, dst: d, demand: cold_share });
+                flows.push(Flow {
+                    src: s,
+                    dst: d,
+                    demand: cold_share,
+                });
             }
         }
     }
@@ -49,7 +60,11 @@ pub fn hotspot(n: u32, hot: &[PnId], hot_fraction: f64) -> TrafficMatrix {
         n,
         merged
             .into_iter()
-            .map(|((s, d), demand)| Flow { src: PnId(s), dst: PnId(d), demand })
+            .map(|((s, d), demand)| Flow {
+                src: PnId(s),
+                dst: PnId(d),
+                demand,
+            })
             .collect(),
     )
 }
@@ -60,7 +75,11 @@ pub fn all_to_one(n: u32, sink: PnId) -> TrafficMatrix {
     assert!(sink.0 < n);
     let flows = (0..n)
         .filter(|&s| s != sink.0)
-        .map(|s| Flow { src: PnId(s), dst: sink, demand: 1.0 })
+        .map(|s| Flow {
+            src: PnId(s),
+            dst: sink,
+            demand: 1.0,
+        })
         .collect();
     TrafficMatrix::from_flows(n, flows)
 }
@@ -77,7 +96,11 @@ mod tests {
         assert!((tm.total_demand() - 7.5).abs() < 1e-9);
         // The hot node receives far more than a cold one.
         let to = |d: u32| -> f64 {
-            tm.flows().iter().filter(|f| f.dst.0 == d).map(|f| f.demand).sum()
+            tm.flows()
+                .iter()
+                .filter(|f| f.dst.0 == d)
+                .map(|f| f.demand)
+                .sum()
         };
         assert!(to(0) > 3.0);
         assert!(to(5) < 1.0);

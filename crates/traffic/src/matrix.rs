@@ -1,11 +1,10 @@
 //! Sparse traffic matrices.
 
-use serde::{Deserialize, Serialize};
 use xgft::PnId;
 
 /// One entry of a traffic matrix: `demand` units of traffic from `src`
 /// to `dst`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Flow {
     /// Sending processing node.
     pub src: PnId,
@@ -21,7 +20,7 @@ pub struct Flow {
 /// Permutations have `N` entries and uniform all-to-all `N·(N-1)`; dense
 /// `N×N` storage is never needed. Self-flows (`src == dst`) are legal in
 /// the paper's model but load no links, so constructors drop them.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrafficMatrix {
     n: u32,
     flows: Vec<Flow>,
@@ -37,7 +36,10 @@ impl TrafficMatrix {
     pub fn from_flows(n: u32, flows: Vec<Flow>) -> Self {
         for f in &flows {
             assert!(f.src.0 < n && f.dst.0 < n, "flow endpoint out of range");
-            assert!(f.demand.is_finite() && f.demand >= 0.0, "demand must be non-negative");
+            assert!(
+                f.demand.is_finite() && f.demand >= 0.0,
+                "demand must be non-negative"
+            );
         }
         let flows = flows
             .into_iter()
@@ -62,7 +64,11 @@ impl TrafficMatrix {
         let flows = perm
             .iter()
             .enumerate()
-            .map(|(i, &d)| Flow { src: PnId(i as u32), dst: PnId(d), demand: 1.0 })
+            .map(|(i, &d)| Flow {
+                src: PnId(i as u32),
+                dst: PnId(d),
+                demand: 1.0,
+            })
             .collect();
         Self::from_flows(n, flows)
     }
@@ -78,13 +84,20 @@ impl TrafficMatrix {
     pub fn uniform(n: u32, per_node: f64) -> Self {
         assert!(n >= 2, "uniform traffic needs at least two nodes");
         let entries = n as u64 * (n as u64 - 1);
-        assert!(entries <= 1 << 24, "dense uniform matrix too large ({entries} flows)");
+        assert!(
+            entries <= 1 << 24,
+            "dense uniform matrix too large ({entries} flows)"
+        );
         let share = per_node / (n - 1) as f64;
         let mut flows = Vec::with_capacity(entries as usize);
         for s in 0..n {
             for d in 0..n {
                 if s != d {
-                    flows.push(Flow { src: PnId(s), dst: PnId(d), demand: share });
+                    flows.push(Flow {
+                        src: PnId(s),
+                        dst: PnId(d),
+                        demand: share,
+                    });
                 }
             }
         }
@@ -159,7 +172,11 @@ mod tests {
     fn endpoint_bounds_checked() {
         let _ = TrafficMatrix::from_flows(
             2,
-            vec![Flow { src: PnId(0), dst: PnId(5), demand: 1.0 }],
+            vec![Flow {
+                src: PnId(0),
+                dst: PnId(5),
+                demand: 1.0,
+            }],
         );
     }
 
@@ -168,7 +185,11 @@ mod tests {
     fn negative_demand_rejected() {
         let _ = TrafficMatrix::from_flows(
             2,
-            vec![Flow { src: PnId(0), dst: PnId(1), demand: -1.0 }],
+            vec![Flow {
+                src: PnId(0),
+                dst: PnId(1),
+                demand: -1.0,
+            }],
         );
     }
 
@@ -177,8 +198,16 @@ mod tests {
         let tm = TrafficMatrix::from_flows(
             3,
             vec![
-                Flow { src: PnId(0), dst: PnId(1), demand: 0.0 },
-                Flow { src: PnId(1), dst: PnId(2), demand: 2.5 },
+                Flow {
+                    src: PnId(0),
+                    dst: PnId(1),
+                    demand: 0.0,
+                },
+                Flow {
+                    src: PnId(1),
+                    dst: PnId(2),
+                    demand: 2.5,
+                },
             ],
         );
         assert_eq!(tm.flows().len(), 1);

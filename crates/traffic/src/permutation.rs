@@ -39,7 +39,10 @@ pub fn shift_permutation(n: u32, k: u32) -> Vec<u32> {
 ///
 /// Panics unless `n` is a power of two.
 pub fn bit_complement_permutation(n: u32) -> Vec<u32> {
-    assert!(n.is_power_of_two(), "bit-complement needs a power-of-two node count");
+    assert!(
+        n.is_power_of_two(),
+        "bit-complement needs a power-of-two node count"
+    );
     (0..n).map(|i| (n - 1) ^ i).collect()
 }
 
@@ -49,7 +52,10 @@ pub fn bit_complement_permutation(n: u32) -> Vec<u32> {
 ///
 /// Panics unless `n` is a power of two.
 pub fn bit_reversal_permutation(n: u32) -> Vec<u32> {
-    assert!(n.is_power_of_two(), "bit-reversal needs a power-of-two node count");
+    assert!(
+        n.is_power_of_two(),
+        "bit-reversal needs a power-of-two node count"
+    );
     let bits = n.trailing_zeros();
     (0..n).map(|i| i.reverse_bits() >> (32 - bits)).collect()
 }

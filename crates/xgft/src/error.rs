@@ -44,7 +44,11 @@ impl fmt::Display for SpecError {
         match self {
             SpecError::EmptyHeight => write!(f, "XGFT height h must be at least 1"),
             SpecError::TooTall { h } => {
-                write!(f, "XGFT height {h} exceeds MAX_HEIGHT = {}", crate::MAX_HEIGHT)
+                write!(
+                    f,
+                    "XGFT height {h} exceeds MAX_HEIGHT = {}",
+                    crate::MAX_HEIGHT
+                )
             }
             SpecError::MismatchedArities { m_len, w_len } => write!(
                 f,

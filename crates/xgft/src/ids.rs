@@ -1,16 +1,14 @@
 //! Strongly-typed identifiers used throughout the workspace.
 
-use serde::{Deserialize, Serialize};
-
 /// A processing node (level-0 node), numbered `0 .. N` exactly as in the
 /// paper: the PN with label digits `(a_h, …, a_1)` has rank
 /// `Σ a_i · Π_{j<i} m_j` (digit 1 least significant).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PnId(pub u32);
 
 /// Any node of the tree: `(level, rank)` with `rank` dense within the
 /// level. Level 0 ranks coincide with [`PnId`] values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId {
     /// Level in `0 ..= h`; level 0 is the processing nodes.
     pub level: u8,
@@ -22,12 +20,15 @@ pub struct NodeId {
 impl NodeId {
     /// The node for a processing node id.
     pub fn pn(pn: PnId) -> Self {
-        NodeId { level: 0, rank: pn.0 }
+        NodeId {
+            level: 0,
+            rank: pn.0,
+        }
     }
 }
 
 /// Direction of a directed link relative to the tree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LinkDir {
     /// From a level-`l-1` node up to a level-`l` node.
     Up,
@@ -40,7 +41,7 @@ pub enum LinkDir {
 /// Up-links and down-links are distinct (full-duplex cabling), because
 /// the maximum-link-load metric of the paper treats the two directions
 /// independently.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DirectedLinkId(pub u32);
 
 /// Index of a shortest path within the canonical enumeration of all
@@ -49,7 +50,7 @@ pub struct DirectedLinkId(pub u32);
 ///
 /// A `PathId` is only meaningful together with the SD pair it was
 /// enumerated for; it is *not* a global identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PathId(pub u64);
 
 #[cfg(test)]

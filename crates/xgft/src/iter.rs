@@ -6,8 +6,10 @@ impl Topology {
     /// Iterate every node, level by level from the processing nodes up.
     pub fn all_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..=self.height()).flat_map(move |level| {
-            (0..self.nodes_at_level(level))
-                .map(move |rank| NodeId { level: level as u8, rank })
+            (0..self.nodes_at_level(level)).map(move |rank| NodeId {
+                level: level as u8,
+                rank,
+            })
         })
     }
 
@@ -18,7 +20,9 @@ impl Topology {
 
     /// Total number of nodes (processing nodes plus switches).
     pub fn num_nodes(&self) -> u64 {
-        (0..=self.height()).map(|l| self.nodes_at_level(l) as u64).sum()
+        (0..=self.height())
+            .map(|l| self.nodes_at_level(l) as u64)
+            .sum()
     }
 
     /// Exhaustive structural self-check of the fabric: port counts,
@@ -67,7 +71,10 @@ impl Topology {
                 }
             }
         }
-        assert!(seen.iter().all(|&s| s), "some link is not reachable from any port");
+        assert!(
+            seen.iter().all(|&s| s),
+            "some link is not reachable from any port"
+        );
     }
 }
 

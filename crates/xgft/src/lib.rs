@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod fault;
 mod ids;
 mod iter;
 mod paths;
@@ -59,6 +60,7 @@ mod subtree;
 mod topology;
 
 pub use error::SpecError;
+pub use fault::FaultSet;
 pub use ids::{DirectedLinkId, LinkDir, NodeId, PathId, PnId};
 pub use paths::PathWalk;
 pub use spec::XgftSpec;

@@ -179,7 +179,10 @@ impl PathWalk {
     pub fn collect(topo: &Topology, s: PnId, d: PnId, path: PathId) -> Self {
         let mut links = Vec::new();
         topo.walk_path(s, d, path, |l| links.push(l));
-        PathWalk { nodes: topo.path_nodes(s, d, path), links }
+        PathWalk {
+            nodes: topo.path_nodes(s, d, path),
+            links,
+        }
     }
 }
 
@@ -307,7 +310,10 @@ mod tests {
         let t = fig3();
         // s-mod-k of (s, d) equals d-mod-k of (d, s).
         for (s, d) in [(0u32, 63u32), (5, 42), (17, 3)] {
-            assert_eq!(t.smodk_path(PnId(s), PnId(d)), t.dmodk_path(PnId(d), PnId(s)));
+            assert_eq!(
+                t.smodk_path(PnId(s), PnId(d)),
+                t.dmodk_path(PnId(d), PnId(s))
+            );
         }
     }
 

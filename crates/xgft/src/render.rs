@@ -20,14 +20,28 @@ pub fn to_dot(topo: &Topology) -> String {
     for level in (0..=h).rev() {
         write!(out, "  {{ rank=same; ").unwrap();
         for rank in 0..topo.nodes_at_level(level) {
-            write!(out, "{} ", dot_id(topo, NodeId { level: level as u8, rank })).unwrap();
+            write!(
+                out,
+                "{} ",
+                dot_id(
+                    topo,
+                    NodeId {
+                        level: level as u8,
+                        rank
+                    }
+                )
+            )
+            .unwrap();
         }
         writeln!(out, "}}").unwrap();
     }
     for level in 0..=h {
         let shape = if level == 0 { "circle" } else { "box" };
         for rank in 0..topo.nodes_at_level(level) {
-            let n = NodeId { level: level as u8, rank };
+            let n = NodeId {
+                level: level as u8,
+                rank,
+            };
             writeln!(
                 out,
                 "  {} [shape={shape}, label=\"{}\"];",

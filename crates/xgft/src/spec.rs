@@ -1,7 +1,6 @@
 //! XGFT parameter sets and fat-tree equivalence constructors.
 
 use crate::{SpecError, MAX_HEIGHT};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A validated `XGFT(h; m_1..m_h; w_1..w_h)` parameter set.
@@ -9,7 +8,7 @@ use std::fmt;
 /// `m_i` is the number of children of a level-`i` node and `w_i` the
 /// number of parents of a level-`(i-1)` node. Vectors are stored
 /// 0-indexed: `m()[i-1] == m_i`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct XgftSpec {
     m: Box<[u32]>,
     w: Box<[u32]>,
@@ -29,7 +28,10 @@ impl XgftSpec {
             return Err(SpecError::EmptyHeight);
         }
         if m.len() != w.len() {
-            return Err(SpecError::MismatchedArities { m_len: m.len(), w_len: w.len() });
+            return Err(SpecError::MismatchedArities {
+                m_len: m.len(),
+                w_len: w.len(),
+            });
         }
         if m.len() > MAX_HEIGHT {
             return Err(SpecError::TooTall { h: m.len() });
@@ -44,21 +46,28 @@ impl XgftSpec {
                 return Err(SpecError::ZeroParentArity { level: i + 1 });
             }
         }
-        let spec = XgftSpec { m: m.into(), w: w.into() };
+        let spec = XgftSpec {
+            m: m.into(),
+            w: w.into(),
+        };
         // Node counts per level and the path count must fit comfortably.
         let mut pns: u64 = 1;
         for &mi in m {
             pns = pns
                 .checked_mul(mi as u64)
                 .filter(|&v| v <= u32::MAX as u64)
-                .ok_or(SpecError::TooLarge { what: "processing-node count exceeds u32" })?;
+                .ok_or(SpecError::TooLarge {
+                    what: "processing-node count exceeds u32",
+                })?;
         }
         let mut tops: u64 = 1;
         for &wi in w {
             tops = tops
                 .checked_mul(wi as u64)
                 .filter(|&v| v <= u32::MAX as u64)
-                .ok_or(SpecError::TooLarge { what: "top-switch/path count exceeds u32" })?;
+                .ok_or(SpecError::TooLarge {
+                    what: "top-switch/path count exceeds u32",
+                })?;
         }
         // Per-level node counts (mixed products) and link counts.
         let h = m.len();
@@ -72,14 +81,18 @@ impl XgftSpec {
                 c *= w[i - 1] as u64;
             }
             if c > u32::MAX as u64 {
-                return Err(SpecError::TooLarge { what: "per-level node count exceeds u32" });
+                return Err(SpecError::TooLarge {
+                    what: "per-level node count exceeds u32",
+                });
             }
             if l < h {
                 links += 2 * c * w[l] as u64;
             }
         }
         if links > u32::MAX as u64 {
-            return Err(SpecError::TooLarge { what: "directed link count exceeds u32" });
+            return Err(SpecError::TooLarge {
+                what: "directed link count exceeds u32",
+            });
         }
         Ok(spec)
     }
@@ -178,8 +191,14 @@ mod tests {
             XgftSpec::new(&[2], &[2, 2]),
             Err(SpecError::MismatchedArities { m_len: 1, w_len: 2 })
         );
-        assert_eq!(XgftSpec::new(&[2, 0], &[1, 2]), Err(SpecError::ZeroChildArity { level: 2 }));
-        assert_eq!(XgftSpec::new(&[2, 2], &[0, 2]), Err(SpecError::ZeroParentArity { level: 1 }));
+        assert_eq!(
+            XgftSpec::new(&[2, 0], &[1, 2]),
+            Err(SpecError::ZeroChildArity { level: 2 })
+        );
+        assert_eq!(
+            XgftSpec::new(&[2, 2], &[0, 2]),
+            Err(SpecError::ZeroParentArity { level: 1 })
+        );
         assert!(matches!(
             XgftSpec::new(&[2; MAX_HEIGHT + 1], &[1; MAX_HEIGHT + 1]),
             Err(SpecError::TooTall { .. })

@@ -70,7 +70,16 @@ impl Topology {
             down_base[l] = next as u32;
             next += per_dir;
         }
-        Topology { spec, h, w_prod, m_prod, level_counts, up_base, down_base, num_links: next as u32 }
+        Topology {
+            spec,
+            h,
+            w_prod,
+            m_prod,
+            level_counts,
+            up_base,
+            down_base,
+            num_links: next as u32,
+        }
     }
 
     /// The parameter set this topology was built from.
@@ -178,7 +187,10 @@ impl Topology {
             debug_assert!((digits[i - 1] as u64) < radix);
             r = r * radix + digits[i - 1] as u64;
         }
-        NodeId { level: level as u8, rank: r as u32 }
+        NodeId {
+            level: level as u8,
+            rank: r as u32,
+        }
     }
 
     /// Label digit `a_i` of a processing node (radix `m_i`).
@@ -258,21 +270,34 @@ impl Topology {
                 let w = self.spec.w_at(l);
                 let child_rank = rel / w;
                 let port = rel % w;
-                let from = NodeId { level: (l - 1) as u8, rank: child_rank };
+                let from = NodeId {
+                    level: (l - 1) as u8,
+                    rank: child_rank,
+                };
                 let to = self.parent(from, port);
                 // The parent receives on the down port for this child's
                 // index, which is the child's digit at position l.
                 let mut digits = [0u32; MAX_HEIGHT];
                 self.digits_of(from, &mut digits);
                 let to_port = self.down_port_offset(l) + digits[l - 1];
-                LinkEndpoints { from, from_port: port, to, to_port, dir, level }
+                LinkEndpoints {
+                    from,
+                    from_port: port,
+                    to,
+                    to_port,
+                    dir,
+                    level,
+                }
             }
             LinkDir::Down => {
                 let rel = link.0 - self.down_base[l];
                 let m = self.spec.m_at(l);
                 let parent_rank = rel / m;
                 let child = rel % m;
-                let from = NodeId { level: l as u8, rank: parent_rank };
+                let from = NodeId {
+                    level: l as u8,
+                    rank: parent_rank,
+                };
                 let to = self.child(from, child);
                 // The child receives on the up port equal to the parent's
                 // digit at position l.
@@ -280,7 +305,14 @@ impl Topology {
                 self.digits_of(from, &mut digits);
                 let to_port = digits[l - 1];
                 let from_port = self.down_port_offset(l) + child;
-                LinkEndpoints { from, from_port, to, to_port, dir, level }
+                LinkEndpoints {
+                    from,
+                    from_port,
+                    to,
+                    to_port,
+                    dir,
+                    level,
+                }
             }
         }
     }
@@ -359,7 +391,10 @@ mod tests {
         let mut digits = [0u32; MAX_HEIGHT];
         for level in 0..=t.height() {
             for rank in 0..t.nodes_at_level(level) {
-                let n = NodeId { level: level as u8, rank };
+                let n = NodeId {
+                    level: level as u8,
+                    rank,
+                };
                 t.digits_of(n, &mut digits);
                 assert_eq!(t.node_from_digits(level, &digits), n);
             }
@@ -384,7 +419,10 @@ mod tests {
         let mut digits = [0u32; MAX_HEIGHT];
         for level in 0..t.height() {
             for rank in 0..t.nodes_at_level(level) {
-                let n = NodeId { level: level as u8, rank };
+                let n = NodeId {
+                    level: level as u8,
+                    rank,
+                };
                 for port in 0..t.up_ports(level) {
                     let p = t.parent(n, port);
                     assert_eq!(p.level as usize, level + 1);
@@ -425,7 +463,13 @@ mod tests {
                     let e = t.endpoints(id);
                     assert_eq!(e.dir, LinkDir::Up);
                     assert_eq!(e.level as usize, l);
-                    assert_eq!(e.from, NodeId { level: (l - 1) as u8, rank: child });
+                    assert_eq!(
+                        e.from,
+                        NodeId {
+                            level: (l - 1) as u8,
+                            rank: child
+                        }
+                    );
                     assert_eq!(e.from_port, port);
                 }
             }
@@ -436,7 +480,13 @@ mod tests {
                     seen[id.0 as usize] = true;
                     let e = t.endpoints(id);
                     assert_eq!(e.dir, LinkDir::Down);
-                    assert_eq!(e.from, NodeId { level: l as u8, rank: parent });
+                    assert_eq!(
+                        e.from,
+                        NodeId {
+                            level: l as u8,
+                            rank: parent
+                        }
+                    );
                 }
             }
         }

@@ -4,10 +4,10 @@
 //!
 //! Run with: `cargo run --release --example adversarial`
 
+use lmpr::flowsim::{ml_lower_bound, performance_ratio};
 use lmpr::prelude::*;
 use lmpr::routing::lid;
 use lmpr::traffic::adversarial_concentration;
-use lmpr::flowsim::{ml_lower_bound, performance_ratio};
 
 fn main() {
     // A tree wide enough to host the Theorem 2 construction.
@@ -44,7 +44,10 @@ fn main() {
     );
 
     // Why not just use UMULTI everywhere? InfiniBand LIDs.
-    println!("\nInfiniBand LID budget (unicast space = {} LIDs):", lid::UNICAST_LIDS);
+    println!(
+        "\nInfiniBand LID budget (unicast space = {} LIDs):",
+        lid::UNICAST_LIDS
+    );
     for (m, n) in [(8u32, 3usize), (16, 3), (24, 3)] {
         let t = Topology::new(XgftSpec::m_port_n_tree(m, n).expect("valid"));
         println!(

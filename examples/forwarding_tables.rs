@@ -32,7 +32,11 @@ fn main() {
     for slot in 0..k {
         let nodes = ft.route(&topo, s, d, slot).expect("tables verify");
         let labels: Vec<String> = nodes.iter().map(|n| render::label(&topo, *n)).collect();
-        println!("  LID {:>3} (slot {slot}): {}", ft.lid(d, slot), labels.join(" -> "));
+        println!(
+            "  LID {:>3} (slot {slot}): {}",
+            ft.lid(d, slot),
+            labels.join(" -> ")
+        );
     }
 
     // Validate the whole fabric the way a subnet manager would.
@@ -40,7 +44,8 @@ fn main() {
     for s in 0..topo.num_pns() {
         for d in 0..topo.num_pns() {
             for slot in 0..k {
-                ft.route(&topo, PnId(s), PnId(d), slot).expect("all routes verify");
+                ft.route(&topo, PnId(s), PnId(d), slot)
+                    .expect("all routes verify");
                 walks += 1;
             }
         }

@@ -19,7 +19,10 @@ fn main() {
         "K", "avg max load", "99% CI ±", "samples"
     );
     let r = study.run(&DModK);
-    println!("{:>10} {:>14.3} {:>12.4} {:>10}", "d-mod-k", r.mean, r.half_width, r.samples);
+    println!(
+        "{:>10} {:>14.3} {:>12.4} {:>10}",
+        "d-mod-k", r.mean, r.half_width, r.samples
+    );
     let max_k = topo.w_prod(topo.height());
     for k in [2u64, 3, 4] {
         let r = study.run(&Disjoint::new(k));
@@ -32,7 +35,10 @@ fn main() {
         );
     }
     let r = study.run(&Umulti);
-    println!("{:>10} {:>14.3} {:>12.4} {:>10}", "umulti", r.mean, r.half_width, r.samples);
+    println!(
+        "{:>10} {:>14.3} {:>12.4} {:>10}",
+        "umulti", r.mean, r.half_width, r.samples
+    );
 
     println!(
         "\nUMULTI needs {max_k} paths per far pair; limited multi-path routing\n\

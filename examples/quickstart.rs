@@ -42,7 +42,12 @@ fn main() {
     for r in &routers {
         let set = r.path_set(&topo, s, d);
         let ids: Vec<u64> = set.paths().iter().map(|p| p.0).collect();
-        println!("  {:12} -> {:?} (each carries {:.0}%)", r.name(), ids, set.fraction() * 100.0);
+        println!(
+            "  {:12} -> {:?} (each carries {:.0}%)",
+            r.name(),
+            ids,
+            set.fraction() * 100.0
+        );
     }
 
     // ── 4. Compare max link load on one random permutation ──────────

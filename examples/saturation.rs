@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example saturation`
 
-use lmpr::flitsim::sweep::run_sweep;
 use lmpr::flitsim::saturation_throughput;
+use lmpr::flitsim::sweep::run_sweep;
 use lmpr::prelude::*;
 
 fn main() {
@@ -28,9 +28,18 @@ fn main() {
     println!("  | saturation");
 
     for (name, points) in [
-        ("d-mod-k", run_sweep(&topo, &DModK, cfg, &loads, 0)),
-        ("disjoint(2)", run_sweep(&topo, &Disjoint::new(2), cfg, &loads, 0)),
-        ("disjoint(8)", run_sweep(&topo, &Disjoint::new(8), cfg, &loads, 0)),
+        (
+            "d-mod-k",
+            run_sweep(&topo, &DModK, cfg, &loads, 0).expect("sweep runs"),
+        ),
+        (
+            "disjoint(2)",
+            run_sweep(&topo, &Disjoint::new(2), cfg, &loads, 0).expect("sweep runs"),
+        ),
+        (
+            "disjoint(8)",
+            run_sweep(&topo, &Disjoint::new(8), cfg, &loads, 0).expect("sweep runs"),
+        ),
     ] {
         print!("{name:>12} |");
         for p in &points {

@@ -78,15 +78,22 @@ fn usage(err: &str) -> ! {
 }
 
 fn parse_topo(s: &str) -> Result<Topology, String> {
-    let (kind, body) = s.split_once(':').ok_or_else(|| format!("bad topology `{s}`"))?;
+    let (kind, body) = s
+        .split_once(':')
+        .ok_or_else(|| format!("bad topology `{s}`"))?;
     let nums = |t: &str| -> Result<Vec<u32>, String> {
         t.split(',')
-            .map(|x| x.parse::<u32>().map_err(|e| format!("bad number in `{t}`: {e}")))
+            .map(|x| {
+                x.parse::<u32>()
+                    .map_err(|e| format!("bad number in `{t}`: {e}"))
+            })
             .collect()
     };
     let spec = match kind {
         "xgft" => {
-            let (m, w) = body.split_once(';').ok_or("xgft needs `M..;W..`".to_owned())?;
+            let (m, w) = body
+                .split_once(';')
+                .ok_or("xgft needs `M..;W..`".to_owned())?;
             XgftSpec::new(&nums(m)?, &nums(w)?)
         }
         "mport" => {
@@ -127,7 +134,10 @@ fn parse_traffic(s: &str, topo: &Topology) -> Result<TrafficMatrix, String> {
         "adversarial" => adversarial_concentration(topo)
             .map(|p| p.tm)
             .ok_or_else(|| "topology too small for the Theorem-2 pattern".to_owned()),
-        "shift" => Ok(TrafficMatrix::permutation(&shift_permutation(n, arg(parts.next())?))),
+        "shift" => Ok(TrafficMatrix::permutation(&shift_permutation(
+            n,
+            arg(parts.next())?,
+        ))),
         "hotspot" => {
             let node = arg(parts.next())?;
             let frac: f64 = parts
@@ -159,8 +169,18 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 
 fn cmd_paths(args: &[String]) -> Result<(), String> {
     let topo = parse_topo(args.first().ok_or("paths needs a topology")?)?;
-    let src = PnId(args.get(1).ok_or("paths needs <src>")?.parse().map_err(|e| format!("{e}"))?);
-    let dst = PnId(args.get(2).ok_or("paths needs <dst>")?.parse().map_err(|e| format!("{e}"))?);
+    let src = PnId(
+        args.get(1)
+            .ok_or("paths needs <src>")?
+            .parse()
+            .map_err(|e| format!("{e}"))?,
+    );
+    let dst = PnId(
+        args.get(2)
+            .ok_or("paths needs <dst>")?
+            .parse()
+            .map_err(|e| format!("{e}"))?,
+    );
     if src.0 >= topo.num_pns() || dst.0 >= topo.num_pns() {
         return Err("node id out of range".into());
     }
@@ -173,7 +193,10 @@ fn cmd_paths(args: &[String]) -> Result<(), String> {
         topo.dmodk_path(src, dst).0
     );
     let selected: Vec<PathId> = match args.get(3) {
-        Some(r) => RouterKind::parse(r)?.path_set(&topo, src, dst).paths().to_vec(),
+        Some(r) => RouterKind::parse(r)?
+            .path_set(&topo, src, dst)
+            .paths()
+            .to_vec(),
         None => topo.all_paths(src, dst).collect(),
     };
     for p in selected {
@@ -196,7 +219,11 @@ fn cmd_loads(args: &[String]) -> Result<(), String> {
     let e = topo.endpoints(hot);
     println!("router  : {}", router.name());
     println!("flows   : {}", tm.flows().len());
-    println!("max load: {max:.4}  (link {} -> {})", render::label(&topo, e.from), render::label(&topo, e.to));
+    println!(
+        "max load: {max:.4}  (link {} -> {})",
+        render::label(&topo, e.from),
+        render::label(&topo, e.to)
+    );
     println!("ML bound: {:.4}", ml_lower_bound(&topo, &tm));
     println!("ratio   : {:.4}", performance_ratio(&topo, &router, &tm));
     println!("\nper-level breakdown (max / mean / imbalance):");
@@ -217,7 +244,12 @@ fn cmd_study(args: &[String]) -> Result<(), String> {
     let topo = parse_topo(args.first().ok_or("study needs a topology")?)?;
     let router = RouterKind::parse(args.get(1).ok_or("study needs a router")?)?;
     let cfg = if args.iter().any(|a| a == "--quick") {
-        StudyConfig { initial_samples: 30, max_samples: 120, rel_half_width: 0.05, ..StudyConfig::default() }
+        StudyConfig {
+            initial_samples: 30,
+            max_samples: 120,
+            rel_half_width: 0.05,
+            ..StudyConfig::default()
+        }
     } else {
         StudyConfig::default()
     };
@@ -238,16 +270,30 @@ fn cmd_flit(args: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|e: std::num::ParseFloatError| e.to_string())?;
     let cfg = if args.iter().any(|a| a == "--quick") {
-        SimConfig { warmup_cycles: 2_000, measure_cycles: 6_000, offered_load: load, ..SimConfig::default() }
+        SimConfig {
+            warmup_cycles: 2_000,
+            measure_cycles: 6_000,
+            offered_load: load,
+            ..SimConfig::default()
+        }
     } else {
-        SimConfig { offered_load: load, ..SimConfig::default() }
+        SimConfig {
+            offered_load: load,
+            ..SimConfig::default()
+        }
     };
-    let s = FlitSim::simulate(&topo, router, cfg);
+    let s = FlitSim::simulate(&topo, router, cfg).map_err(|e| e.to_string())?;
     println!("router            : {}", router.name());
     println!("offered load      : {:.1}%", s.offered_load * 100.0);
-    println!("accepted thpt     : {:.2}%", s.accepted_throughput() * 100.0);
+    println!(
+        "accepted thpt     : {:.2}%",
+        s.accepted_throughput() * 100.0
+    );
     println!("avg message delay : {:.1} cycles", s.avg_message_delay());
-    println!("delay p50/p95/p99 : {:.0} / {:.0} / {:.0}", s.delay_p50, s.delay_p95, s.delay_p99);
+    println!(
+        "delay p50/p95/p99 : {:.0} / {:.0} / {:.0}",
+        s.delay_p50, s.delay_p95, s.delay_p99
+    );
     println!("completion rate   : {:.1}%", s.completion_rate() * 100.0);
     println!("source backlog    : {} packets", s.final_source_backlog);
     Ok(())
@@ -273,7 +319,11 @@ fn cmd_worstcase(args: &[String]) -> Result<(), String> {
     println!(
         "permutation (first {shown}): {:?}{}",
         &w.permutation[..shown],
-        if w.permutation.len() > shown { " …" } else { "" }
+        if w.permutation.len() > shown {
+            " …"
+        } else {
+            ""
+        }
     );
     Ok(())
 }
@@ -306,7 +356,8 @@ fn cmd_tables(args: &[String]) -> Result<(), String> {
     for s in 0..n {
         for d in 0..n {
             for slot in 0..k.min(4) {
-                ft.route(&topo, PnId(s), PnId(d), slot).map_err(|e| e.to_string())?;
+                ft.route(&topo, PnId(s), PnId(d), slot)
+                    .map_err(|e| e.to_string())?;
                 checked += 1;
             }
         }

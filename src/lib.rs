@@ -45,11 +45,14 @@ pub use xgft as topology;
 /// One-stop imports for examples and downstream binaries.
 pub mod prelude {
     pub use lmpr_core::{
-        DModK, Disjoint, DisjointStride, PathSet, RandomK, Router, RouterKind, SModK, ShiftOne,
-        Umulti,
+        DModK, Disjoint, DisjointStride, FaultAware, PathSet, RandomK, RouteError, Router,
+        RouterKind, SModK, ShiftOne, Umulti,
     };
-    pub use lmpr_flitsim::{FlitSim, PathPolicy, SimConfig, SimStats, TrafficMode};
-    pub use lmpr_flowsim::{LinkLoads, PermutationStudy, StudyConfig};
+    pub use lmpr_flitsim::{
+        DeadlockReport, FaultPolicy, FlitSim, PathPolicy, SimConfig, SimError, SimStats,
+        TrafficMode,
+    };
+    pub use lmpr_flowsim::{DegradedLoads, LinkLoads, PermutationStudy, StudyConfig};
     pub use lmpr_traffic::{random_permutation, TrafficMatrix};
-    pub use xgft::{DirectedLinkId, NodeId, PathId, PnId, Topology, XgftSpec};
+    pub use xgft::{DirectedLinkId, FaultSet, NodeId, PathId, PnId, Topology, XgftSpec};
 }

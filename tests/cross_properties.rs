@@ -105,7 +105,7 @@ proptest! {
             buffer_packets: 2,
             ..SimConfig::default()
         };
-        let mut sim = FlitSim::new(&topo, Disjoint::new(k), cfg);
+        let mut sim = FlitSim::new(&topo, Disjoint::new(k), cfg).expect("valid config");
         for _ in 0..1_000 {
             sim.step();
         }

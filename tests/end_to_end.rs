@@ -59,11 +59,23 @@ fn shift_equals_disjoint_on_two_level_trees() {
         for s in 0..topo.num_pns() {
             for d in 0..topo.num_pns() {
                 let (s, d) = (PnId(s), PnId(d));
-                let a: std::collections::BTreeSet<_> =
-                    shift.path_set(&topo, s, d).paths().iter().copied().collect();
-                let b: std::collections::BTreeSet<_> =
-                    disjoint.path_set(&topo, s, d).paths().iter().copied().collect();
-                assert_eq!(a, b, "shift-1({k}) != disjoint({k}) on pair ({}, {})", s.0, d.0);
+                let a: std::collections::BTreeSet<_> = shift
+                    .path_set(&topo, s, d)
+                    .paths()
+                    .iter()
+                    .copied()
+                    .collect();
+                let b: std::collections::BTreeSet<_> = disjoint
+                    .path_set(&topo, s, d)
+                    .paths()
+                    .iter()
+                    .copied()
+                    .collect();
+                assert_eq!(
+                    a, b,
+                    "shift-1({k}) != disjoint({k}) on pair ({}, {})",
+                    s.0, d.0
+                );
             }
         }
     }
@@ -113,7 +125,10 @@ fn umulti_is_optimal_everywhere() {
         for seed in 0..8u64 {
             let tm = TrafficMatrix::permutation(&random_permutation(topo.num_pns(), seed));
             let ratio = performance_ratio(&topo, &Umulti, &tm);
-            assert!((ratio - 1.0).abs() < 1e-9, "PERF(UMULTI) must be 1, got {ratio}");
+            assert!(
+                (ratio - 1.0).abs() < 1e-9,
+                "PERF(UMULTI) must be 1, got {ratio}"
+            );
         }
     }
 }

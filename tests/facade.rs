@@ -14,8 +14,13 @@ fn prelude_covers_the_whole_workflow() {
     let stats = FlitSim::simulate(
         &topo,
         router,
-        SimConfig { warmup_cycles: 500, measure_cycles: 1_500, ..SimConfig::default() },
-    );
+        SimConfig {
+            warmup_cycles: 500,
+            measure_cycles: 1_500,
+            ..SimConfig::default()
+        },
+    )
+    .expect("valid config");
     assert!(stats.delivered_flits > 0);
 }
 

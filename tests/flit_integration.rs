@@ -29,7 +29,7 @@ fn subsaturation_throughput_tracks_offered_load() {
         Box::new(RandomK::new(4, 3)),
     ] {
         for load in [0.1, 0.3] {
-            let s = FlitSim::simulate(&topo, &r, quick(load));
+            let s = FlitSim::simulate(&topo, &r, quick(load)).expect("valid config");
             let t = s.accepted_throughput();
             assert!(
                 (t - load).abs() < 0.03,
@@ -48,7 +48,7 @@ fn disjoint_has_highest_saturation_at_k8() {
     let cfg = quick(0.0).with_load(0.5); // load replaced by the sweep
     let loads = [0.6, 0.7, 0.8];
     let sat = |r: &dyn Router| {
-        saturation_throughput(&run_sweep(&topo, &r, cfg, &loads, 0))
+        saturation_throughput(&run_sweep(&topo, &r, cfg, &loads, 0).expect("sweep runs"))
     };
     let dmodk = sat(&DModK);
     let shift = sat(&ShiftOne::new(8));
@@ -65,8 +65,8 @@ fn disjoint_has_highest_saturation_at_k8() {
 #[test]
 fn multipath_reduces_delay_at_medium_load() {
     let topo = table1_topo();
-    let single = FlitSim::simulate(&topo, DModK, quick(0.6));
-    let multi = FlitSim::simulate(&topo, Disjoint::new(2), quick(0.6));
+    let single = FlitSim::simulate(&topo, DModK, quick(0.6)).expect("valid config");
+    let multi = FlitSim::simulate(&topo, Disjoint::new(2), quick(0.6)).expect("valid config");
     assert!(single.completion_rate() > 0.8 && multi.completion_rate() > 0.8);
     assert!(
         multi.avg_message_delay() < single.avg_message_delay(),
@@ -80,11 +80,10 @@ fn multipath_reduces_delay_at_medium_load() {
 #[test]
 fn delay_blows_up_past_saturation() {
     let topo = table1_topo();
-    let low = FlitSim::simulate(&topo, DModK, quick(0.2));
-    let high = FlitSim::simulate(&topo, DModK, quick(1.0));
+    let low = FlitSim::simulate(&topo, DModK, quick(0.2)).expect("valid config");
+    let high = FlitSim::simulate(&topo, DModK, quick(1.0)).expect("valid config");
     assert!(
-        high.avg_message_delay() > 3.0 * low.avg_message_delay()
-            || high.completion_rate() < 0.9,
+        high.avg_message_delay() > 3.0 * low.avg_message_delay() || high.completion_rate() < 0.9,
         "overload must show up as delay blow-up or message starvation"
     );
 }
@@ -93,7 +92,7 @@ fn delay_blows_up_past_saturation() {
 #[test]
 fn conservation_on_the_paper_topology() {
     let topo = table1_topo();
-    let mut sim = FlitSim::new(&topo, Disjoint::new(4), quick(0.8));
+    let mut sim = FlitSim::new(&topo, Disjoint::new(4), quick(0.8)).expect("valid config");
     for _ in 0..6_000 {
         sim.step();
     }
@@ -108,9 +107,9 @@ fn sweep_matches_direct_runs() {
     let topo = table1_topo();
     let cfg = quick(0.0);
     let loads = [0.2, 0.5];
-    let sweep = run_sweep(&topo, &DModK, cfg, &loads, 2);
+    let sweep = run_sweep(&topo, &DModK, cfg, &loads, 2).expect("sweep runs");
     for (i, &l) in loads.iter().enumerate() {
-        let direct = FlitSim::simulate(&topo, DModK, cfg.with_load(l));
+        let direct = FlitSim::simulate(&topo, DModK, cfg.with_load(l)).expect("valid config");
         assert_eq!(sweep[i], direct.load_point());
     }
     assert_eq!(load_grid(0.5), vec![0.5, 1.0]);
@@ -127,11 +126,21 @@ fn policies_agree_below_saturation() {
         PathPolicy::PerPacketRandom,
         PathPolicy::PerMessageRandom,
     ] {
-        let cfg = SimConfig { path_policy: p, ..quick(0.25) };
-        results.push(FlitSim::simulate(&topo, Disjoint::new(4), cfg).accepted_throughput());
+        let cfg = SimConfig {
+            path_policy: p,
+            ..quick(0.25)
+        };
+        results.push(
+            FlitSim::simulate(&topo, Disjoint::new(4), cfg)
+                .expect("valid config")
+                .accepted_throughput(),
+        );
     }
     for w in results.windows(2) {
-        assert!((w[0] - w[1]).abs() < 0.02, "policies diverge below saturation: {results:?}");
+        assert!(
+            (w[0] - w[1]).abs() < 0.02,
+            "policies diverge below saturation: {results:?}"
+        );
     }
 }
 
@@ -157,8 +166,8 @@ fn flit_saturation_tracks_flow_level_bottleneck() {
             offered_load: 1.0,
             ..SimConfig::default()
         };
-        let mut sim = FlitSim::with_traffic(&topo, r, cfg, mode.clone());
-        let accepted = sim.run().accepted_throughput();
+        let mut sim = FlitSim::with_traffic(&topo, r, cfg, mode.clone()).expect("valid config");
+        let accepted = sim.run().expect("no deadlock").accepted_throughput();
         assert!(
             accepted >= 0.5 / flow_max && accepted <= 1.0,
             "{}: accepted {accepted:.3} outside [{:.3}, 1.0]",
@@ -195,9 +204,9 @@ fn permutation_mode_is_honoured() {
         offered_load: 0.3,
         ..SimConfig::default()
     };
-    let mut sim =
-        FlitSim::with_traffic(&topo, DModK, cfg, TrafficMode::Permutation(perm));
-    let stats = sim.run();
+    let mut sim = FlitSim::with_traffic(&topo, DModK, cfg, TrafficMode::Permutation(perm))
+        .expect("valid config");
+    let stats = sim.run().expect("no deadlock");
     // Only 4 nodes send; aggregate throughput is tiny but non-zero, and
     // the delivery assertions inside the simulator (debug) plus flit
     // conservation guarantee correctness of the destinations.
@@ -216,7 +225,10 @@ fn permutation_mode_is_honoured() {
 #[test]
 fn hotspot_is_routing_invariant() {
     let topo = table1_topo();
-    let mode = lmpr::flitsim::TrafficMode::Hotspot { hot: vec![0], fraction: 0.5 };
+    let mode = lmpr::flitsim::TrafficMode::Hotspot {
+        hot: vec![0],
+        fraction: 0.5,
+    };
     let cfg = SimConfig {
         warmup_cycles: 2_000,
         measure_cycles: 6_000,
@@ -224,14 +236,21 @@ fn hotspot_is_routing_invariant() {
         ..SimConfig::default()
     };
     let a = {
-        let mut s = FlitSim::with_traffic(&topo, DModK, cfg, mode.clone());
-        s.run().accepted_throughput()
+        let mut s = FlitSim::with_traffic(&topo, DModK, cfg, mode.clone()).expect("valid config");
+        s.run().expect("no deadlock").accepted_throughput()
     };
     let b = {
-        let mut s = FlitSim::with_traffic(&topo, Disjoint::new(8), cfg, mode);
-        s.run().accepted_throughput()
+        let mut s =
+            FlitSim::with_traffic(&topo, Disjoint::new(8), cfg, mode).expect("valid config");
+        s.run().expect("no deadlock").accepted_throughput()
     };
     // Both collapse to a similar hot-node-bound throughput.
-    assert!((a - b).abs() < 0.05, "hotspot throughput should be scheme-independent: {a:.3} vs {b:.3}");
-    assert!(a < 0.35, "the hot ejection link must cap throughput, got {a:.3}");
+    assert!(
+        (a - b).abs() < 0.05,
+        "hotspot throughput should be scheme-independent: {a:.3} vs {b:.3}"
+    );
+    assert!(
+        a < 0.35,
+        "the hot ejection link must cap throughput, got {a:.3}"
+    );
 }
