@@ -7,10 +7,19 @@ cd "$(dirname "$0")"
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> cargo xtask lint"
+cargo xtask lint
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --workspace --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
+
+echo "==> verify --ci (static routing-correctness matrix)"
+cargo run -q --release -p lmpr-bench --bin verify -- --ci > /dev/null
 
 echo "CI green."

@@ -2,7 +2,7 @@
 //!
 //! The paper attributes the disjoint heuristic's advantage to *where*
 //! the remaining contention sits: "link contention at lower level
-//! switches [is] significant for the permutation traffic: disjoint and
+//! switches \[is\] significant for the permutation traffic: disjoint and
 //! random are able to distribute the load more evenly at lower level
 //! than shift-1". This binary quantifies that claim: for each scheme at
 //! a fixed K it reports the average maximum load and imbalance

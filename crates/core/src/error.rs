@@ -20,6 +20,12 @@ pub enum RouteError {
     /// An empty path set was supplied where at least one path is
     /// required.
     EmptyPathSet,
+    /// The requested path budget cannot be realized with InfiniBand's
+    /// 3-bit LMC field (`2^7 = 128` LIDs per destination).
+    BudgetExceedsLmc {
+        /// The requested budget.
+        k: u64,
+    },
 }
 
 impl std::fmt::Display for RouteError {
@@ -31,6 +37,9 @@ impl std::fmt::Display for RouteError {
             RouteError::ZeroBudget => write!(f, "the path budget K must be at least 1"),
             RouteError::EmptyPathSet => {
                 write!(f, "a PathSet must contain at least one path")
+            }
+            RouteError::BudgetExceedsLmc { k } => {
+                write!(f, "K = {k} exceeds the LMC-realizable budget (128)")
             }
         }
     }

@@ -45,8 +45,31 @@ pub struct ShiftVector(Vec<u32>);
 
 impl ShiftVector {
     /// The shift applied at level `t` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message when `t` is outside `1..=h`
+    /// (previously a silent index panic; use [`ShiftVector::try_at`] for
+    /// a fallible lookup).
     pub fn at(&self, t: usize) -> u32 {
-        self.0[t - 1]
+        match self.try_at(t) {
+            Some(c) => c,
+            None => panic!(
+                "shift level {t} out of range 1..={} for this vector",
+                self.0.len()
+            ),
+        }
+    }
+
+    /// The shift applied at level `t` (1-based), or `None` when `t` is
+    /// outside `1..=h`.
+    pub fn try_at(&self, t: usize) -> Option<u32> {
+        t.checked_sub(1).and_then(|i| self.0.get(i)).copied()
+    }
+
+    /// Number of levels the vector covers (the tree height).
+    pub fn levels(&self) -> usize {
+        self.0.len()
     }
 }
 
@@ -118,10 +141,25 @@ impl ForwardingTables {
     /// # Panics
     ///
     /// Panics when `k` needs an LMC beyond InfiniBand's 3-bit field
-    /// (`k > 128`) — the hard resource wall the paper works around.
+    /// (`k > 128`) — the hard resource wall the paper works around. Use
+    /// [`ForwardingTables::try_build`] to get the typed
+    /// [`RouteError::BudgetExceedsLmc`](crate::RouteError::BudgetExceedsLmc)
+    /// instead.
     pub fn build(topo: &Topology, k: u64, order: SlotOrder) -> Self {
-        let lmc = lid::lmc_for_budget(k)
-            .unwrap_or_else(|| panic!("K = {k} exceeds the LMC-realizable budget (128)"));
+        match Self::try_build(topo, k, order) {
+            Ok(ft) => ft,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`ForwardingTables::build`]:
+    /// [`RouteError::BudgetExceedsLmc`](crate::RouteError::BudgetExceedsLmc)
+    /// instead of a panic when `k > 128`.
+    pub fn try_build(topo: &Topology, k: u64, order: SlotOrder) -> Result<Self, crate::RouteError> {
+        if k == 0 {
+            return Err(crate::RouteError::ZeroBudget);
+        }
+        let lmc = lid::lmc_for_budget(k).ok_or(crate::RouteError::BudgetExceedsLmc { k })?;
         let n = topo.num_pns();
         let h = topo.height();
         let vectors = shift_vectors(topo, k, order);
@@ -170,13 +208,13 @@ impl ForwardingTables {
             }
             tables.push(level_tables);
         }
-        ForwardingTables {
+        Ok(ForwardingTables {
             k,
             lmc,
             tables,
             pn_ports,
             num_pns: n,
-        }
+        })
     }
 
     /// Paths per destination these tables realize.
@@ -416,5 +454,37 @@ mod tests {
     fn k_beyond_lmc_panics() {
         let topo = fig3();
         let _ = ForwardingTables::build(&topo, 129, SlotOrder::BottomFirst);
+    }
+
+    #[test]
+    fn try_build_returns_typed_errors() {
+        use crate::RouteError;
+        let topo = fig3();
+        assert!(ForwardingTables::try_build(&topo, 4, SlotOrder::BottomFirst).is_ok());
+        assert_eq!(
+            ForwardingTables::try_build(&topo, 129, SlotOrder::BottomFirst).unwrap_err(),
+            RouteError::BudgetExceedsLmc { k: 129 }
+        );
+        assert_eq!(
+            ForwardingTables::try_build(&topo, 0, SlotOrder::TopFirst).unwrap_err(),
+            RouteError::ZeroBudget
+        );
+    }
+
+    #[test]
+    fn shift_vector_lookup_bounds() {
+        let topo = fig3();
+        let v = &shift_vectors(&topo, 2, SlotOrder::BottomFirst)[1];
+        assert_eq!(v.levels(), 3);
+        assert_eq!(v.try_at(2), Some(v.at(2)));
+        assert_eq!(v.try_at(0), None);
+        assert_eq!(v.try_at(4), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shift_vector_at_zero_panics_descriptively() {
+        let topo = fig3();
+        let _ = shift_vectors(&topo, 1, SlotOrder::BottomFirst)[0].at(0);
     }
 }

@@ -81,6 +81,18 @@ impl RouterKind {
         }
     }
 
+    /// Check the scheme's parameters *before* any routing runs: a zero
+    /// budget is reported as the typed
+    /// [`RouteError::ZeroBudget`](crate::RouteError::ZeroBudget) rather
+    /// than panicking inside `fill_paths`. Pre-flight verification and
+    /// experiment drivers call this on parsed-but-untrusted specs.
+    pub fn validate(&self) -> Result<(), crate::RouteError> {
+        if self.budget() == Some(0) {
+            return Err(crate::RouteError::ZeroBudget);
+        }
+        Ok(())
+    }
+
     /// Replace the scheme's seed (no-op for deterministic schemes);
     /// used when averaging random routing over several seeds.
     pub fn with_seed(self, seed: u64) -> Self {
@@ -170,5 +182,21 @@ mod tests {
             RouterKind::RandomK(4, 9)
         );
         assert_eq!(RouterKind::DModK.with_seed(9), RouterKind::DModK);
+    }
+
+    #[test]
+    fn validate_rejects_zero_budgets() {
+        use crate::RouteError;
+        assert_eq!(
+            RouterKind::Disjoint(0).validate(),
+            Err(RouteError::ZeroBudget)
+        );
+        assert_eq!(
+            RouterKind::RandomK(0, 7).validate(),
+            Err(RouteError::ZeroBudget)
+        );
+        assert_eq!(RouterKind::Disjoint(4).validate(), Ok(()));
+        assert_eq!(RouterKind::DModK.validate(), Ok(()));
+        assert_eq!(RouterKind::Umulti.validate(), Ok(()));
     }
 }

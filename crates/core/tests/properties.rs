@@ -156,6 +156,131 @@ proptest! {
     }
 }
 
+mod shift_bijectivity_props {
+    use lmpr_core::forwarding::{shift_vectors, ShiftVector, SlotOrder};
+    use proptest::prelude::*;
+    use xgft::{PnId, Topology, XgftSpec, MAX_HEIGHT};
+
+    /// Trees small enough to enumerate the whole slot × pair space:
+    /// `m ≤ 3` keeps the PN count at ≤ 27 and `w ≤ 4` keeps the full
+    /// budget `X = Π w_i ≤ 64` under the LMC cap. The `m` and `w`
+    /// vectors are drawn independently per level, so asymmetric XGFTs
+    /// are the common case, not the exception.
+    fn arb_topo() -> impl Strategy<Value = Topology> {
+        (1usize..=3)
+            .prop_flat_map(|h| {
+                (
+                    prop::collection::vec(2u32..=3, h),
+                    prop::collection::vec(1u32..=4, h),
+                )
+            })
+            .prop_map(|(m, w)| Topology::new(XgftSpec::new(&m, &w).expect("valid")))
+    }
+
+    /// The path id a shift vector specifies for `(s, d)`: apply
+    /// `(u_t(d) + c_t) mod w_t` to the pair's d-mod-k digits and
+    /// recombine in the pair's mixed radix.
+    fn specified_path(topo: &Topology, s: PnId, d: PnId, shift: &ShiftVector) -> u64 {
+        let kappa = topo.nca_level(s, d);
+        let mut u = [0u32; MAX_HEIGHT];
+        topo.path_up_ports(s, d, topo.dmodk_path(s, d), &mut u);
+        let x = topo.w_prod(kappa);
+        let mut p = 0u64;
+        for t in 1..=kappa {
+            let w = topo.spec().w_at(t) as u64;
+            let digit = (u[t - 1] as u64 + shift.at(t) as u64) % w;
+            p += digit * (x / topo.w_prod(t));
+        }
+        p
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// At full budget `K = X` the shift-vector family is bijective
+        /// over every pair's path space, for both slot orders: each of
+        /// the pair's `X_pair` paths is specified by exactly
+        /// `X / X_pair` slots (low-NCA pairs see each of their fewer
+        /// paths proportionally more often — an LFT cannot do better).
+        #[test]
+        fn full_budget_shift_vectors_are_bijective(topo in arb_topo()) {
+            let x_topo = topo.w_prod(topo.height());
+            for order in [SlotOrder::TopFirst, SlotOrder::BottomFirst] {
+                let vecs = shift_vectors(&topo, x_topo, order);
+                prop_assert_eq!(vecs.len() as u64, x_topo);
+                let n = topo.num_pns();
+                for s in 0..n {
+                    for d in 0..n {
+                        let (s, d) = (PnId(s), PnId(d));
+                        if s == d {
+                            continue;
+                        }
+                        let x_pair = topo.num_paths(s, d);
+                        let mut counts = vec![0u64; x_pair as usize];
+                        for v in &vecs {
+                            counts[specified_path(&topo, s, d, v) as usize] += 1;
+                        }
+                        let want = x_topo / x_pair;
+                        prop_assert!(
+                            counts.iter().all(|&c| c == want),
+                            "{order:?} ({s:?}, {d:?}): multiplicities {counts:?}, want {want}"
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Slot 0 is plain d-mod-k for both orders at every budget —
+        /// the all-zero shift vector — so single-path deployments are
+        /// bit-identical to the d-mod-k baseline.
+        #[test]
+        fn slot_zero_is_plain_dmodk(topo in arb_topo(), k in 1u64..=8) {
+            for order in [SlotOrder::TopFirst, SlotOrder::BottomFirst] {
+                let vecs = shift_vectors(&topo, k, order);
+                prop_assert!((1..=topo.height()).all(|t| vecs[0].at(t) == 0));
+                let n = topo.num_pns();
+                for s in 0..n {
+                    for d in 0..n {
+                        let (s, d) = (PnId(s), PnId(d));
+                        if s == d {
+                            continue;
+                        }
+                        prop_assert_eq!(
+                            specified_path(&topo, s, d, &vecs[0]),
+                            topo.dmodk_path(s, d).0
+                        );
+                    }
+                }
+            }
+        }
+
+        /// At any budget each order enumerates `min(k, X)` *distinct*
+        /// shift vectors, and at full budget the two orders enumerate
+        /// the same set in different sequences (they trade fork
+        /// locality, never coverage). Below full budget the prefixes
+        /// legitimately differ — top-first spends its slots on top-level
+        /// shifts, bottom-first on level-1 forks.
+        #[test]
+        fn orders_cover_without_duplicates(topo in arb_topo(), k in 1u64..=16) {
+            let flat = |order, k| -> Vec<Vec<u32>> {
+                let mut v: Vec<Vec<u32>> = shift_vectors(&topo, k, order)
+                    .iter()
+                    .map(|sv| (1..=topo.height()).map(|t| sv.at(t)).collect())
+                    .collect();
+                v.sort();
+                v
+            };
+            let x = topo.w_prod(topo.height());
+            for order in [SlotOrder::TopFirst, SlotOrder::BottomFirst] {
+                let v = flat(order, k);
+                prop_assert_eq!(v.len() as u64, k.min(x));
+                prop_assert!(v.windows(2).all(|w| w[0] != w[1]), "{order:?} repeats a vector");
+            }
+            prop_assert_eq!(flat(SlotOrder::TopFirst, x), flat(SlotOrder::BottomFirst, x));
+        }
+    }
+}
+
 mod forwarding_props {
     use lmpr_core::forwarding::{ForwardingTables, SlotOrder};
     use proptest::prelude::*;

@@ -21,7 +21,7 @@ pub const Z_99: f64 = 2.576;
 /// Parameters of a permutation study.
 #[derive(Debug, Clone, Copy)]
 pub struct StudyConfig {
-    /// z-score of the confidence level (default: [`Z_99`]).
+    /// z-score of the confidence level (default: `Z_99` = 2.576).
     pub z: f64,
     /// Stop once `z·σ/√n ≤ rel_half_width · mean` (default 0.01).
     pub rel_half_width: f64,

@@ -1,0 +1,371 @@
+//! Structured diagnostics: rule catalog, findings, and certificates.
+//!
+//! Every check the analyzer runs is identified by a [`RuleId`]; a failed
+//! check produces a [`Diagnostic`] carrying a machine-readable
+//! [`Witness`] (the offending cycle, path or pair) so the failure can be
+//! reproduced without re-running the analysis. A clean run produces a
+//! [`Report`] whose `findings` list is empty — the deadlock-freedom /
+//! coverage *certificate* — together with one [`CheckRun`] entry per
+//! rule recording how much ground the check covered.
+
+use std::fmt;
+use xgft::{DirectedLinkId, PathId, PnId};
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational note; never fails verification.
+    Info,
+    /// Suspicious but not provably wrong; does not fail verification.
+    Warning,
+    /// A proven violation of a routing-correctness property.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The rule catalog — every property the analyzer can certify or refute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleId {
+    /// The channel-dependency graph contains a cycle (Dally–Seitz):
+    /// the routing is *not* provably deadlock-free.
+    CdgCycle,
+    /// An SD pair yielded a path-set cardinality other than
+    /// `min(K, X)` (or `min(K, X_surviving)` under faults).
+    CoverageCount,
+    /// An SD pair's selection contains duplicate path ids.
+    CoverageDuplicate,
+    /// A selected path id is outside the pair's path space (`≥ X`).
+    CoverageRange,
+    /// A realized route is not a loop-free up\*/down\* shortest path
+    /// through the pair's NCA level.
+    CoverageUpDown,
+    /// A disconnected pair did not surface as a typed
+    /// [`RouteError::Disconnected`](lmpr_core::RouteError::Disconnected).
+    CoverageDisconnect,
+    /// LFT slots do not cover the pair's path space with balanced
+    /// multiplicity (the slot-bijectivity contract).
+    LftBijection,
+    /// LFT slot 0 is not the plain d-mod-k path.
+    LftSlotZero,
+    /// An LFT walk looped or ejected at the wrong processing node.
+    LftWalk,
+    /// The disjoint heuristic's fork-low guarantee failed: the first
+    /// `w_1` selections are not pairwise link-disjoint, or the first
+    /// `Π_{i≤t} w_i` selections do not cover every low-digit
+    /// combination exactly once.
+    DisjointFork,
+    /// A static load cross-check violated the Theorem 1 / Theorem 2
+    /// bounds (ratio below 1, UMULTI off optimum, or above the `Π w_i`
+    /// cap).
+    LoadBound,
+}
+
+impl RuleId {
+    /// Stable string id used in JSON output and the rule catalog docs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::CdgCycle => "CDG-CYCLE",
+            RuleId::CoverageCount => "COV-COUNT",
+            RuleId::CoverageDuplicate => "COV-DUP",
+            RuleId::CoverageRange => "COV-RANGE",
+            RuleId::CoverageUpDown => "COV-UPDOWN",
+            RuleId::CoverageDisconnect => "COV-DISCONNECT",
+            RuleId::LftBijection => "LFT-BIJECT",
+            RuleId::LftSlotZero => "LFT-SLOT0",
+            RuleId::LftWalk => "LFT-WALK",
+            RuleId::DisjointFork => "DISJ-FORK",
+            RuleId::LoadBound => "LOAD-BOUND",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Machine-checkable evidence attached to a finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Witness {
+    /// No structured witness (the message carries the evidence).
+    None,
+    /// A dependency cycle: the sequence of directed link ids, with the
+    /// first repeated implicitly (`c[0]` depends on `c.last()`).
+    Cycle(Vec<DirectedLinkId>),
+    /// One offending SD pair.
+    Pair {
+        /// Source processing node.
+        src: PnId,
+        /// Destination processing node.
+        dst: PnId,
+    },
+    /// One offending path of an SD pair.
+    Path {
+        /// Source processing node.
+        src: PnId,
+        /// Destination processing node.
+        dst: PnId,
+        /// Path index within the pair's canonical enumeration.
+        path: PathId,
+    },
+    /// One offending LFT slot of an SD pair.
+    Slot {
+        /// Source processing node.
+        src: PnId,
+        /// Destination processing node.
+        dst: PnId,
+        /// LID slot index.
+        slot: u64,
+    },
+}
+
+/// One finding: a rule violation with severity, message and witness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// How bad it is.
+    pub severity: Severity,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// Machine-checkable evidence.
+    pub witness: Witness,
+}
+
+impl Diagnostic {
+    /// Shorthand for an error-severity finding.
+    pub fn error(rule: RuleId, message: impl Into<String>, witness: Witness) -> Self {
+        Diagnostic {
+            rule,
+            severity: Severity::Error,
+            message: message.into(),
+            witness,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {}", self.severity, self.rule, self.message)
+    }
+}
+
+/// Coverage record for one rule: what ran, over how much ground.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckRun {
+    /// The rule that ran.
+    pub rule: RuleId,
+    /// Units inspected (SD pairs, CDG edges, routes — rule-dependent).
+    pub inspected: u64,
+    /// Findings the rule produced.
+    pub findings: u64,
+}
+
+/// The analyzer's output: a certificate when `findings` is empty, a
+/// counterexample list otherwise.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Topology label the analysis ran on.
+    pub topology: String,
+    /// Routing-scheme label.
+    pub scheme: String,
+    /// Per-rule coverage records, in execution order.
+    pub checks: Vec<CheckRun>,
+    /// All findings, in discovery order.
+    pub findings: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Start an empty report for a (topology, scheme) combination.
+    pub fn new(topology: impl Into<String>, scheme: impl Into<String>) -> Self {
+        Report {
+            topology: topology.into(),
+            scheme: scheme.into(),
+            checks: Vec::new(),
+            findings: Vec::new(),
+        }
+    }
+
+    /// Whether the analysis certifies every property it checked
+    /// (no error-severity findings).
+    pub fn certified(&self) -> bool {
+        !self.findings.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Record a completed rule run.
+    pub fn record(&mut self, rule: RuleId, inspected: u64, findings_before: usize) {
+        self.checks.push(CheckRun {
+            rule,
+            inspected,
+            findings: (self.findings.len() - findings_before) as u64,
+        });
+    }
+
+    /// Merge another report's checks and findings into this one.
+    pub fn absorb(&mut self, other: Report) {
+        self.checks.extend(other.checks);
+        self.findings.extend(other.findings);
+    }
+
+    /// Render as pretty-printed JSON (hand-rolled: the build environment
+    /// has no serde; layout matches the bench crate's record output).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"topology\": {},\n",
+            json_string(&self.topology)
+        ));
+        out.push_str(&format!("  \"scheme\": {},\n", json_string(&self.scheme)));
+        out.push_str(&format!("  \"certified\": {},\n", self.certified()));
+        out.push_str("  \"checks\": [");
+        for (i, c) in self.checks.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{ \"rule\": \"{}\", \"inspected\": {}, \"findings\": {} }}",
+                c.rule, c.inspected, c.findings
+            ));
+        }
+        out.push_str(if self.checks.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"findings\": [");
+        for (i, d) in self.findings.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"rule\": \"{}\",\n", d.rule));
+            out.push_str(&format!("      \"severity\": \"{}\",\n", d.severity));
+            out.push_str(&format!(
+                "      \"message\": {},\n",
+                json_string(&d.message)
+            ));
+            out.push_str(&format!(
+                "      \"witness\": {}\n",
+                witness_json(&d.witness)
+            ));
+            out.push_str("    }");
+        }
+        out.push_str(if self.findings.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push('}');
+        out
+    }
+}
+
+fn witness_json(w: &Witness) -> String {
+    match w {
+        Witness::None => "null".to_owned(),
+        Witness::Cycle(links) => {
+            let ids: Vec<String> = links.iter().map(|l| l.0.to_string()).collect();
+            format!("{{ \"cycle\": [{}] }}", ids.join(", "))
+        }
+        Witness::Pair { src, dst } => {
+            format!("{{ \"src\": {}, \"dst\": {} }}", src.0, dst.0)
+        }
+        Witness::Path { src, dst, path } => format!(
+            "{{ \"src\": {}, \"dst\": {}, \"path\": {} }}",
+            src.0, dst.0, path.0
+        ),
+        Witness::Slot { src, dst, slot } => format!(
+            "{{ \"src\": {}, \"dst\": {}, \"slot\": {} }}",
+            src.0, dst.0, slot
+        ),
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn certificate_flips_on_error_findings() {
+        let mut r = Report::new("XGFT(2; 2,2; 1,2)", "d-mod-k");
+        assert!(r.certified());
+        r.findings.push(Diagnostic {
+            rule: RuleId::CoverageCount,
+            severity: Severity::Warning,
+            message: "just a warning".into(),
+            witness: Witness::None,
+        });
+        assert!(r.certified(), "warnings do not void the certificate");
+        r.findings.push(Diagnostic::error(
+            RuleId::CdgCycle,
+            "cycle found",
+            Witness::Cycle(vec![DirectedLinkId(1), DirectedLinkId(2)]),
+        ));
+        assert!(!r.certified());
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut r = Report::new("t\"1", "s");
+        r.findings.push(Diagnostic::error(
+            RuleId::LftWalk,
+            "line1\nline2",
+            Witness::Slot {
+                src: PnId(1),
+                dst: PnId(2),
+                slot: 3,
+            },
+        ));
+        r.record(RuleId::LftWalk, 10, 0);
+        let j = r.to_json();
+        assert!(j.contains("\"t\\\"1\""));
+        assert!(j.contains("line1\\nline2"));
+        assert!(j.contains("\"rule\": \"LFT-WALK\""));
+        assert!(j.contains("\"certified\": false"));
+        assert!(j.contains("\"inspected\": 10"));
+        // Balanced braces/brackets (cheap well-formedness probe).
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                j.matches(open).count(),
+                j.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+    }
+
+    #[test]
+    fn record_counts_new_findings_only() {
+        let mut r = Report::new("t", "s");
+        r.findings
+            .push(Diagnostic::error(RuleId::CdgCycle, "a", Witness::None));
+        let before = r.findings.len();
+        r.findings
+            .push(Diagnostic::error(RuleId::LoadBound, "b", Witness::None));
+        r.record(RuleId::LoadBound, 5, before);
+        assert_eq!(r.checks.last().unwrap().findings, 1);
+    }
+}

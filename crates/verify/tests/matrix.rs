@@ -1,0 +1,150 @@
+//! The acceptance matrix from the analyzer's issue: every heuristic ×
+//! budget × topology combination must certify, degraded mode included,
+//! and a deliberately cyclic routing fixture must produce a minimal
+//! counterexample cycle.
+
+use lmpr_core::forwarding::SlotOrder;
+use lmpr_core::RouterKind;
+use lmpr_verify::{verify_router_kind, verify_tables, Cdg, RuleId, Witness};
+use xgft::{FaultSet, NodeId, Topology, XgftSpec};
+
+/// The verification topologies: the paper's Figure 3 tree, a deliberately
+/// asymmetric XGFT (distinct radices at every level, w_1 > 1), and a
+/// two-level tree wide enough to host the Theorem 2 adversarial pattern.
+fn topologies() -> Vec<(&'static str, Topology)> {
+    vec![
+        (
+            "XGFT(3; 4,4,4; 1,2,4)",
+            Topology::new(XgftSpec::new(&[4, 4, 4], &[1, 2, 4]).expect("valid spec")),
+        ),
+        (
+            "XGFT(3; 3,2,2; 2,2,3)",
+            Topology::new(XgftSpec::new(&[3, 2, 2], &[2, 2, 3]).expect("valid spec")),
+        ),
+        (
+            "XGFT(2; 4,16; 2,2)",
+            Topology::new(XgftSpec::new(&[4, 16], &[2, 2]).expect("valid spec")),
+        ),
+    ]
+}
+
+fn heuristics(k: u64) -> Vec<RouterKind> {
+    vec![
+        RouterKind::DModK,
+        RouterKind::ShiftOne(k),
+        RouterKind::Disjoint(k),
+        RouterKind::RandomK(k, 42),
+    ]
+}
+
+#[test]
+fn all_heuristics_certify_on_all_topologies() {
+    for (label, topo) in topologies() {
+        let x = topo.w_prod(topo.height());
+        for k in [1, 2, x] {
+            for kind in heuristics(k) {
+                let report = verify_router_kind(&topo, label, kind, None);
+                assert!(
+                    report.certified(),
+                    "{label} × {} (K={k}) must certify, found: {:#?}",
+                    report.scheme,
+                    report.findings
+                );
+                // The certificate must rest on actual work.
+                assert!(report.checks.iter().any(|c| c.inspected > 0));
+            }
+        }
+        let report = verify_router_kind(&topo, label, RouterKind::Umulti, None);
+        assert!(
+            report.certified(),
+            "{label} × umulti: {:?}",
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn degraded_routing_certifies_under_faults() {
+    // Fault-injected verification on the Figure 3 tree: a dead top-level
+    // switch (reroutable) and a dead leaf up-link (disconnects PN 0, which
+    // must surface as the typed error, not a finding).
+    let (label, topo) = ("XGFT(3; 4,4,4; 1,2,4)", {
+        Topology::new(XgftSpec::new(&[4, 4, 4], &[1, 2, 4]).expect("valid spec"))
+    });
+    let mut faults = FaultSet::new();
+    faults.fail_switch(&topo, NodeId { level: 3, rank: 2 });
+    faults.fail_link(topo.up_link(1, 0, 0));
+    for kind in heuristics(4) {
+        let report = verify_router_kind(&topo, label, kind, Some(&faults));
+        assert!(
+            report.certified(),
+            "{label} × {} under faults: {:#?}",
+            report.scheme,
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn degraded_routing_certifies_on_the_asymmetric_tree() {
+    let (label, topo) = ("XGFT(3; 3,2,2; 2,2,3)", {
+        Topology::new(XgftSpec::new(&[3, 2, 2], &[2, 2, 3]).expect("valid spec"))
+    });
+    let faults = FaultSet::sample(&topo, 0.05, 0.0, 9);
+    for kind in heuristics(3) {
+        let report = verify_router_kind(&topo, label, kind, Some(&faults));
+        assert!(
+            report.certified(),
+            "{label} × {} under sampled faults: {:#?}",
+            report.scheme,
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn lft_realizations_certify() {
+    for (label, topo) in topologies() {
+        let x = topo.w_prod(topo.height());
+        for order in [SlotOrder::BottomFirst, SlotOrder::TopFirst] {
+            for k in [1, 2, x] {
+                let report = verify_tables(&topo, label, k, order);
+                assert!(
+                    report.certified(),
+                    "{label} × {order:?} (K={k}): {:#?}",
+                    report.findings
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cyclic_fixture_yields_a_minimal_counterexample() {
+    // A deliberately cyclic routing: a legitimate up/down route plus the
+    // same links in valley order (down then up) — the dependency a
+    // corrupted LFT or adaptive escape path would introduce.
+    let topo = Topology::new(XgftSpec::new(&[2, 2], &[1, 2]).expect("valid spec"));
+    let up = topo.up_link(1, 0, 0);
+    let down = topo.down_link(1, 0, 1);
+    let mut cdg = Cdg::new(&topo);
+    cdg.add_route(&[up, down]);
+    cdg.add_route(&[down, up]);
+    let diag = cdg
+        .deadlock_finding(&topo)
+        .expect("the valley fixture must be refuted");
+    assert_eq!(diag.rule, RuleId::CdgCycle);
+    match &diag.witness {
+        Witness::Cycle(cycle) => {
+            assert_eq!(cycle.len(), 2, "counterexample must be the minimal cycle");
+            assert!(cycle.contains(&up) && cycle.contains(&down));
+        }
+        w => panic!("expected a cycle witness, got {w:?}"),
+    }
+    // The JSON rendering carries the witness for machine consumption.
+    let mut report = lmpr_verify::Report::new("fixture", "valley");
+    report.findings.push(diag);
+    let json = report.to_json();
+    assert!(json.contains("\"certified\": false"));
+    assert!(json.contains("\"cycle\": ["));
+}

@@ -127,7 +127,7 @@ impl XgftSpec {
     /// topologically equivalent to
     /// `XGFT(n; (m/2), …, (m/2), m; 1, (m/2), …, (m/2))`
     /// — the equivalence used in §5 of the paper ("XGFT(3; 4,4,8; 1,4,4)
-    /// … topologically equivalent to [an] 8-port 3-tree").
+    /// … topologically equivalent to \[an\] 8-port 3-tree").
     ///
     /// # Errors
     ///

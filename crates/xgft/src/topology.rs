@@ -167,15 +167,38 @@ impl Topology {
     /// Write the label digits `(a_1 .. a_h)` of a node into `out`
     /// (`out[i-1] = a_i`; note the paper prints tuples most-significant
     /// first as `(l, a_h, …, a_1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message when `out` is shorter than the
+    /// tree height or `node` is not a node of this topology (level or
+    /// rank out of range) — previously a silent index panic or a
+    /// debug-only assertion.
     pub fn digits_of(&self, node: NodeId, out: &mut [u32]) {
-        debug_assert!(out.len() >= self.h);
+        assert!(
+            out.len() >= self.h,
+            "digit buffer holds {} entries but the tree has height {}",
+            out.len(),
+            self.h
+        );
+        assert!(
+            (node.level as usize) <= self.h,
+            "node level {} exceeds the tree height {}",
+            node.level,
+            self.h
+        );
         let mut r = node.rank as u64;
         for i in 1..=self.h {
             let radix = self.radix(node.level as usize, i);
             out[i - 1] = (r % radix) as u32;
             r /= radix;
         }
-        debug_assert_eq!(r, 0, "rank out of range for level");
+        assert!(
+            r == 0,
+            "rank {} out of range for a level-{} node",
+            node.rank,
+            node.level
+        );
     }
 
     /// Rank of the node at `level` with label digits `digits[i-1] = a_i`.
