@@ -22,4 +22,10 @@ cargo test -q --workspace
 echo "==> verify --ci (static routing-correctness matrix)"
 cargo run -q --release -p lmpr-bench --bin verify -- --ci > /dev/null
 
+echo "==> chaos --quick (seeded runtime-resilience smoke, 120 s budget)"
+# Fixed seeds, so the run is reproducible; the binary exits non-zero on
+# any runtime invariant violation (conservation, duplicates, progress)
+# or failed run. timeout(1) enforces the wall-clock budget.
+timeout 120 cargo run -q --release -p lmpr-bench --bin chaos -- --quick > /dev/null
+
 echo "CI green."

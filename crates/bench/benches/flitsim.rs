@@ -10,7 +10,7 @@ fn bench_step(c: &mut Criterion) {
     let topo = Topology::new(XgftSpec::m_port_n_tree(8, 3).unwrap());
     let cfg = SimConfig {
         warmup_cycles: 0,
-        measure_cycles: u32::MAX,
+        measure_cycles: u64::MAX,
         offered_load: 0.6,
         ..SimConfig::default()
     };

@@ -6,11 +6,19 @@
 //! report, per heuristic and path budget, the degraded maximum link
 //! load and the probability that an SD pair loses connectivity.
 //!
+//! A second, flit-level section replays a subset of the fault samples
+//! through the cycle-accurate simulator with the *blocking* fault policy
+//! and a watchdog: runs that survive contribute throughput records,
+//! runs that jam terminate with a typed [`SimError`](lmpr_flitsim::SimError) that is serialized
+//! into the output as a structured failure record (deadlock reports
+//! field by field) instead of a bare error string.
+//!
 //! Usage: `faults [--quick] [--json PATH]`
-//! (without `--json` the records are printed as JSON after the table).
+//! (without `--json` the document is printed as JSON after the table).
 
-use lmpr_bench::{records_to_json, write_json, CommonArgs, Record};
-use lmpr_core::{Router, RouterKind};
+use lmpr_bench::{document_to_json, write_document, CommonArgs, Failure, Record};
+use lmpr_core::{FaultAware, Router, RouterKind};
+use lmpr_flitsim::{FaultPolicy, FlitSim, SimConfig, TrafficMode};
 use lmpr_flowsim::DegradedLoads;
 use lmpr_traffic::TrafficMatrix;
 use xgft::{FaultSet, Topology, XgftSpec};
@@ -77,16 +85,100 @@ fn main() {
         println!();
     }
 
+    let failures = flit_level_replay(&topo, &label, &mut records, args.quick);
+
     match args.json {
         Some(path) => {
-            if let Err(e) = write_json(&path, &records) {
+            if let Err(e) = write_document(&path, &records, &failures) {
                 eprintln!("faults: cannot write {path}: {e}");
                 std::process::exit(2);
             }
-            println!("wrote {} records to {path}", records.len());
+            println!(
+                "wrote {} records and {} failures to {path}",
+                records.len(),
+                failures.len()
+            );
         }
-        None => println!("{}", records_to_json(&records)),
+        None => println!("{}", document_to_json(&records, &failures)),
     }
+}
+
+/// Replay a subset of the sampled fault sets through the flit simulator
+/// under the blocking policy. Surviving runs become throughput records
+/// (`experiment: "faults-flit"`); jammed runs become structured failure
+/// records carrying the typed deadlock report.
+fn flit_level_replay(
+    topo: &Topology,
+    label: &str,
+    records: &mut Vec<Record>,
+    quick: bool,
+) -> Vec<Failure> {
+    let rate = 0.05;
+    let seeds: u64 = if quick { 1 } else { 2 };
+    let cfg = SimConfig {
+        warmup_cycles: 1_000,
+        measure_cycles: if quick { 4_000 } else { 8_000 },
+        offered_load: 0.3,
+        watchdog_cycles: 2_000,
+        ..SimConfig::default()
+    };
+    let mut failures = Vec::new();
+    println!(
+        "flit-level replay at rate {:.0}%, blocking policy:",
+        rate * 100.0
+    );
+    for (router, k) in [
+        (RouterKind::DModK, 1u64),
+        (RouterKind::Disjoint(4), 4),
+        (RouterKind::Disjoint(8), 8),
+    ] {
+        for seed in 0..seeds {
+            let faults = FaultSet::sample(topo, rate, 0.0, seed);
+            let fa = FaultAware::new(router, faults.clone());
+            let result = FlitSim::with_faults(
+                topo,
+                fa,
+                cfg,
+                TrafficMode::Uniform,
+                &faults,
+                FaultPolicy::Block,
+            )
+            .and_then(|mut sim| sim.run());
+            match result {
+                Ok(stats) => {
+                    println!(
+                        "  {:>16} K={k} seed={seed}: throughput {:.3}, disconnected {}",
+                        router.name(),
+                        stats.accepted_throughput(),
+                        stats.disconnected_messages
+                    );
+                    records.push(Record {
+                        experiment: "faults-flit".into(),
+                        topology: label.to_owned(),
+                        scheme: router.name(),
+                        k,
+                        x: rate,
+                        y: stats.accepted_throughput(),
+                        aux: Some(stats.disconnected_messages as f64),
+                    });
+                }
+                Err(e) => {
+                    println!("  {:>16} K={k} seed={seed}: {e}", router.name());
+                    failures.push(Failure {
+                        experiment: "faults-flit".into(),
+                        topology: label.to_owned(),
+                        scheme: router.name(),
+                        k,
+                        x: rate,
+                        seed,
+                        error: e,
+                    });
+                }
+            }
+        }
+    }
+    println!();
+    failures
 }
 
 /// The sweep's heuristic × budget grid: d-mod-k (single-path baseline)

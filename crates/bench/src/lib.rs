@@ -16,6 +16,7 @@
 //! writes machine-readable results used by EXPERIMENTS.md.
 
 use lmpr_core::RouterKind;
+use lmpr_flitsim::SimError;
 use xgft::{Topology, XgftSpec};
 
 /// The evaluation topologies of §5, keyed the way the paper labels them.
@@ -119,6 +120,95 @@ pub fn records_to_json(records: &[Record]) -> String {
     out
 }
 
+/// One structured failure of a simulation run: the scenario that failed
+/// plus the typed error, so chaotic runs are analyzable post-hoc instead
+/// of collapsing into a bare error string.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Experiment id the failing run belonged to.
+    pub experiment: String,
+    /// Topology label.
+    pub topology: String,
+    /// Routing scheme label.
+    pub scheme: String,
+    /// Path budget `K`.
+    pub k: u64,
+    /// Independent variable of the failing run (fault rate, load, …).
+    pub x: f64,
+    /// Seed of the failing run.
+    pub seed: u64,
+    /// The typed simulator error.
+    pub error: SimError,
+}
+
+/// Serialize a [`SimError`] as a JSON object with a `kind` tag; a
+/// deadlock carries the full [`DeadlockReport`](lmpr_flitsim::DeadlockReport)
+/// field by field.
+pub fn sim_error_to_json(e: &SimError) -> String {
+    match e {
+        SimError::Config(c) => format!(
+            "{{\"kind\": \"config\", \"message\": {}}}",
+            json_string(&c.to_string())
+        ),
+        SimError::Traffic(t) => format!(
+            "{{\"kind\": \"traffic\", \"message\": {}}}",
+            json_string(&t.to_string())
+        ),
+        SimError::TooFewPns(n) => {
+            format!("{{\"kind\": \"too-few-pns\", \"num_pns\": {n}}}")
+        }
+        SimError::Deadlock(r) => format!(
+            "{{\"kind\": \"deadlock\", \"cycle\": {}, \"stalled_for\": {}, \
+             \"flits_in_network\": {}, \"in_flight_packets\": {}, \
+             \"blocked_ports\": {}, \"source_backlog\": {}}}",
+            r.cycle,
+            r.stalled_for,
+            r.flits_in_network,
+            r.in_flight_packets,
+            r.blocked_ports,
+            r.source_backlog
+        ),
+    }
+}
+
+/// Render a results document holding both successful-run records and
+/// structured failures: `{"records": […], "failures": […]}`.
+pub fn document_to_json(records: &[Record], failures: &[Failure]) -> String {
+    let records_json = records_to_json(records).replace('\n', "\n  ");
+    let mut out = format!("{{\n  \"records\": {records_json},\n  \"failures\": [");
+    for (i, f) in failures.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {\n");
+        out.push_str(&format!(
+            "      \"experiment\": {},\n",
+            json_string(&f.experiment)
+        ));
+        out.push_str(&format!(
+            "      \"topology\": {},\n",
+            json_string(&f.topology)
+        ));
+        out.push_str(&format!("      \"scheme\": {},\n", json_string(&f.scheme)));
+        out.push_str(&format!("      \"k\": {},\n", f.k));
+        out.push_str(&format!("      \"x\": {},\n", json_f64(f.x)));
+        out.push_str(&format!("      \"seed\": {},\n", f.seed));
+        out.push_str(&format!(
+            "      \"error\": {}\n",
+            sim_error_to_json(&f.error)
+        ));
+        out.push_str("    }");
+    }
+    if !failures.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}");
+    out
+}
+
+/// Write a records + failures document as pretty JSON to `path`.
+pub fn write_document(path: &str, records: &[Record], failures: &[Failure]) -> std::io::Result<()> {
+    std::fs::write(path, document_to_json(records, failures))
+}
+
 /// JSON number for an `f64` (`1.0`, not `1`, for integral values —
 /// matching serde_json's float formatting; non-finite values become
 /// `null` as serde_json has no representation for them either).
@@ -218,6 +308,66 @@ mod tests {
         assert_eq!(a.positional, vec!["a"]);
         assert!(CommonArgs::parse(["--nope"].into_iter().map(String::from)).is_err());
         assert!(CommonArgs::parse(["--json"].into_iter().map(String::from)).is_err());
+    }
+
+    #[test]
+    fn failures_serialize_structured() {
+        use lmpr_flitsim::{ConfigError, DeadlockReport};
+        let rec = Record {
+            experiment: "chaos-sweep".into(),
+            topology: "XGFT(2; 4,4; 1,4)".into(),
+            scheme: "d-mod-k".into(),
+            k: 1,
+            x: 0.05,
+            y: 0.5,
+            aux: None,
+        };
+        let deadlock = Failure {
+            experiment: "chaos-sweep".into(),
+            topology: "XGFT(2; 4,4; 1,4)".into(),
+            scheme: "disjoint(4)".into(),
+            k: 4,
+            x: 0.05,
+            seed: 7,
+            error: SimError::Deadlock(DeadlockReport {
+                cycle: 12_345,
+                stalled_for: 2_000,
+                flits_in_network: 96,
+                in_flight_packets: 6,
+                blocked_ports: 3,
+                source_backlog: 40,
+            }),
+        };
+        let doc = document_to_json(&[rec], &[deadlock]);
+        // The deadlock is a kind-tagged object with every report field,
+        // not a flattened message string.
+        assert!(doc.contains("\"kind\": \"deadlock\""));
+        assert!(doc.contains("\"cycle\": 12345"));
+        assert!(doc.contains("\"stalled_for\": 2000"));
+        assert!(doc.contains("\"flits_in_network\": 96"));
+        assert!(doc.contains("\"in_flight_packets\": 6"));
+        assert!(doc.contains("\"blocked_ports\": 3"));
+        assert!(doc.contains("\"source_backlog\": 40"));
+        assert!(doc.contains("\"seed\": 7"));
+        assert!(doc.contains("\"records\": ["));
+        assert!(doc.contains("\"failures\": ["));
+        // Other SimError variants keep their kind tag and message.
+        let cfg = sim_error_to_json(&SimError::Config(ConfigError::ZeroPacketFlits));
+        assert!(cfg.starts_with("{\"kind\": \"config\""));
+        assert!(sim_error_to_json(&SimError::TooFewPns(1)).contains("\"num_pns\": 1"));
+        // Braces balance (the serializer is hand-rolled).
+        let depth = doc.chars().fold(0i32, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn empty_document_is_well_formed() {
+        let doc = document_to_json(&[], &[]);
+        assert_eq!(doc, "{\n  \"records\": [],\n  \"failures\": []\n}");
     }
 
     #[test]

@@ -4,6 +4,63 @@
 use crate::{PathSet, RouteError, Router};
 use xgft::{FaultSet, PathId, PnId, Topology};
 
+/// Degrade a fault-free path selection in place against a fault set.
+///
+/// `out` holds a selection computed on the fault-free enumeration (any
+/// [`Router`]'s output). Paths crossing a failed link are dropped, then
+/// the set is topped back up from the surviving enumeration so it keeps
+/// `min(budget, X_surviving)` distinct paths, where `budget` is the
+/// incoming selection size. The top-up scan starts at the pair's
+/// d-mod-k index and wraps, not at path 0: if every degraded pair
+/// topped up from the canonical start, concurrent failures would herd
+/// all repaired selections onto the lowest-numbered top switches and
+/// manufacture hot spots exactly when the network is most stressed.
+/// Rotating by the d-mod-k index keeps replacements spread by
+/// destination, the same balancing idea the shift-1 window is built on.
+///
+/// Returns `Ok(false)` when the selection passed through untouched (no
+/// fault affected it), `Ok(true)` when it was modified, and
+/// [`RouteError::Disconnected`] when no shortest path of the pair
+/// survives (`out` is left empty in that case).
+///
+/// This free function is the online-reconvergence primitive: a running
+/// simulator calls it per affected SD pair against its *current view* of
+/// the fault state instead of rebuilding the whole routing.
+pub fn degrade_selection(
+    topo: &Topology,
+    s: PnId,
+    d: PnId,
+    faults: &FaultSet,
+    out: &mut Vec<PathId>,
+) -> Result<bool, RouteError> {
+    if faults.is_empty() {
+        return Ok(false);
+    }
+    let budget = out.len();
+    out.retain(|&p| faults.path_survives(topo, s, d, p));
+    if out.len() == budget {
+        return Ok(false); // every selected path survived
+    }
+    // Re-select from the surviving enumeration, preserving the
+    // already-selected survivors and topping up from the pair's d-mod-k
+    // index (wrapping) so replacements stay spread across pairs.
+    let x = topo.num_paths(s, d);
+    let start = topo.dmodk_path(s, d).0;
+    for n in 0..x {
+        if out.len() == budget {
+            break;
+        }
+        let p = PathId((start + n) % x);
+        if !out.contains(&p) && faults.path_survives(topo, s, d, p) {
+            out.push(p);
+        }
+    }
+    if out.is_empty() {
+        return Err(RouteError::Disconnected { src: s, dst: d });
+    }
+    Ok(true)
+}
+
 /// Adapter that makes any [`Router`] fault-aware.
 ///
 /// For each SD pair it runs the inner heuristic on the *fault-free*
@@ -12,8 +69,9 @@ use xgft::{FaultSet, PathId, PnId, Topology};
 ///
 /// 1. drops the selected paths that cross a failed link;
 /// 2. if fewer than the heuristic's budget survive, tops the set back
-///    up from the surviving ALLPATHS enumeration (in canonical order),
-///    so the degraded set always has `min(K, X_surviving)` paths;
+///    up from the surviving ALLPATHS enumeration (rotated to start at
+///    the pair's d-mod-k index — see [`degrade_selection`]), so the
+///    degraded set always has `min(K, X_surviving)` paths;
 /// 3. if *no* path of the pair survives, reports
 ///    [`RouteError::Disconnected`] instead of panicking.
 ///
@@ -54,28 +112,7 @@ impl<R: Router> FaultAware<R> {
         out: &mut Vec<PathId>,
     ) -> Result<(), RouteError> {
         self.inner.fill_paths(topo, s, d, out);
-        if self.faults.is_empty() {
-            return Ok(());
-        }
-        let budget = out.len();
-        out.retain(|&p| self.faults.path_survives(topo, s, d, p));
-        if out.len() == budget {
-            return Ok(()); // every selected path survived
-        }
-        // Re-select from the surviving enumeration, preserving the
-        // already-selected survivors and topping up in canonical order.
-        for p in topo.all_paths(s, d) {
-            if out.len() == budget {
-                break;
-            }
-            if !out.contains(&p) && self.faults.path_survives(topo, s, d, p) {
-                out.push(p);
-            }
-        }
-        if out.is_empty() {
-            return Err(RouteError::Disconnected { src: s, dst: d });
-        }
-        Ok(())
+        degrade_selection(topo, s, d, &self.faults, out).map(|_| ())
     }
 
     /// Owned-set variant of [`FaultAware::try_fill_paths`].
@@ -173,6 +210,73 @@ mod tests {
         assert!(out.is_empty());
         // Other sources are unaffected.
         assert!(fa.try_path_set(&topo, PnId(1), PnId(63)).is_ok());
+    }
+
+    #[test]
+    fn degraded_topup_never_duplicates_paths() {
+        // Property: for random fault sets, any heuristic wrapped in
+        // FaultAware yields a selection with no duplicate PathId, every
+        // path surviving, and cardinality min(K, X_surviving) — even
+        // when the top-up scan wraps past the end of the enumeration.
+        use crate::{RandomK, RouterKind};
+        let topos = [
+            Topology::new(XgftSpec::new(&[4, 4], &[1, 4]).unwrap()),
+            Topology::new(XgftSpec::new(&[4, 4, 4], &[1, 2, 4]).unwrap()),
+            Topology::new(XgftSpec::new(&[2, 2, 2], &[2, 2, 2]).unwrap()),
+        ];
+        for topo in &topos {
+            for fault_seed in 0u64..6 {
+                let rate = [0.05, 0.15, 0.4][fault_seed as usize % 3];
+                let faults = FaultSet::sample(topo, rate, 0.0, fault_seed);
+                for k in [1u64, 2, 3, 4, 8] {
+                    for router in [
+                        RouterKind::ShiftOne(k),
+                        RouterKind::Disjoint(k),
+                        RouterKind::DisjointStride(k),
+                        RouterKind::RandomK(k, 99),
+                    ] {
+                        let fa = FaultAware::new(router, faults.clone());
+                        // A deterministic spread of SD pairs.
+                        let n = topo.num_pns();
+                        for i in 0..n.min(8) {
+                            let s = PnId(i * (n / 8).max(1) % n);
+                            let d = PnId((i * 7 + 3) % n);
+                            let mut out = Vec::new();
+                            fa.fill_paths(topo, s, d, &mut out);
+                            let surviving = faults.num_surviving(topo, s, d);
+                            assert_eq!(
+                                out.len() as u64,
+                                k.min(surviving),
+                                "cardinality for {} {s:?}->{d:?}",
+                                fa.name()
+                            );
+                            assert!(
+                                out.iter().all(|&p| faults.path_survives(topo, s, d, p)),
+                                "dead path selected by {}",
+                                fa.name()
+                            );
+                            let mut sorted = out.clone();
+                            sorted.sort_unstable_by_key(|p| p.0);
+                            sorted.dedup();
+                            assert_eq!(
+                                sorted.len(),
+                                out.len(),
+                                "duplicate PathId from {} {s:?}->{d:?}: {out:?}",
+                                fa.name()
+                            );
+                        }
+                    }
+                }
+                // RandomK's struct form goes through the same adapter.
+                let fa = FaultAware::new(RandomK::new(3, 5), faults.clone());
+                let mut out = Vec::new();
+                fa.fill_paths(topo, PnId(0), PnId(1), &mut out);
+                let mut sorted = out.clone();
+                sorted.sort_unstable_by_key(|p| p.0);
+                sorted.dedup();
+                assert_eq!(sorted.len(), out.len());
+            }
+        }
     }
 
     #[test]

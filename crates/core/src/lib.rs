@@ -69,7 +69,7 @@ mod umulti;
 pub use disjoint::{Disjoint, DisjointStride};
 pub use dmodk::{DModK, SModK};
 pub use error::RouteError;
-pub use fault_aware::FaultAware;
+pub use fault_aware::{degrade_selection, FaultAware};
 pub use kind::RouterKind;
 pub use path_set::PathSet;
 pub use random::RandomK;

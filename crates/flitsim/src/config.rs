@@ -8,12 +8,14 @@ pub enum FaultPolicy {
     /// The flit is discarded and counted in
     /// [`SimStats::dropped_flits`](crate::SimStats::dropped_flits) — the
     /// conservation invariant becomes
-    /// `injected = delivered + in-flight + dropped` (default).
+    /// `injected = delivered + duplicate + in-flight + dropped` (default).
     #[default]
     Drop,
-    /// The link transfers nothing; traffic routed over it backs up until
-    /// the no-progress watchdog aborts the run with a
-    /// [`DeadlockReport`](crate::DeadlockReport).
+    /// The link transfers nothing; traffic routed over it backs up. With
+    /// a static fault set this ends in the no-progress watchdog aborting
+    /// the run with a [`DeadlockReport`](crate::DeadlockReport); with a
+    /// dynamic [`FaultSchedule`](xgft::FaultSchedule) the backlog drains
+    /// once the link recovers.
     Block,
 }
 
@@ -34,6 +36,70 @@ pub enum PathPolicy {
     RoundRobin,
 }
 
+/// End-to-end reliability parameters (per-packet transfers).
+///
+/// Every packet becomes a *transfer*: the source arms a delivery timeout
+/// when it first queues the packet and retransmits a fresh copy each
+/// time the timeout expires, doubling the timeout per attempt
+/// (exponential backoff, saturating). After `1 + max_retries` total
+/// transmission attempts the transfer is dropped with a recorded cause.
+/// The sink suppresses duplicate copies, so every transfer resolves as
+/// delivered-exactly-once, dropped-with-cause, or still in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetxConfig {
+    /// Base delivery timeout in cycles (doubled per retransmission).
+    pub timeout: u64,
+    /// Retransmissions allowed after the initial attempt.
+    pub max_retries: u32,
+}
+
+impl Default for RetxConfig {
+    fn default() -> Self {
+        RetxConfig {
+            timeout: 2_000,
+            max_retries: 4,
+        }
+    }
+}
+
+/// Runtime-resilience parameters for a simulation driven by a
+/// [`FaultSchedule`](xgft::FaultSchedule).
+///
+/// Fault events hit the physical layer (cables stop or resume moving
+/// flits) the cycle they occur; the *routing* layer only learns of them
+/// `detect_cycles + reconverge_cycles` later, when affected SD pairs
+/// recompute their surviving `min(K, X)` selection incrementally. The
+/// window models failure detection (sweep / timeout) plus subnet-manager
+/// reprogramming, the reaction time that decides delivered throughput
+/// under churn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResilienceConfig {
+    /// Cycles until a fault event is *detected*.
+    pub detect_cycles: u64,
+    /// Further cycles until rerouting takes effect after detection.
+    pub reconverge_cycles: u64,
+    /// End-to-end retransmission; `None` leaves reliability to the
+    /// fault policy alone (drops stay dropped).
+    pub retx: Option<RetxConfig>,
+}
+
+impl ResilienceConfig {
+    /// Total routing-view lag behind the physical fault state.
+    pub fn lag(&self) -> u64 {
+        self.detect_cycles.saturating_add(self.reconverge_cycles)
+    }
+
+    /// Validate: a zero retransmission timeout would re-arm every cycle.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let Some(r) = self.retx {
+            if r.timeout == 0 {
+                return Err(ConfigError::ZeroRetxTimeout);
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Flit-level simulation parameters.
 ///
 /// The defaults reproduce the paper's §5 setup. The OCR of the source
@@ -52,9 +118,9 @@ pub struct SimConfig {
     /// Input- and output-buffer capacity per port, in packets.
     pub buffer_packets: u16,
     /// Cycles simulated before statistics collection starts.
-    pub warmup_cycles: u32,
+    pub warmup_cycles: u64,
     /// Length of the measurement window, in cycles.
-    pub measure_cycles: u32,
+    pub measure_cycles: u64,
     /// Offered load as a fraction of injection bandwidth
     /// (1 flit/node/cycle), in `(0, 1]`.
     pub offered_load: f64,
@@ -66,7 +132,7 @@ pub struct SimConfig {
     /// long while flits are in flight or backlogged, the run aborts with
     /// a [`DeadlockReport`](crate::DeadlockReport). `0` disables the
     /// watchdog.
-    pub watchdog_cycles: u32,
+    pub watchdog_cycles: u64,
 }
 
 impl Default for SimConfig {
@@ -99,6 +165,12 @@ impl SimConfig {
     /// Message arrival rate per node, in messages per cycle.
     pub fn message_rate(&self) -> f64 {
         self.offered_load / self.message_flits() as f64
+    }
+
+    /// End of the simulated horizon (warm-up plus measurement window),
+    /// saturating so extreme windows cannot wrap the timeline.
+    pub fn horizon(&self) -> u64 {
+        self.warmup_cycles.saturating_add(self.measure_cycles)
     }
 
     /// Validate parameter consistency: non-positive sizes, buffers
@@ -146,6 +218,7 @@ mod tests {
         assert_eq!(c.buffer_flits(), 64);
         assert_eq!(c.message_flits(), 64);
         assert!((c.message_rate() - 0.5 / 64.0).abs() < 1e-15);
+        assert_eq!(c.horizon(), 70_000);
         assert_eq!(c.validate(), Ok(()));
     }
 
@@ -182,6 +255,35 @@ mod tests {
         .validate()
         .unwrap_err();
         assert!(matches!(err, ConfigError::BadOfferedLoad(_)));
+    }
+
+    #[test]
+    fn horizon_saturates() {
+        let c = SimConfig {
+            warmup_cycles: u64::MAX,
+            measure_cycles: 10,
+            ..SimConfig::default()
+        };
+        assert_eq!(c.horizon(), u64::MAX);
+    }
+
+    #[test]
+    fn resilience_validation() {
+        assert_eq!(ResilienceConfig::default().validate(), Ok(()));
+        let bad = ResilienceConfig {
+            retx: Some(RetxConfig {
+                timeout: 0,
+                max_retries: 1,
+            }),
+            ..ResilienceConfig::default()
+        };
+        assert_eq!(bad.validate(), Err(ConfigError::ZeroRetxTimeout));
+        let lagged = ResilienceConfig {
+            detect_cycles: u64::MAX,
+            reconverge_cycles: 5,
+            retx: None,
+        };
+        assert_eq!(lagged.lag(), u64::MAX, "lag saturates");
     }
 
     #[test]

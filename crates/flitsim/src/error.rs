@@ -17,6 +17,8 @@ pub enum ConfigError {
     BadOfferedLoad(f64),
     /// `measure_cycles == 0`.
     EmptyMeasureWindow,
+    /// A retransmission timeout of zero cycles would re-arm every cycle.
+    ZeroRetxTimeout,
 }
 
 impl fmt::Display for ConfigError {
@@ -35,6 +37,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::EmptyMeasureWindow => {
                 write!(f, "measurement window must be non-empty")
+            }
+            ConfigError::ZeroRetxTimeout => {
+                write!(f, "retransmission timeout must be at least one cycle")
             }
         }
     }
@@ -108,9 +113,9 @@ impl std::error::Error for TrafficError {}
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeadlockReport {
     /// Cycle at which the watchdog fired.
-    pub cycle: u32,
+    pub cycle: u64,
     /// Cycles since the last flit movement.
-    pub stalled_for: u32,
+    pub stalled_for: u64,
     /// Flits sitting in network buffers.
     pub flits_in_network: u64,
     /// Packets created but not fully delivered (in-flight).

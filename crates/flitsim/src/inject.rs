@@ -46,7 +46,7 @@ impl Source {
 
     /// Whether a message arrives at or before `now`; advances the
     /// arrival clock when it does.
-    pub fn poll_arrival(&mut self, now: u32, rate: f64) -> bool {
+    pub fn poll_arrival(&mut self, now: u64, rate: f64) -> bool {
         if self.next_arrival <= now as f64 {
             self.next_arrival += exp_sample(&mut self.rng, rate);
             true
@@ -127,7 +127,7 @@ mod tests {
         // Mean inter-arrival must approximate 1/rate.
         let mut src = Source::new(1, 0, 1, 0.01);
         let mut events = 0u32;
-        for now in 0..200_000u32 {
+        for now in 0..200_000u64 {
             while src.poll_arrival(now, 0.01) {
                 events += 1;
             }

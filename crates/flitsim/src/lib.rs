@@ -43,17 +43,21 @@
 mod config;
 mod error;
 mod inject;
+mod monitor;
 mod network;
 mod packet;
+mod resilience;
 mod sim;
 mod stats;
 pub mod sweep;
 mod traffic_mode;
 mod util;
 
-pub use config::{FaultPolicy, PathPolicy, SimConfig};
+pub use config::{FaultPolicy, PathPolicy, ResilienceConfig, RetxConfig, SimConfig};
 pub use error::{ConfigError, DeadlockReport, SimError, TrafficError};
+pub use monitor::{check_progress, ConservationLedger};
 pub use network::PortGraph;
+pub use resilience::{DropCause, XferState};
 pub use sim::FlitSim;
 pub use stats::{saturation_throughput, LoadPoint, SimStats};
 pub use sweep::{load_grid, run_sweep, run_sweep_with_preflight, SweepError};

@@ -1,0 +1,236 @@
+//! Runtime invariant monitors.
+//!
+//! The static analyzer (`lmpr-verify`) certifies routing properties
+//! before a run; these monitors certify the *running* system, firing as
+//! the same structured [`Diagnostic`]s so chaos harnesses and CI can
+//! gate on them uniformly:
+//!
+//! | Rule | Invariant |
+//! |---|---|
+//! | `RT-CONSERVE` | injected = delivered + duplicate + dropped + in-network, and created transfers = delivered-once + dropped-with-cause + in-flight |
+//! | `RT-DUP` | duplicates can only exist under retransmission; resolved transfers never exceed created ones |
+//! | `RT-PROGRESS` | flits keep moving while work is pending (online watchdog) |
+//! | `RT-SELECT` | every cached live selection is duplicate-free and survives the routing view's fault state (checked in the simulator, which owns the cache) |
+
+use lmpr_verify::{Diagnostic, RuleId, Severity, Witness};
+
+/// Snapshot of every counter the conservation monitors reason about.
+/// Built by [`FlitSim::conservation_ledger`](crate::FlitSim::conservation_ledger);
+/// all checks are pure functions of this snapshot, so they can also be
+/// asserted against recorded ledgers post-hoc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConservationLedger {
+    /// Lifetime flits that left a source queue into the network.
+    pub injected: u64,
+    /// Lifetime flits delivered while their transfer was unresolved (or
+    /// any delivery when reliability is off).
+    pub delivered: u64,
+    /// Lifetime flits suppressed at the sink as duplicates.
+    pub duplicate: u64,
+    /// Lifetime flits discarded at failed links.
+    pub dropped: u64,
+    /// Flits currently buffered anywhere in the network.
+    pub in_network: u64,
+    /// Whether end-to-end retransmission is active.
+    pub retx_enabled: bool,
+    /// Lifetime transfers created (0 when reliability is off).
+    pub transfers_created: u64,
+    /// Lifetime transfers delivered exactly once.
+    pub transfers_delivered: u64,
+    /// Lifetime transfers dropped with cause.
+    pub transfers_dropped: u64,
+    /// Transfers currently unresolved (measured from live records).
+    pub transfers_in_flight: u64,
+}
+
+impl ConservationLedger {
+    /// The flit-granularity conservation equation.
+    pub fn flit_balance_holds(&self) -> bool {
+        self.injected
+            == self
+                .delivered
+                .wrapping_add(self.duplicate)
+                .wrapping_add(self.dropped)
+                .wrapping_add(self.in_network)
+    }
+
+    /// The transfer-granularity conservation equation (trivially true
+    /// when reliability is off).
+    pub fn transfer_balance_holds(&self) -> bool {
+        self.transfers_created
+            == self
+                .transfers_delivered
+                .wrapping_add(self.transfers_dropped)
+                .wrapping_add(self.transfers_in_flight)
+    }
+
+    /// Run the conservation and duplicate-delivery monitors, appending
+    /// findings to `out`.
+    pub fn check(&self, out: &mut Vec<Diagnostic>) {
+        if !self.flit_balance_holds() {
+            out.push(Diagnostic::error(
+                RuleId::RtConservation,
+                format!(
+                    "flit conservation broke: injected {} != delivered {} + duplicate {} \
+                     + dropped {} + in-network {}",
+                    self.injected, self.delivered, self.duplicate, self.dropped, self.in_network
+                ),
+                Witness::None,
+            ));
+        }
+        if !self.transfer_balance_holds() {
+            out.push(Diagnostic::error(
+                RuleId::RtConservation,
+                format!(
+                    "transfer ledger lost a packet: created {} != delivered-once {} \
+                     + dropped-with-cause {} + in-flight {}",
+                    self.transfers_created,
+                    self.transfers_delivered,
+                    self.transfers_dropped,
+                    self.transfers_in_flight
+                ),
+                Witness::None,
+            ));
+        }
+        if !self.retx_enabled && self.duplicate > 0 {
+            out.push(Diagnostic::error(
+                RuleId::RtDuplicate,
+                format!(
+                    "{} duplicate flits reached sinks with retransmission disabled",
+                    self.duplicate
+                ),
+                Witness::None,
+            ));
+        }
+        if self
+            .transfers_delivered
+            .saturating_add(self.transfers_dropped)
+            > self.transfers_created
+        {
+            out.push(Diagnostic::error(
+                RuleId::RtDuplicate,
+                format!(
+                    "more transfers resolved ({} delivered + {} dropped) than created ({}): \
+                     some packet was delivered or dropped twice",
+                    self.transfers_delivered, self.transfers_dropped, self.transfers_created
+                ),
+                Witness::None,
+            ));
+        }
+    }
+}
+
+/// The online progress monitor: warn at half the watchdog horizon, error
+/// once the horizon is exceeded while work is pending. A disabled
+/// watchdog (`horizon == 0`) checks nothing.
+pub fn check_progress(
+    stalled_for: u64,
+    horizon: u64,
+    work_pending: bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    if horizon == 0 || !work_pending {
+        return;
+    }
+    if stalled_for > horizon {
+        out.push(Diagnostic::error(
+            RuleId::RtProgress,
+            format!(
+                "no flit moved for {stalled_for} cycles (watchdog horizon {horizon}) \
+                 while work is pending"
+            ),
+            Witness::None,
+        ));
+    } else if stalled_for > horizon / 2 {
+        out.push(Diagnostic {
+            rule: RuleId::RtProgress,
+            severity: Severity::Warning,
+            message: format!(
+                "progress stalled for {stalled_for} cycles, past half the \
+                 watchdog horizon ({horizon})"
+            ),
+            witness: Witness::None,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean() -> ConservationLedger {
+        ConservationLedger {
+            injected: 100,
+            delivered: 60,
+            duplicate: 5,
+            dropped: 15,
+            in_network: 20,
+            retx_enabled: true,
+            transfers_created: 10,
+            transfers_delivered: 6,
+            transfers_dropped: 1,
+            transfers_in_flight: 3,
+        }
+    }
+
+    #[test]
+    fn clean_ledger_is_silent() {
+        let mut out = Vec::new();
+        clean().check(&mut out);
+        assert!(out.is_empty(), "unexpected findings: {out:?}");
+    }
+
+    #[test]
+    fn broken_flit_balance_fires_rt_conserve() {
+        let mut l = clean();
+        l.delivered -= 1;
+        let mut out = Vec::new();
+        l.check(&mut out);
+        assert!(out
+            .iter()
+            .any(|d| d.rule == RuleId::RtConservation && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn lost_transfer_fires_rt_conserve() {
+        let mut l = clean();
+        l.transfers_in_flight = 2;
+        let mut out = Vec::new();
+        l.check(&mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("transfer ledger"));
+    }
+
+    #[test]
+    fn duplicates_without_retx_fire_rt_dup() {
+        let mut l = clean();
+        l.retx_enabled = false;
+        let mut out = Vec::new();
+        l.check(&mut out);
+        assert!(out.iter().any(|d| d.rule == RuleId::RtDuplicate));
+    }
+
+    #[test]
+    fn over_resolution_fires_rt_dup() {
+        let mut l = clean();
+        l.transfers_delivered = 12; // > created
+        let mut out = Vec::new();
+        l.check(&mut out);
+        assert!(out
+            .iter()
+            .any(|d| d.rule == RuleId::RtDuplicate && d.message.contains("twice")));
+    }
+
+    #[test]
+    fn progress_monitor_escalates() {
+        let mut out = Vec::new();
+        check_progress(10, 0, true, &mut out);
+        assert!(out.is_empty(), "disabled watchdog checks nothing");
+        check_progress(600, 1000, false, &mut out);
+        assert!(out.is_empty(), "idle network is fine");
+        check_progress(600, 1000, true, &mut out);
+        assert_eq!(out.last().map(|d| d.severity), Some(Severity::Warning));
+        check_progress(1500, 1000, true, &mut out);
+        assert_eq!(out.last().map(|d| d.severity), Some(Severity::Error));
+    }
+}

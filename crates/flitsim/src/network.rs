@@ -104,7 +104,7 @@ impl PortGraph {
 
     /// Total number of ports (each is one input unit + one output unit).
     pub fn num_ports(&self) -> u32 {
-        *self.port_base.last().unwrap()
+        self.port_base.last().copied().unwrap_or(0)
     }
 
     /// Global port id of a node's local port.

@@ -2,6 +2,10 @@
 
 use xgft::PnId;
 
+/// Sentinel for [`Packet::xfer`]: the packet is not tracked by the
+/// end-to-end retransmission layer (reliability disabled).
+pub const NO_XFER: u32 = u32::MAX;
+
 /// A flit in a buffer. All flits of a packet share its record in the
 /// packet slab; the flit only carries what differs per copy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -15,8 +19,9 @@ pub struct Flit {
     /// `route[hop]`.
     pub hop: u8,
     /// Cycle the flit entered its current buffer; it may move again only
-    /// on a strictly later cycle.
-    pub entered: u32,
+    /// on a strictly later cycle. 64-bit so arbitrarily long resilience
+    /// runs never wrap the timeline.
+    pub entered: u64,
 }
 
 impl Flit {
@@ -38,6 +43,10 @@ pub struct Packet {
     pub route: Box<[u16]>,
     /// Destination (for delivery assertions).
     pub dst: PnId,
+    /// Transfer slab key when end-to-end reliability tracks this packet
+    /// (each retransmitted copy is its own `Packet` sharing one
+    /// transfer); [`NO_XFER`] otherwise.
+    pub xfer: u32,
 }
 
 impl Packet {
@@ -51,9 +60,11 @@ impl Packet {
 #[derive(Debug, Clone, Copy)]
 pub struct Message {
     /// Creation cycle (arrival at the source queue).
-    pub created: u32,
+    pub created: u64,
     /// Flits still outstanding; the message completes when this reaches
-    /// zero.
+    /// zero. Under end-to-end reliability this decrements by a whole
+    /// packet when the packet's *first* copy completes (duplicates never
+    /// advance it).
     pub remaining_flits: u32,
     /// Whether the message was created inside the measurement window
     /// (only those contribute to delay statistics).
@@ -71,6 +82,7 @@ mod tests {
             len: 4,
             route: Box::new([0, 1]),
             dst: PnId(3),
+            xfer: NO_XFER,
         };
         assert!(Flit {
             pkt: 0,

@@ -1,21 +1,31 @@
 //! Measurement-window statistics.
 
 /// Statistics collected over the measurement window of one simulation.
+///
+/// The resilience fields (`duplicate_flits`, `retransmitted_packets`,
+/// `transfers_*`, `reconvergence_*`) are all zero for a plain run —
+/// stats of a fault-free simulation compare equal whether or not the
+/// resilience layer was compiled in the loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimStats {
     /// Offered load the run was driven at (flits/node/cycle).
     pub offered_load: f64,
     /// Length of the measurement window in cycles.
-    pub measure_cycles: u32,
+    pub measure_cycles: u64,
     /// Number of processing nodes.
     pub num_pns: u32,
     /// Flits entering the network during the window.
     pub injected_flits: u64,
-    /// Flits delivered to destinations during the window.
+    /// Flits delivered to destinations during the window (first copy of
+    /// each transfer; duplicates are counted separately).
     pub delivered_flits: u64,
     /// Flits discarded at failed links during the window (only non-zero
     /// under [`FaultPolicy::Drop`](crate::FaultPolicy::Drop)).
     pub dropped_flits: u64,
+    /// Flits reaching the sink for an already-resolved transfer during
+    /// the window (suppressed duplicates; end-to-end retransmission
+    /// only).
+    pub duplicate_flits: u64,
     /// Messages whose pair had no surviving route (fault-aware routing
     /// declined them) during the window.
     pub disconnected_messages: u64,
@@ -26,7 +36,7 @@ pub struct SimStats {
     /// Sum of completed messages' delays (creation → last flit), cycles.
     pub sum_message_delay: f64,
     /// Largest completed message delay, cycles.
-    pub max_message_delay: u32,
+    pub max_message_delay: u64,
     /// Median completed-message delay, cycles (0 if none completed).
     pub delay_p50: f64,
     /// 95th-percentile completed-message delay, cycles.
@@ -36,10 +46,31 @@ pub struct SimStats {
     /// Packets still queued at sources when the run ended (saturation
     /// indicator).
     pub final_source_backlog: u64,
+    /// Lifetime packet transfers created (end-to-end retransmission
+    /// only; one per packet first queued).
+    pub transfers_created: u64,
+    /// Lifetime transfers whose first copy fully arrived.
+    pub transfers_delivered: u64,
+    /// Lifetime transfers dropped with cause (retry cap or persistent
+    /// disconnection).
+    pub transfers_dropped: u64,
+    /// Lifetime retransmission copies queued (beyond first attempts).
+    pub retransmitted_packets: u64,
+    /// Lifetime fault-event batches the routing layer reconverged on.
+    pub reconvergence_events: u64,
+    /// Mean cycles from a fault event to the routing layer acting on it
+    /// (detection + reconvergence lag actually realized; 0 if no
+    /// events).
+    pub mean_reconverge_cycles: f64,
+    /// Largest realized reconvergence lag, cycles.
+    pub max_reconverge_cycles: u64,
+    /// Lifetime cached route selections recomputed because a fault event
+    /// invalidated them.
+    pub routes_invalidated: u64,
 }
 
 /// Nearest-rank percentile of a sorted sample (0 for an empty one).
-pub fn percentile(sorted: &[u32], q: f64) -> f64 {
+pub fn percentile(sorted: &[u64], q: f64) -> f64 {
     debug_assert!((0.0..=1.0).contains(&q));
     debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
     if sorted.is_empty() {
@@ -52,7 +83,7 @@ pub fn percentile(sorted: &[u32], q: f64) -> f64 {
 impl SimStats {
     /// Accepted throughput as a fraction of injection bandwidth
     /// (delivered flits per node per cycle; the paper's Table 1 values
-    /// are this × 100).
+    /// are this × 100). Duplicates never count.
     pub fn accepted_throughput(&self) -> f64 {
         self.delivered_flits as f64 / (self.measure_cycles as f64 * self.num_pns as f64)
     }
@@ -70,6 +101,17 @@ impl SimStats {
             1.0
         } else {
             self.completed_messages as f64 / self.created_messages as f64
+        }
+    }
+
+    /// Retransmitted copies per transfer created (0 when reliability is
+    /// off or nothing was sent). A ratio of 0.1 means one packet in ten
+    /// needed a second attempt.
+    pub fn retransmit_ratio(&self) -> f64 {
+        if self.transfers_created == 0 {
+            0.0
+        } else {
+            self.retransmitted_packets as f64 / self.transfers_created as f64
         }
     }
 
@@ -118,6 +160,7 @@ mod tests {
             injected_flits: 5000,
             delivered_flits: 4000,
             dropped_flits: 0,
+            duplicate_flits: 0,
             disconnected_messages: 0,
             created_messages: 80,
             completed_messages: 64,
@@ -127,6 +170,14 @@ mod tests {
             delay_p95: 250.0,
             delay_p99: 290.0,
             final_source_backlog: 2,
+            transfers_created: 0,
+            transfers_delivered: 0,
+            transfers_dropped: 0,
+            retransmitted_packets: 0,
+            reconvergence_events: 0,
+            mean_reconverge_cycles: 0.0,
+            max_reconverge_cycles: 0,
+            routes_invalidated: 0,
         }
     }
 
@@ -149,6 +200,15 @@ mod tests {
         let p = s.load_point();
         assert_eq!(p.offered, 0.5);
         assert!((p.throughput - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retransmit_ratio_is_zero_safe() {
+        let mut s = stats();
+        assert_eq!(s.retransmit_ratio(), 0.0);
+        s.transfers_created = 100;
+        s.retransmitted_packets = 10;
+        assert!((s.retransmit_ratio() - 0.1).abs() < 1e-12);
     }
 
     #[test]

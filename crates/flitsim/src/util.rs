@@ -3,6 +3,11 @@
 /// A minimal slab allocator: O(1) insert/remove with stable `u32` keys,
 /// reusing freed slots so long simulations do not grow memory with the
 /// total number of packets ever injected.
+///
+/// Access is Option-returning: a vacant slot is reported to the caller
+/// instead of panicking, so the simulator can degrade gracefully (skip
+/// the orphaned flit, keep the run alive) while debug builds still
+/// assert the invariant at every call site.
 #[derive(Debug, Clone)]
 pub struct Slab<T> {
     slots: Vec<Option<T>>,
@@ -39,28 +44,32 @@ impl<T> Slab<T> {
         }
     }
 
-    /// Remove and return the value under `key`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the slot is vacant (a double-free is a simulator bug).
-    pub fn remove(&mut self, key: u32) -> T {
-        let v = self.slots[key as usize]
-            .take()
-            .expect("slab slot already vacant");
+    /// Remove and return the value under `key`, or `None` if the slot is
+    /// vacant or the key was never issued (a double-free is a simulator
+    /// bug the caller surfaces).
+    pub fn remove(&mut self, key: u32) -> Option<T> {
+        let v = self.slots.get_mut(key as usize)?.take()?;
         self.free.push(key);
         self.len -= 1;
-        v
+        Some(v)
     }
 
-    /// Shared access to a live slot.
-    pub fn get(&self, key: u32) -> &T {
-        self.slots[key as usize].as_ref().expect("slab slot vacant")
+    /// Shared access to a live slot (`None` if vacant).
+    pub fn get(&self, key: u32) -> Option<&T> {
+        self.slots.get(key as usize)?.as_ref()
     }
 
-    /// Mutable access to a live slot.
-    pub fn get_mut(&mut self, key: u32) -> &mut T {
-        self.slots[key as usize].as_mut().expect("slab slot vacant")
+    /// Mutable access to a live slot (`None` if vacant).
+    pub fn get_mut(&mut self, key: u32) -> Option<&mut T> {
+        self.slots.get_mut(key as usize)?.as_mut()
+    }
+
+    /// Iterate over live entries as `(key, &value)`, in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (i as u32, v)))
     }
 
     /// Number of live entries.
@@ -88,10 +97,10 @@ mod tests {
         let mut s = Slab::new();
         let a = s.insert("a");
         let b = s.insert("b");
-        assert_eq!(*s.get(a), "a");
-        assert_eq!(*s.get(b), "b");
+        assert_eq!(s.get(a), Some(&"a"));
+        assert_eq!(s.get(b), Some(&"b"));
         assert_eq!(s.len(), 2);
-        assert_eq!(s.remove(a), "a");
+        assert_eq!(s.remove(a), Some("a"));
         assert_eq!(s.len(), 1);
     }
 
@@ -119,19 +128,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "already vacant")]
-    fn double_remove_panics() {
+    fn vacant_access_is_none_not_a_panic() {
         let mut s = Slab::new();
         let a = s.insert(());
-        s.remove(a);
-        s.remove(a);
+        assert_eq!(s.remove(a), Some(()));
+        assert_eq!(s.remove(a), None, "double-free is reported, not fatal");
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.get_mut(a), None);
+        assert_eq!(s.get(99), None, "unissued keys are vacant too");
     }
 
     #[test]
-    fn get_mut_mutates() {
+    fn get_mut_mutates_and_iter_walks_live_slots() {
         let mut s = Slab::new();
         let a = s.insert(5);
-        *s.get_mut(a) += 1;
-        assert_eq!(*s.get(a), 6);
+        let b = s.insert(7);
+        if let Some(v) = s.get_mut(a) {
+            *v += 1;
+        }
+        assert_eq!(s.get(a), Some(&6));
+        s.remove(a);
+        let live: Vec<(u32, &i32)> = s.iter().collect();
+        assert_eq!(live, vec![(b, &7)]);
     }
 }

@@ -67,6 +67,21 @@ pub enum RuleId {
     /// bounds (ratio below 1, UMULTI off optimum, or above the `Π w_i`
     /// cap).
     LoadBound,
+    /// Runtime flit/packet conservation broke: injected flits no longer
+    /// equal delivered + duplicate + dropped + in-network, or the
+    /// transfer ledger lost a packet (created ≠ delivered-once +
+    /// dropped-with-cause + in-flight).
+    RtConservation,
+    /// The sink accepted the same packet twice (duplicate suppression
+    /// failed) or the duplicate ledger disagrees with transfer states.
+    RtDuplicate,
+    /// The simulator stopped making forward progress while work remained
+    /// (runtime watchdog, the online analogue of a deadlock proof).
+    RtProgress,
+    /// A live routing selection is invalid against the simulator's
+    /// current fault view: a cached path crosses a link the routing
+    /// layer already knows is dead, or the selection holds duplicates.
+    RtSelection,
 }
 
 impl RuleId {
@@ -84,6 +99,10 @@ impl RuleId {
             RuleId::LftWalk => "LFT-WALK",
             RuleId::DisjointFork => "DISJ-FORK",
             RuleId::LoadBound => "LOAD-BOUND",
+            RuleId::RtConservation => "RT-CONSERVE",
+            RuleId::RtDuplicate => "RT-DUP",
+            RuleId::RtProgress => "RT-PROGRESS",
+            RuleId::RtSelection => "RT-SELECT",
         }
     }
 }

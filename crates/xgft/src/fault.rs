@@ -96,6 +96,44 @@ impl FaultSet {
         }
     }
 
+    /// Mark one directed link as repaired. Idempotent. Clears the bit
+    /// regardless of why it was set, so recovering a link that went down
+    /// as part of a switch failure brings that cable back even while the
+    /// switch itself stays listed as failed.
+    pub fn recover_link(&mut self, link: DirectedLinkId) {
+        let (word, bit) = (link.0 as usize / 64, link.0 % 64);
+        if let Some(w) = self.failed.get_mut(word) {
+            if *w & (1 << bit) != 0 {
+                *w &= !(1 << bit);
+                self.num_failed_links -= 1;
+            }
+        }
+        // Trim trailing zero words so the derived equality stays
+        // semantic: a fully recovered set equals `FaultSet::default()`.
+        while self.failed.last() == Some(&0) {
+            self.failed.pop();
+        }
+    }
+
+    /// Mark a whole switch as repaired: it is removed from the failed
+    /// list and every link into or out of it comes back up. Idempotent.
+    ///
+    /// Links that were *also* failed individually come back too — the
+    /// set does not track failure causes; callers needing overlapping
+    /// link and switch outages replay their events through a
+    /// [`FaultSchedule`](crate::FaultSchedule) in timeline order.
+    pub fn recover_switch(&mut self, topo: &Topology, node: NodeId) {
+        if let Ok(i) = self.failed_switches.binary_search(&node) {
+            self.failed_switches.remove(i);
+        }
+        for id in 0..topo.num_links() {
+            let e = topo.endpoints(DirectedLinkId(id));
+            if e.from == node || e.to == node {
+                self.recover_link(DirectedLinkId(id));
+            }
+        }
+    }
+
     /// Whether a directed link is failed.
     pub fn is_link_failed(&self, link: DirectedLinkId) -> bool {
         self.failed
@@ -274,10 +312,81 @@ mod tests {
     }
 
     #[test]
+    fn recovery_restores_fault_free_behaviour() {
+        let t = fig3();
+        let mut f = FaultSet::new();
+        let link = t.up_link(2, 0, 0);
+        f.fail_link(link);
+        f.recover_link(link);
+        assert!(f.is_empty());
+        assert_eq!(f, FaultSet::default());
+        // Recovering an alive link is a no-op.
+        f.recover_link(link);
+        assert!(f.is_empty());
+
+        let top = NodeId { level: 3, rank: 0 };
+        f.fail_switch(&t, top);
+        assert_eq!(f.num_failed_links(), 8);
+        f.recover_switch(&t, top);
+        assert!(f.is_empty());
+        assert!(!f.is_switch_failed(top));
+    }
+
+    #[test]
     fn self_pair_always_survives() {
         let t = fig3();
         let f = FaultSet::sample(&t, 1.0, 1.0, 7);
         assert!(f.connected(&t, PnId(5), PnId(5)));
         assert!(f.path_survives(&t, PnId(5), PnId(5), PathId(0)));
+    }
+
+    #[test]
+    fn surviving_and_failed_partition_the_enumeration() {
+        // Property: for random topologies, fault sets and SD pairs, the
+        // surviving paths and the failed paths are disjoint classes
+        // whose union is the full canonical enumeration, and
+        // `num_surviving` / `connected` agree with the partition.
+        let specs = [
+            XgftSpec::new(&[4, 4], &[1, 4]).unwrap(),
+            XgftSpec::new(&[4, 4, 4], &[1, 2, 4]).unwrap(),
+            XgftSpec::new(&[2, 2, 2], &[2, 2, 2]).unwrap(),
+            XgftSpec::new(&[4, 4, 8], &[1, 4, 4]).unwrap(),
+        ];
+        let mut rng = 0xDEAD_BEEFu64;
+        for spec in specs {
+            let t = Topology::new(spec);
+            for case in 0u64..8 {
+                let link_rate = [0.0, 0.02, 0.1, 0.5][case as usize % 4];
+                let switch_rate = if case % 2 == 0 { 0.0 } else { 0.05 };
+                let f = FaultSet::sample(&t, link_rate, switch_rate, case ^ 0x5EED);
+                for _ in 0..16 {
+                    let s = PnId((splitmix64(&mut rng) % t.num_pns() as u64) as u32);
+                    let d = PnId((splitmix64(&mut rng) % t.num_pns() as u64) as u32);
+                    let x = t.num_paths(s, d);
+                    let mut surviving = Vec::new();
+                    f.fill_surviving(&t, s, d, &mut surviving);
+                    let failed: Vec<PathId> = t
+                        .all_paths(s, d)
+                        .filter(|&p| !f.path_survives(&t, s, d, p))
+                        .collect();
+                    assert_eq!(
+                        surviving.len() as u64 + failed.len() as u64,
+                        x,
+                        "partition must cover the enumeration"
+                    );
+                    let mut union: Vec<PathId> = surviving.iter().chain(&failed).copied().collect();
+                    union.sort_unstable_by_key(|p| p.0);
+                    union.dedup();
+                    assert_eq!(union.len() as u64, x, "classes must be disjoint");
+                    assert!(union.iter().all(|p| p.0 < x));
+                    assert_eq!(f.num_surviving(&t, s, d), surviving.len() as u64);
+                    assert_eq!(f.connected(&t, s, d), !surviving.is_empty());
+                    assert!(
+                        surviving.windows(2).all(|w| w[0].0 < w[1].0),
+                        "canonical order"
+                    );
+                }
+            }
+        }
     }
 }

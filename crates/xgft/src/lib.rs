@@ -55,6 +55,7 @@ mod ids;
 mod iter;
 mod paths;
 pub mod render;
+mod schedule;
 mod spec;
 mod subtree;
 mod topology;
@@ -63,6 +64,7 @@ pub use error::SpecError;
 pub use fault::FaultSet;
 pub use ids::{DirectedLinkId, LinkDir, NodeId, PathId, PnId};
 pub use paths::PathWalk;
+pub use schedule::{FaultChange, FaultEvent, FaultSchedule};
 pub use spec::XgftSpec;
 pub use subtree::SubtreeCut;
 pub use topology::{LinkEndpoints, Topology};

@@ -49,10 +49,13 @@ pub mod prelude {
         RouterKind, SModK, ShiftOne, Umulti,
     };
     pub use lmpr_flitsim::{
-        DeadlockReport, FaultPolicy, FlitSim, PathPolicy, SimConfig, SimError, SimStats,
-        TrafficMode,
+        DeadlockReport, FaultPolicy, FlitSim, PathPolicy, ResilienceConfig, RetxConfig, SimConfig,
+        SimError, SimStats, TrafficMode,
     };
     pub use lmpr_flowsim::{DegradedLoads, LinkLoads, PermutationStudy, StudyConfig};
     pub use lmpr_traffic::{random_permutation, TrafficMatrix};
-    pub use xgft::{DirectedLinkId, FaultSet, NodeId, PathId, PnId, Topology, XgftSpec};
+    pub use xgft::{
+        DirectedLinkId, FaultChange, FaultEvent, FaultSchedule, FaultSet, NodeId, PathId, PnId,
+        Topology, XgftSpec,
+    };
 }
