@@ -22,10 +22,13 @@ cargo test -q --workspace
 echo "==> verify --ci (static routing-correctness matrix)"
 cargo run -q --release -p lmpr-bench --bin verify -- --ci > /dev/null
 
-echo "==> chaos --quick (seeded runtime-resilience smoke, 120 s budget)"
-# Fixed seeds, so the run is reproducible; the binary exits non-zero on
-# any runtime invariant violation (conservation, duplicates, progress)
-# or failed run. timeout(1) enforces the wall-clock budget.
-timeout 120 cargo run -q --release -p lmpr-bench --bin chaos -- --quick > /dev/null
+echo "==> golden equivalence (chaos + faults quick documents, 180 s budget)"
+# Runs the seeded chaos and faults harnesses in-process and
+# byte-compares their serialized documents against the committed
+# results/chaos_quick.json and results/faults_quick.json, so any
+# behavioral drift in the simulators, the SelectionEngine or the RNG
+# consumption order fails CI. The chaos half also gates on runtime
+# invariant violations (conservation, duplicates, progress).
+timeout 180 cargo test -q --release -p lmpr-bench --test golden -- --ignored
 
 echo "CI green."

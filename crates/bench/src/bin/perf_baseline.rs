@@ -1,0 +1,193 @@
+//! Machine-readable performance baselines for the two simulators.
+//!
+//! Writes `BENCH_flitsim.json` and `BENCH_flowsim.json` (into the
+//! current directory, or a directory given as the first positional
+//! argument) with the headline performance numbers of each stack:
+//!
+//! * **flitsim** — simulated cycles per wall-clock second for a plain
+//!   run and for a resilience-enabled run under Poisson link churn, the
+//!   selection-cache hit rate of the churn run, and the wall time of a
+//!   threaded offered-load sweep.
+//! * **flowsim** — flows routed per second through the degraded-mode
+//!   path (the shared [`SelectionEngine`]),
+//!   the cache hit rate of a warm second routing pass over the same
+//!   traffic matrix, and the wall time of a Figure-4-style
+//!   heuristic × budget load sweep.
+//!
+//! Wall-clock numbers vary with the machine; the committed baselines
+//! document the reference environment and make regressions reviewable.
+//! Regenerate with `cargo run --release -p lmpr-bench --bin
+//! perf_baseline` from the repository root.
+//!
+//! Usage: `perf_baseline [--quick] [DIR]`
+
+use lmpr_bench::{json_f64, json_string, CommonArgs};
+use lmpr_core::{Disjoint, RouterKind, SelectionEngine};
+use lmpr_flitsim::{
+    run_sweep, FaultPolicy, FlitSim, ResilienceConfig, RetxConfig, SimConfig, TrafficMode,
+};
+use lmpr_flowsim::{DegradedLoads, LinkLoads};
+use lmpr_traffic::{random_permutation, TrafficMatrix};
+use std::time::Instant;
+use xgft::{FaultSchedule, FaultSet, PathId, Topology, XgftSpec};
+
+fn main() {
+    let args = match CommonArgs::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("perf_baseline: {e}");
+            std::process::exit(2);
+        }
+    };
+    let dir = args.positional.first().map_or(".", String::as_str);
+    let flit = flitsim_baseline(args.quick);
+    let flow = flowsim_baseline(args.quick);
+    for (name, doc) in [("BENCH_flitsim.json", flit), ("BENCH_flowsim.json", flow)] {
+        let path = format!("{dir}/{name}");
+        if let Err(e) = std::fs::write(&path, &doc) {
+            eprintln!("perf_baseline: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote {path}");
+    }
+}
+
+/// Render one baseline document: a flat object of named metrics.
+fn render(benchmark: &str, topology: &str, quick: bool, metrics: &[(&str, f64)]) -> String {
+    let mut out = format!(
+        "{{\n  \"benchmark\": {},\n  \"topology\": {},\n  \"quick\": {quick},\n  \"metrics\": {{",
+        json_string(benchmark),
+        json_string(topology)
+    );
+    for (i, (name, value)) in metrics.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!("    {}: {}", json_string(name), json_f64(*value)));
+    }
+    out.push_str("\n  }\n}");
+    out
+}
+
+/// Cycle-rate, cache and sweep baselines of the flit-level simulator.
+fn flitsim_baseline(quick: bool) -> String {
+    let topo = Topology::new(XgftSpec::m_port_n_tree(8, 3).expect("valid"));
+    let label = topo.spec().to_string();
+    let cfg = SimConfig {
+        warmup_cycles: 1_000,
+        measure_cycles: if quick { 4_000 } else { 10_000 },
+        offered_load: 0.4,
+        ..SimConfig::default()
+    };
+    let cycles = cfg.horizon() as f64;
+
+    let mut sim = FlitSim::new(&topo, Disjoint::new(4), cfg).expect("valid config");
+    let t0 = Instant::now();
+    sim.run().expect("plain baseline run must complete");
+    let plain_cps = cycles / t0.elapsed().as_secs_f64();
+
+    let schedule = FaultSchedule::poisson(&topo, 5e-5, 1_500.0, cfg.horizon(), 7);
+    let res = ResilienceConfig {
+        detect_cycles: 50,
+        reconverge_cycles: 150,
+        retx: Some(RetxConfig::default()),
+    };
+    let mut sim = FlitSim::with_schedule(
+        &topo,
+        Disjoint::new(4),
+        cfg,
+        TrafficMode::Uniform,
+        schedule,
+        FaultPolicy::Drop,
+        res,
+    )
+    .expect("valid config");
+    let t0 = Instant::now();
+    sim.run().expect("resilient baseline run must complete");
+    let resilient_cps = cycles / t0.elapsed().as_secs_f64();
+    let hit_rate = sim.selection_stats().hit_rate();
+
+    let sweep_cfg = SimConfig {
+        warmup_cycles: 1_000,
+        measure_cycles: if quick { 2_000 } else { 5_000 },
+        ..SimConfig::default()
+    };
+    let loads: &[f64] = if quick {
+        &[0.3, 0.6]
+    } else {
+        &[0.2, 0.4, 0.6, 0.8]
+    };
+    let t0 = Instant::now();
+    run_sweep(&topo, &Disjoint::new(4), sweep_cfg, loads, 0).expect("sweep must complete");
+    let sweep_secs = t0.elapsed().as_secs_f64();
+
+    render(
+        "flitsim",
+        &label,
+        quick,
+        &[
+            ("plain_cycles_per_sec", plain_cps),
+            ("resilient_cycles_per_sec", resilient_cps),
+            ("selection_cache_hit_rate", hit_rate),
+            ("sweep_wall_time_sec", sweep_secs),
+        ],
+    )
+}
+
+/// Routing-rate, cache and sweep baselines of the flow-level stack.
+fn flowsim_baseline(quick: bool) -> String {
+    let topo = Topology::new(XgftSpec::m_port_n_tree(8, 3).expect("valid"));
+    let label = topo.spec().to_string();
+    let tm = TrafficMatrix::uniform(topo.num_pns(), 1.0);
+    let flows = tm.flows().len() as f64;
+    let faults = FaultSet::sample(&topo, 0.01, 0.0, 0);
+    let router = Disjoint::new(4);
+
+    let reps = if quick { 2 } else { 5 };
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        DegradedLoads::accumulate(&topo, &router, &tm, &faults);
+    }
+    let degraded_fps = reps as f64 * flows / t0.elapsed().as_secs_f64();
+
+    // Warm-pass hit rate: route the same matrix twice through one
+    // cached engine under an unchanged fault view — the second pass is
+    // all cache hits, so the rate lands at the fraction of repeated
+    // lookups (1/2 here) and drops if caching regresses.
+    let mut engine = SelectionEngine::cached(&router, faults.clone());
+    let mut paths: Vec<PathId> = Vec::new();
+    for _ in 0..2 {
+        for f in tm.flows() {
+            let _ = engine.try_select(&topo, f.src, f.dst, &mut paths);
+        }
+    }
+    let hit_rate = engine.stats().hit_rate();
+
+    // Figure-4-style sweep: heuristic × budget grid over seeded random
+    // permutations, fault-free.
+    let perms = if quick { 2 } else { 5 };
+    let ks: &[u64] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    let t0 = Instant::now();
+    for seed in 0..perms {
+        let ptm = TrafficMatrix::permutation(&random_permutation(topo.num_pns(), seed));
+        for &k in ks {
+            for r in [
+                RouterKind::ShiftOne(k),
+                RouterKind::Disjoint(k),
+                RouterKind::RandomK(k, 11),
+            ] {
+                LinkLoads::accumulate(&topo, &r, &ptm);
+            }
+        }
+    }
+    let sweep_secs = t0.elapsed().as_secs_f64();
+
+    render(
+        "flowsim",
+        &label,
+        quick,
+        &[
+            ("degraded_flows_per_sec", degraded_fps),
+            ("selection_cache_hit_rate", hit_rate),
+            ("sweep_wall_time_sec", sweep_secs),
+        ],
+    )
+}

@@ -19,6 +19,9 @@ use lmpr_core::RouterKind;
 use lmpr_flitsim::SimError;
 use xgft::{Topology, XgftSpec};
 
+pub mod chaos;
+pub mod faults;
+
 /// The evaluation topologies of §5, keyed the way the paper labels them.
 pub fn topology_by_name(name: &str) -> Option<(String, Topology)> {
     let spec = match name {
@@ -212,7 +215,7 @@ pub fn write_document(path: &str, records: &[Record], failures: &[Failure]) -> s
 /// JSON number for an `f64` (`1.0`, not `1`, for integral values —
 /// matching serde_json's float formatting; non-finite values become
 /// `null` as serde_json has no representation for them either).
-fn json_f64(v: f64) -> String {
+pub fn json_f64(v: f64) -> String {
     if !v.is_finite() {
         return "null".to_owned();
     }
@@ -224,7 +227,7 @@ fn json_f64(v: f64) -> String {
 }
 
 /// JSON string literal with the mandatory escapes.
-fn json_string(s: &str) -> String {
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

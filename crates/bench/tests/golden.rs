@@ -1,0 +1,54 @@
+//! Golden-equivalence tests: run the chaos and faults harnesses
+//! in-process at the quick budget and byte-compare their serialized
+//! documents against the committed `results/*_quick.json` files.
+//!
+//! These are the refactor tripwires for the routing/selection stack:
+//! the documents embed every seeded simulation outcome (throughput,
+//! latency percentiles, reconvergence lag, retransmit ratios, fault
+//! replays), so any behavioral drift in the simulator, the
+//! `SelectionEngine`, the fault schedules or the RNG consumption order
+//! shows up as a byte diff. Regenerate deliberately with
+//! `cargo run --release -p lmpr-bench --bin chaos -- --quick --json results/chaos_quick.json`
+//! (resp. `faults`) and commit the new goldens alongside the change
+//! that explains them.
+//!
+//! Marked `#[ignore]` because each takes tens of seconds unoptimized;
+//! CI runs them in release via
+//! `cargo test -q --release -p lmpr-bench --test golden -- --ignored`.
+
+use lmpr_bench::{chaos, document_to_json, faults};
+
+#[test]
+#[ignore = "slow; CI runs it in release"]
+fn chaos_quick_document_is_byte_identical_to_golden() {
+    let out = chaos::run(true);
+    assert_eq!(out.violations, 0, "chaos quick run tripped invariants");
+    assert!(
+        out.failures.is_empty(),
+        "chaos quick run had failed runs: {:?}",
+        out.failures
+    );
+    let golden = include_str!("../../../results/chaos_quick.json");
+    let got = document_to_json(&out.records, &out.failures);
+    assert_eq!(
+        got, golden,
+        "chaos --quick document drifted from results/chaos_quick.json"
+    );
+}
+
+#[test]
+#[ignore = "slow; CI runs it in release"]
+fn faults_quick_document_is_byte_identical_to_golden() {
+    let out = faults::run(true);
+    assert!(
+        out.failures.is_empty(),
+        "faults quick run had failed runs: {:?}",
+        out.failures
+    );
+    let golden = include_str!("../../../results/faults_quick.json");
+    let got = document_to_json(&out.records, &out.failures);
+    assert_eq!(
+        got, golden,
+        "faults --quick document drifted from results/faults_quick.json"
+    );
+}

@@ -63,6 +63,7 @@ pub mod lid;
 mod path_set;
 mod random;
 mod router;
+mod selection;
 mod shift;
 mod umulti;
 
@@ -74,5 +75,6 @@ pub use kind::RouterKind;
 pub use path_set::PathSet;
 pub use random::RandomK;
 pub use router::Router;
+pub use selection::{route_key, route_key_pair, CachedSelection, SelectionEngine, SelectionStats};
 pub use shift::ShiftOne;
 pub use umulti::Umulti;

@@ -1,0 +1,495 @@
+//! The selection engine: one authority for `min(K, X)` path selection.
+//!
+//! Every consumer of path selections — the flow-level accumulators, the
+//! flit-level simulator and the static verifier — needs the same three
+//! ingredients: the scheme's canonical selection (behind the [`Router`]
+//! trait), the fault-degraded top-up with d-mod-k-rotated scanning
+//! ([`degrade_selection`]), and, when selections are queried repeatedly
+//! under fault churn, an incremental per-SD-pair cache with blast-radius
+//! invalidation. [`SelectionEngine`] packages the three so all consumers
+//! compute (and, when cached, share) byte-identical selections instead
+//! of re-implementing the pipeline.
+//!
+//! # Cache coherence
+//!
+//! The cache is keyed by [`route_key`] and invalidated *incrementally*
+//! as the engine's fault view changes through
+//! [`SelectionEngine::apply_changes`]:
+//!
+//! * a **down** event flushes exactly the entries whose selection
+//!   crosses a newly dead link (the blast radius);
+//! * an **up** event flushes the entries that were previously degraded
+//!   (they may improve or reconnect; pristine entries cannot).
+//!
+//! Everything else keeps its selection, so reconvergence cost scales
+//! with the damage, not with the pair count.
+
+use crate::{degrade_selection, RouteError, Router};
+use std::collections::HashMap;
+use xgft::{FaultChange, FaultSet, PathId, PnId, Topology};
+
+/// Dense SD-pair key for the selection cache.
+pub fn route_key(s: PnId, d: PnId) -> u64 {
+    ((s.0 as u64) << 32) | d.0 as u64
+}
+
+/// Invert [`route_key`].
+pub fn route_key_pair(key: u64) -> (PnId, PnId) {
+    (PnId((key >> 32) as u32), PnId(key as u32))
+}
+
+/// A cached routing decision for one SD pair, computed against the
+/// engine's fault view. `paths` empty means the view considers the pair
+/// disconnected (kept cached so repeated queries stay cheap; flushed by
+/// the next recovery event).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedSelection {
+    /// The surviving `min(K, X)` selection, possibly topped up.
+    pub paths: Vec<PathId>,
+    /// Whether faults modified the fault-free selection (degraded
+    /// entries are re-examined when links recover).
+    pub degraded: bool,
+}
+
+/// Lifetime counters of one [`SelectionEngine`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SelectionStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that recomputed the selection (cached mode only).
+    pub misses: u64,
+    /// Cached selections flushed by fault events (blast-radius
+    /// invalidation).
+    pub invalidated: u64,
+}
+
+impl SelectionStats {
+    /// Fraction of queries answered from the cache (0 when nothing was
+    /// queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One authority for path selection: scheme dispatch, fault-degraded
+/// top-up, and (optionally) the incremental per-SD-pair cache.
+///
+/// The engine owns a router, a fault *view* (the fault state selections
+/// are computed against — possibly lagging the physical truth, see the
+/// flit simulator's routing view) and, in cached mode, a map of
+/// previously computed selections. An uncached engine with an empty
+/// view is an exact pass-through of the router, bit for bit.
+#[derive(Debug, Clone)]
+pub struct SelectionEngine<R> {
+    router: R,
+    view: FaultSet,
+    cache: Option<HashMap<u64, CachedSelection>>,
+    stats: SelectionStats,
+}
+
+impl<R: Router> SelectionEngine<R> {
+    /// An uncached engine with an empty fault view: selections are the
+    /// router's, recomputed per query.
+    pub fn new(router: R) -> Self {
+        SelectionEngine {
+            router,
+            view: FaultSet::new(),
+            cache: None,
+            stats: SelectionStats::default(),
+        }
+    }
+
+    /// An uncached engine over an explicit fault view.
+    pub fn with_view(router: R, view: FaultSet) -> Self {
+        SelectionEngine {
+            router,
+            view,
+            cache: None,
+            stats: SelectionStats::default(),
+        }
+    }
+
+    /// A cached engine over an explicit fault view: each SD pair is
+    /// computed once and invalidated incrementally by
+    /// [`SelectionEngine::apply_changes`].
+    pub fn cached(router: R, view: FaultSet) -> Self {
+        SelectionEngine {
+            router,
+            view,
+            cache: Some(HashMap::new()),
+            stats: SelectionStats::default(),
+        }
+    }
+
+    /// The wrapped router.
+    pub fn router(&self) -> &R {
+        &self.router
+    }
+
+    /// Unwrap the engine, recovering the router.
+    pub fn into_router(self) -> R {
+        self.router
+    }
+
+    /// The fault view selections are computed against.
+    pub fn view(&self) -> &FaultSet {
+        &self.view
+    }
+
+    /// Whether selections are cached.
+    pub fn is_cached(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Number of currently cached selections.
+    pub fn cache_len(&self) -> usize {
+        self.cache.as_ref().map_or(0, HashMap::len)
+    }
+
+    /// Lifetime hit/miss/invalidation counters.
+    pub fn stats(&self) -> SelectionStats {
+        self.stats
+    }
+
+    /// Fill `out` with the selection for `(s, d)` against the current
+    /// view: the router's fault-free selection with dead paths replaced
+    /// by survivors scanned from the pair's d-mod-k index (see
+    /// [`degrade_selection`]). In cached mode the result is memoized per
+    /// pair — a disconnected pair is cached as an empty selection so
+    /// repeated queries stay cheap.
+    ///
+    /// Returns `Ok(degraded)` on success (`degraded` = faults modified
+    /// the fault-free selection) and [`RouteError::Disconnected`] when
+    /// no path of the pair survives the view (`out` is left empty).
+    pub fn try_select(
+        &mut self,
+        topo: &Topology,
+        s: PnId,
+        d: PnId,
+        out: &mut Vec<PathId>,
+    ) -> Result<bool, RouteError> {
+        out.clear();
+        if let Some(cache) = self.cache.as_ref() {
+            if let Some(sel) = cache.get(&route_key(s, d)) {
+                self.stats.hits += 1;
+                out.extend_from_slice(&sel.paths);
+                return if sel.paths.is_empty() {
+                    Err(RouteError::Disconnected { src: s, dst: d })
+                } else {
+                    Ok(sel.degraded)
+                };
+            }
+            self.stats.misses += 1;
+        }
+        self.router.fill_paths(topo, s, d, out);
+        let result = degrade_selection(topo, s, d, &self.view, out);
+        let (degraded, err) = match result {
+            Ok(modified) => (modified, None),
+            Err(e) => {
+                out.clear();
+                (true, Some(e))
+            }
+        };
+        if let Some(cache) = self.cache.as_mut() {
+            cache.insert(
+                route_key(s, d),
+                CachedSelection {
+                    paths: out.clone(),
+                    degraded,
+                },
+            );
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok(degraded),
+        }
+    }
+
+    /// Infallible variant of [`SelectionEngine::try_select`]: a
+    /// disconnected pair leaves `out` empty instead of erroring (the
+    /// flit simulator's calling convention).
+    pub fn select(&mut self, topo: &Topology, s: PnId, d: PnId, out: &mut Vec<PathId>) {
+        let _ = self.try_select(topo, s, d, out);
+    }
+
+    /// Apply a batch of fault changes to the view and flush exactly the
+    /// cached selections the batch invalidates: entries crossing a newly
+    /// dead link (down events) and previously degraded entries (up
+    /// events — they may improve or reconnect; pristine ones cannot).
+    /// Returns the number of entries flushed.
+    pub fn apply_changes(&mut self, topo: &Topology, changes: &[FaultChange]) -> u64 {
+        let mut newly_down = FaultSet::new();
+        let mut any_up = false;
+        for &change in changes {
+            match change {
+                FaultChange::LinkDown(_) | FaultChange::SwitchDown(_) => {
+                    change.apply(topo, &mut newly_down);
+                }
+                FaultChange::LinkUp(_) | FaultChange::SwitchUp(_) => any_up = true,
+            }
+            change.apply(topo, &mut self.view);
+        }
+        let Some(cache) = self.cache.as_mut() else {
+            return 0;
+        };
+        let before = cache.len();
+        if !newly_down.is_empty() {
+            cache.retain(|&key, sel| {
+                let (s, d) = route_key_pair(key);
+                sel.paths
+                    .iter()
+                    .all(|&p| newly_down.path_survives(topo, s, d, p))
+            });
+        }
+        if any_up {
+            cache.retain(|_, sel| !sel.degraded);
+        }
+        let flushed = (before - cache.len()) as u64;
+        self.stats.invalidated += flushed;
+        flushed
+    }
+
+    /// The cached selections in deterministic (sorted-key) order — the
+    /// iteration surface of the `RT-SELECT` runtime audit.
+    pub fn cached_selections(&self) -> Vec<(PnId, PnId, &CachedSelection)> {
+        let Some(cache) = self.cache.as_ref() else {
+            return Vec::new();
+        };
+        let mut keys: Vec<u64> = cache.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter()
+            .filter_map(|key| {
+                cache.get(&key).map(|sel| {
+                    let (s, d) = route_key_pair(key);
+                    (s, d, sel)
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DModK, Disjoint, FaultAware, ShiftOne};
+    use xgft::{FaultEvent, FaultSchedule, XgftSpec};
+
+    fn fig3() -> Topology {
+        Topology::new(XgftSpec::new(&[4, 4, 4], &[1, 2, 4]).unwrap())
+    }
+
+    #[test]
+    fn uncached_empty_view_is_a_pass_through() {
+        let topo = fig3();
+        let mut engine = SelectionEngine::new(ShiftOne::new(3));
+        let (s, d) = (PnId(0), PnId(63));
+        let mut out = Vec::new();
+        assert_eq!(engine.try_select(&topo, s, d, &mut out), Ok(false));
+        assert_eq!(out, ShiftOne::new(3).path_set(&topo, s, d).paths());
+        assert_eq!(engine.stats(), SelectionStats::default());
+        assert_eq!(engine.cache_len(), 0);
+        assert!(!engine.is_cached());
+    }
+
+    #[test]
+    fn cached_engine_matches_fault_aware_adapter() {
+        let topo = fig3();
+        let faults = FaultSet::sample(&topo, 0.1, 0.0, 3);
+        let fa = FaultAware::new(Disjoint::new(4), faults.clone());
+        let mut engine = SelectionEngine::cached(Disjoint::new(4), faults);
+        let n = topo.num_pns();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                let (s, d) = (PnId(s), PnId(d));
+                let adapter = fa.try_fill_paths(&topo, s, d, &mut a);
+                let engine_r = engine.try_select(&topo, s, d, &mut b);
+                assert_eq!(adapter.is_err(), engine_r.is_err(), "({s:?}, {d:?})");
+                assert_eq!(a, b, "({s:?}, {d:?})");
+            }
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.hits, 0, "each pair queried once");
+        assert_eq!(stats.misses, (n as u64) * (n as u64 - 1));
+        // A second sweep is answered entirely from the cache, identically.
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                let (s, d) = (PnId(s), PnId(d));
+                fa.fill_paths(&topo, s, d, &mut a);
+                engine.select(&topo, s, d, &mut b);
+                assert_eq!(a, b);
+            }
+        }
+        assert_eq!(engine.stats().hits, (n as u64) * (n as u64 - 1));
+        assert!(engine.stats().hit_rate() > 0.49);
+    }
+
+    #[test]
+    fn disconnection_is_cached_and_typed() {
+        let topo = fig3();
+        // w_1 = 1: PN 0's single up-link carries every path out of it.
+        let mut faults = FaultSet::new();
+        faults.fail_link(topo.up_link(1, 0, 0));
+        let mut engine = SelectionEngine::cached(DModK, faults);
+        let mut out = vec![PathId(9)];
+        let err = engine.try_select(&topo, PnId(0), PnId(63), &mut out);
+        assert_eq!(
+            err,
+            Err(RouteError::Disconnected {
+                src: PnId(0),
+                dst: PnId(63)
+            })
+        );
+        assert!(out.is_empty());
+        // The disconnection is memoized: the repeat is a cache hit with
+        // the same typed error.
+        let err = engine.try_select(&topo, PnId(0), PnId(63), &mut out);
+        assert!(err.is_err());
+        assert!(out.is_empty());
+        assert_eq!(engine.stats().hits, 1);
+        assert_eq!(engine.stats().misses, 1);
+    }
+
+    /// Property (cache coherence under churn): across a scripted
+    /// fail → recover schedule, a cached engine answers every SD pair
+    /// identically to a cold engine recomputing against the same view.
+    #[test]
+    fn cached_selections_agree_with_cold_recompute_across_fail_recover() {
+        let topo = fig3();
+        let link_a = topo.up_link(2, 0, 0);
+        let link_b = topo.up_link(3, 1, 2);
+        let schedule = FaultSchedule::scripted(vec![
+            FaultEvent {
+                at: 0,
+                change: FaultChange::LinkDown(link_a),
+            },
+            FaultEvent {
+                at: 1,
+                change: FaultChange::LinkDown(link_b),
+            },
+            FaultEvent {
+                at: 2,
+                change: FaultChange::SwitchDown(xgft::NodeId { level: 3, rank: 1 }),
+            },
+            FaultEvent {
+                at: 3,
+                change: FaultChange::LinkUp(link_a),
+            },
+            FaultEvent {
+                at: 4,
+                change: FaultChange::SwitchUp(xgft::NodeId { level: 3, rank: 1 }),
+            },
+            FaultEvent {
+                at: 5,
+                change: FaultChange::LinkUp(link_b),
+            },
+        ]);
+        let mut engine = SelectionEngine::cached(ShiftOne::new(4), FaultSet::new());
+        let n = topo.num_pns();
+        let (mut warm, mut cold) = (Vec::new(), Vec::new());
+        for epoch in 0..=schedule.events().len() {
+            // Warm the cache on a spread of pairs *before* the next batch
+            // so invalidation has something to bite on.
+            for i in 0..n {
+                let (s, d) = (PnId(i), PnId((i * 13 + 7) % n));
+                if s == d {
+                    continue;
+                }
+                engine.select(&topo, s, d, &mut warm);
+            }
+            if let Some(e) = schedule.events().get(epoch) {
+                engine.apply_changes(&topo, &[e.change]);
+            }
+            // Every pair: cached answer == cold recomputation against an
+            // identical view.
+            let mut reference = SelectionEngine::with_view(ShiftOne::new(4), engine.view().clone());
+            for s in 0..n {
+                for d in 0..n {
+                    if s == d {
+                        continue;
+                    }
+                    let (s, d) = (PnId(s), PnId(d));
+                    let w = engine.try_select(&topo, s, d, &mut warm);
+                    let c = reference.try_select(&topo, s, d, &mut cold);
+                    assert_eq!(w, c, "epoch {epoch} ({s:?}, {d:?})");
+                    assert_eq!(warm, cold, "epoch {epoch} ({s:?}, {d:?})");
+                }
+            }
+        }
+        let stats = engine.stats();
+        assert!(stats.hits > 0, "the churn sweep must hit the cache");
+        assert!(
+            stats.invalidated > 0,
+            "down events must flush blast-radius entries"
+        );
+        // After full recovery the view is empty again: selections equal
+        // the fault-free router's.
+        assert!(engine.view().is_empty());
+        let mut plain = Vec::new();
+        for (s, d, sel) in engine.cached_selections() {
+            ShiftOne::new(4).fill_paths(&topo, s, d, &mut plain);
+            assert_eq!(sel.paths, plain, "({s:?}, {d:?}) after recovery");
+            assert!(!sel.degraded);
+        }
+    }
+
+    #[test]
+    fn up_events_flush_only_degraded_entries() {
+        let topo = fig3();
+        let link = topo.up_link(2, 0, 0);
+        // K = 8 selects all 8 paths of (0, 63), four of which cross the
+        // link; pair (1, 0) stays below level 2 and never touches it.
+        let mut engine = SelectionEngine::cached(ShiftOne::new(8), FaultSet::new());
+        let mut out = Vec::new();
+        engine.select(&topo, PnId(0), PnId(63), &mut out);
+        engine.select(&topo, PnId(1), PnId(0), &mut out);
+        assert_eq!(engine.cache_len(), 2);
+        let flushed = engine.apply_changes(&topo, &[FaultChange::LinkDown(link)]);
+        assert_eq!(
+            flushed, 1,
+            "only the crossing selection is in the blast radius"
+        );
+        engine.select(&topo, PnId(0), PnId(63), &mut out);
+        assert!(!out.is_empty(), "degraded top-up found a survivor");
+        let flushed = engine.apply_changes(&topo, &[FaultChange::LinkUp(link)]);
+        assert_eq!(flushed, 1, "recovery flushes exactly the degraded entry");
+        assert_eq!(engine.stats().invalidated, 2);
+    }
+
+    #[test]
+    fn route_key_roundtrip() {
+        let (s, d) = (PnId(123), PnId(4_000_000));
+        assert_eq!(route_key_pair(route_key(s, d)), (s, d));
+        assert_ne!(route_key(PnId(1), PnId(2)), route_key(PnId(2), PnId(1)));
+    }
+
+    #[test]
+    fn cached_selections_iterate_in_sorted_key_order() {
+        let topo = fig3();
+        let mut engine = SelectionEngine::cached(DModK, FaultSet::new());
+        let mut out = Vec::new();
+        for &(s, d) in &[(9u32, 2u32), (0, 63), (3, 17), (0, 1)] {
+            engine.select(&topo, PnId(s), PnId(d), &mut out);
+        }
+        let keys: Vec<u64> = engine
+            .cached_selections()
+            .iter()
+            .map(|&(s, d, _)| route_key(s, d))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        assert_eq!(keys.len(), 4);
+    }
+}

@@ -1,0 +1,78 @@
+//! Per-port switching state: buffers, credits, grants and round-robin
+//! pointers — the arbitration half of the VCT switch model.
+//!
+//! The [`Arbiter`] owns everything indexed by port gid that the
+//! crossbar and link stages contend over. Pulling it out of the
+//! simulator struct gives the cycle stages one narrow seam for buffer
+//! state and gives the monitors ([`Arbiter::flits_in_network`],
+//! [`Arbiter::blocked_ports`]) their occupancy answers without
+//! reaching into stage internals.
+
+use crate::network::PortGraph;
+use crate::packet::Flit;
+use std::collections::VecDeque;
+
+/// Buffer, credit and arbitration state of every port in the network.
+pub(crate) struct Arbiter {
+    /// Input buffers, organized as virtual output queues (VOQs): one
+    /// FIFO per local output port of the owning node, all sharing the
+    /// port's credit-managed capacity. Packets arrive contiguously per
+    /// link (upstream outputs are packet-atomic) and each packet lands
+    /// wholly in one VOQ, so packets stay contiguous per queue while
+    /// head-of-line blocking across outputs disappears — matching
+    /// shared-memory InfiniBand-style switches.
+    pub(crate) in_buf: Vec<Vec<VecDeque<Flit>>>,
+    /// Output staging buffers.
+    pub(crate) out_buf: Vec<VecDeque<Flit>>,
+    /// Free flit slots in the downstream input buffer of each output.
+    pub(crate) credits: Vec<u32>,
+    /// Packet-atomic output reservation: `(input port gid, packet key)`.
+    pub(crate) grant: Vec<Option<(u32, u32)>>,
+    /// Round-robin arbitration pointer per output port (local input
+    /// index to scan first).
+    pub(crate) rr_ptr: Vec<u32>,
+}
+
+impl Arbiter {
+    /// Empty buffers with full credit, sized to the port graph: one VOQ
+    /// per local output of the owning node (PNs eject through a single
+    /// queue).
+    pub(crate) fn new(graph: &PortGraph, buffer_flits: u32) -> Self {
+        let ports = graph.num_ports() as usize;
+        let in_buf = (0..ports as u32)
+            .map(|p| {
+                let owner = graph.port_owner(p);
+                let voqs = if graph.is_pn(owner) {
+                    1
+                } else {
+                    (graph.ports_of(owner).len()).max(1)
+                };
+                vec![VecDeque::new(); voqs]
+            })
+            .collect();
+        Arbiter {
+            in_buf,
+            out_buf: vec![VecDeque::new(); ports],
+            credits: vec![buffer_flits; ports],
+            grant: vec![None; ports],
+            rr_ptr: vec![0; ports],
+        }
+    }
+
+    /// Flits currently occupying any input or output buffer.
+    pub(crate) fn flits_in_network(&self) -> u64 {
+        let inputs: usize = self
+            .in_buf
+            .iter()
+            .map(|voqs| voqs.iter().map(VecDeque::len).sum::<usize>())
+            .sum();
+        let outputs: usize = self.out_buf.iter().map(VecDeque::len).sum();
+        (inputs + outputs) as u64
+    }
+
+    /// Output ports holding at least one flit (the watchdog's blocked-
+    /// port count).
+    pub(crate) fn blocked_ports(&self) -> usize {
+        self.out_buf.iter().filter(|b| !b.is_empty()).count()
+    }
+}

@@ -40,13 +40,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arbiter;
 mod config;
+mod engine;
 mod error;
 mod inject;
 mod monitor;
 mod network;
 mod packet;
 mod resilience;
+mod routing_view;
 mod sim;
 mod stats;
 pub mod sweep;

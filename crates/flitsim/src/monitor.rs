@@ -12,6 +12,8 @@
 //! | `RT-PROGRESS` | flits keep moving while work is pending (online watchdog) |
 //! | `RT-SELECT` | every cached live selection is duplicate-free and survives the routing view's fault state (checked in the simulator, which owns the cache) |
 
+use crate::sim::FlitSim;
+use lmpr_core::Router;
 use lmpr_verify::{Diagnostic, RuleId, Severity, Witness};
 
 /// Snapshot of every counter the conservation monitors reason about.
@@ -151,6 +153,90 @@ pub fn check_progress(
             ),
             witness: Witness::None,
         });
+    }
+}
+
+impl<R: Router> FlitSim<R> {
+    /// Snapshot of every counter the runtime conservation monitors
+    /// reason about.
+    pub fn conservation_ledger(&self) -> ConservationLedger {
+        ConservationLedger {
+            injected: self.total_injected,
+            delivered: self.total_delivered,
+            duplicate: self.total_duplicate,
+            dropped: self.total_dropped,
+            in_network: self.flits_in_network(),
+            retx_enabled: self.retx.is_some(),
+            transfers_created: self.ledger.created,
+            transfers_delivered: self.ledger.delivered,
+            transfers_dropped: self.ledger.dropped,
+            transfers_in_flight: self.ledger.in_flight(),
+        }
+    }
+
+    /// Run every runtime invariant monitor against the current state:
+    /// flit and transfer conservation (`RT-CONSERVE`), duplicate
+    /// delivery (`RT-DUP`), online progress (`RT-PROGRESS`), and
+    /// validity of every cached routing selection against the routing
+    /// view's fault state (`RT-SELECT`). An empty result is the runtime
+    /// analogue of a verification certificate.
+    pub fn check_invariants(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        self.conservation_ledger().check(&mut out);
+        check_progress(
+            self.now.saturating_sub(self.last_progress),
+            self.cfg.watchdog_cycles,
+            self.flits_in_network() > 0 || self.source_backlog() > 0,
+            &mut out,
+        );
+        if self.routing.is_dynamic() {
+            let view = self.routing.view_faults();
+            for (s, d, sel) in self.routing.cached_selections() {
+                for (i, &p) in sel.paths.iter().enumerate() {
+                    if sel.paths[..i].contains(&p) {
+                        out.push(Diagnostic::error(
+                            RuleId::RtSelection,
+                            format!(
+                                "cached selection of ({}, {}) lists path {} twice",
+                                s.0, d.0, p.0
+                            ),
+                            Witness::Path {
+                                src: s,
+                                dst: d,
+                                path: p,
+                            },
+                        ));
+                    }
+                    if !view.path_survives(&self.topo, s, d, p) {
+                        out.push(Diagnostic::error(
+                            RuleId::RtSelection,
+                            format!(
+                                "cached selection of ({}, {}) crosses a link the routing \
+                                 view knows is dead (path {})",
+                                s.0, d.0, p.0
+                            ),
+                            Witness::Path {
+                                src: s,
+                                dst: d,
+                                path: p,
+                            },
+                        ));
+                    }
+                }
+                if sel.paths.is_empty() && view.num_surviving(&self.topo, s, d) > 0 {
+                    out.push(Diagnostic::error(
+                        RuleId::RtSelection,
+                        format!(
+                            "pair ({}, {}) cached as disconnected while paths survive \
+                             in the routing view",
+                            s.0, d.0
+                        ),
+                        Witness::Pair { src: s, dst: d },
+                    ));
+                }
+            }
+        }
+        out
     }
 }
 

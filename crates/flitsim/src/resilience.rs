@@ -1,27 +1,15 @@
-//! Runtime-resilience state: the lagged routing view of a dynamic fault
-//! timeline, the incremental route cache, and the end-to-end
-//! retransmission ledger.
+//! End-to-end retransmission state: transfer records, the timeout heap
+//! and the lifetime ledger.
 //!
-//! The simulator keeps **two** fault states when driven by a
-//! [`FaultSchedule`](xgft::FaultSchedule):
-//!
-//! * the *physical* state — which cables actually move flits — updated
-//!   the cycle an event occurs;
-//! * the *routing view* — what path selection is computed against —
-//!   which trails the physical state by the configured detection +
-//!   reconvergence lag ([`ResilienceConfig`](crate::ResilienceConfig)).
-//!
-//! When the view catches up with a batch of events, only the cached SD
-//! selections actually touched by the batch are recomputed: a down-event
-//! invalidates entries whose selection crosses a newly dead link; an
-//! up-event invalidates entries that were previously degraded (they may
-//! now improve or reconnect). Everything else keeps its selection —
-//! incremental reconvergence, not a full rebuild.
+//! (The lagged routing view and the incremental selection cache that
+//! used to live here are now the shared
+//! [`SelectionEngine`](lmpr_core::SelectionEngine) in `lmpr-core`,
+//! driven by [`routing_view`](crate::routing_view).)
 
 use crate::util::Slab;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use xgft::{FaultChange, PathId, PnId};
+use xgft::PnId;
 
 /// Why a transfer was abandoned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,42 +67,6 @@ pub struct Transfer {
 /// attempt re-armed).
 pub type TimeoutEntry = Reverse<(u64, u32, u64, u32)>;
 
-/// A cached routing decision for one SD pair, computed against the
-/// routing view. `paths` empty means the view considers the pair
-/// disconnected (kept cached so repeated arrivals stay cheap; flushed
-/// by the next recovery event).
-#[derive(Debug, Clone)]
-pub struct CachedRoute {
-    /// The surviving `min(K, X)` selection, possibly topped up.
-    pub paths: Vec<PathId>,
-    /// Whether faults modified the fault-free selection (degraded
-    /// entries are re-examined when links recover).
-    pub degraded: bool,
-}
-
-/// Fault events that happened at one physical instant, queued until the
-/// routing view is allowed to act on them.
-#[derive(Debug, Clone)]
-pub struct ViewBatch {
-    /// Cycle the events physically occurred.
-    pub event_at: u64,
-    /// Cycle the routing view applies them (`event_at + lag`,
-    /// saturating).
-    pub apply_at: u64,
-    /// The changes, in timeline order.
-    pub changes: Vec<FaultChange>,
-}
-
-/// Dense SD-pair key for the route cache.
-pub fn route_key(s: PnId, d: PnId) -> u64 {
-    ((s.0 as u64) << 32) | d.0 as u64
-}
-
-/// Invert [`route_key`].
-pub fn route_key_pair(key: u64) -> (PnId, PnId) {
-    (PnId((key >> 32) as u32), PnId(key as u32))
-}
-
 /// Exponential-backoff deadline: `timeout · 2^(sends-1)` cycles after
 /// `now`, saturating at every step so extreme retry counts can never
 /// wrap the timeline.
@@ -169,13 +121,6 @@ impl RetxLedger {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn route_key_roundtrip() {
-        let (s, d) = (PnId(123), PnId(4_000_000));
-        assert_eq!(route_key_pair(route_key(s, d)), (s, d));
-        assert_ne!(route_key(PnId(1), PnId(2)), route_key(PnId(2), PnId(1)));
-    }
 
     #[test]
     fn backoff_doubles_then_saturates() {

@@ -1,58 +1,25 @@
-//! The cycle loop: ejection, crossbar traversal, link transfer,
-//! injection — plus the runtime-resilience layer (dynamic fault
-//! timelines, lagged online reconvergence, end-to-end retransmission and
-//! invariant monitors).
+//! The simulator shell: construction, the run loop, and statistics.
+//!
+//! The per-cycle pipeline stages live in [`engine`](crate::engine),
+//! buffer/credit/arbitration state in [`arbiter`](crate::arbiter), the
+//! lagged fault view and shared path-selection engine in
+//! [`routing_view`](crate::routing_view), and the runtime invariant
+//! monitors in [`monitor`](crate::monitor).
 
+use crate::arbiter::Arbiter;
 use crate::config::{FaultPolicy, ResilienceConfig, RetxConfig, SimConfig};
 use crate::error::{DeadlockReport, SimError};
-use crate::inject::{Source, StreamingPacket};
-use crate::monitor::{check_progress, ConservationLedger};
+use crate::inject::Source;
 use crate::network::PortGraph;
-use crate::packet::{Flit, Message, Packet, NO_XFER};
-use crate::resilience::{
-    backoff_deadline, route_key, route_key_pair, CachedRoute, DropCause, RetxLedger, Transfer,
-    ViewBatch, XferState,
-};
+use crate::packet::{Message, Packet};
+use crate::resilience::RetxLedger;
+use crate::routing_view::RoutingView;
 use crate::stats::{percentile, SimStats};
 use crate::traffic_mode::TrafficMode;
 use crate::util::Slab;
-use lmpr_core::{degrade_selection, Router};
-use lmpr_verify::{Diagnostic, RuleId, Severity, Witness};
-use std::cmp::Reverse;
-use std::collections::{HashMap, VecDeque};
-use xgft::{DirectedLinkId, FaultChange, FaultSchedule, FaultSet, PathId, PnId, Topology};
-
-/// Runtime-resilience state of one simulation: the fault timeline with
-/// its replay cursor, the physical and (lagged) routing-view fault
-/// states, the incremental SD route cache, and the retransmission
-/// ledger. Present only for schedule-driven runs.
-struct Resilience {
-    schedule: FaultSchedule,
-    /// Next not-yet-applied event index.
-    cursor: usize,
-    /// Fault state the cables obey (updated the cycle an event occurs).
-    phys_faults: FaultSet,
-    /// Fault state path selection is computed against (trails the
-    /// physical state by `lag` cycles).
-    view_faults: FaultSet,
-    /// Detection + reconvergence delay, in cycles.
-    lag: u64,
-    /// Event batches awaiting routing-view application.
-    pending_view: VecDeque<ViewBatch>,
-    /// Cached surviving selections per SD pair (keyed by
-    /// [`route_key`]); invalidated incrementally as the view changes.
-    route_cache: HashMap<u64, CachedRoute>,
-    /// End-to-end retransmission parameters (`None` = reliability off).
-    retx: Option<RetxConfig>,
-    ledger: RetxLedger,
-    /// Event batches the routing view has reconverged on.
-    reconv_events: u64,
-    /// Sum / max of realized event→reconvergence lags.
-    reconv_sum_lag: u64,
-    reconv_max_lag: u64,
-    /// Cached selections recomputed because an event invalidated them.
-    routes_invalidated: u64,
-}
+use lmpr_core::{Router, SelectionStats};
+use lmpr_verify::{Diagnostic, RuleId, Severity};
+use xgft::{FaultSchedule, FaultSet, PathId, Topology};
 
 /// A flit-level simulation of one routing scheme on one topology at one
 /// offered load.
@@ -62,93 +29,70 @@ struct Resilience {
 /// [`FlitSim::simulate`]. For dynamic fault timelines construct with
 /// [`FlitSim::with_schedule`] and drive with [`FlitSim::run_monitored`].
 pub struct FlitSim<R: Router> {
-    topo: Topology,
-    router: R,
-    cfg: SimConfig,
-    traffic: TrafficMode,
-    graph: PortGraph,
-    now: u64,
+    pub(crate) topo: Topology,
+    pub(crate) cfg: SimConfig,
+    pub(crate) traffic: TrafficMode,
+    pub(crate) graph: PortGraph,
+    pub(crate) now: u64,
 
-    // Per-port state (indexed by port gid).
-    //
-    // Input buffers are organized as virtual output queues (VOQs): one
-    // FIFO per local output port of the owning node, all sharing the
-    // port's credit-managed capacity. Packets arrive contiguously per
-    // link (upstream outputs are packet-atomic) and each packet lands
-    // wholly in one VOQ, so packets stay contiguous per queue while
-    // head-of-line blocking across outputs disappears — matching
-    // shared-memory InfiniBand-style switches.
-    in_buf: Vec<Vec<VecDeque<Flit>>>,
-    out_buf: Vec<VecDeque<Flit>>,
-    /// Free flit slots in the downstream input buffer of each output.
-    credits: Vec<u32>,
-    /// Packet-atomic output reservation: `(input port gid, packet key)`.
-    grant: Vec<Option<(u32, u32)>>,
-    /// Round-robin arbitration pointer per output port (local input
-    /// index to scan first).
-    rr_ptr: Vec<u32>,
+    /// Per-port buffer, credit and arbitration state.
+    pub(crate) arb: Arbiter,
 
-    packets: Slab<Packet>,
-    messages: Slab<Message>,
-    sources: Vec<Source>,
-    path_buf: Vec<PathId>,
+    pub(crate) packets: Slab<Packet>,
+    pub(crate) messages: Slab<Message>,
+    pub(crate) sources: Vec<Source>,
+    pub(crate) path_buf: Vec<PathId>,
 
     // Fault model: `failed_out[port]` marks output ports whose cable is
     // down; `fault_policy` decides whether flits reaching one are
     // discarded or jam (see [`FaultPolicy`]). Under a dynamic schedule
     // the flags track the *physical* fault state cycle by cycle.
-    failed_out: Vec<bool>,
-    fault_policy: FaultPolicy,
+    pub(crate) failed_out: Vec<bool>,
+    pub(crate) fault_policy: FaultPolicy,
     /// Per output port: packet currently being discarded here. A packet
     /// truncated at a failed link keeps draining at the failure point —
     /// even after the cable recovers — so downstream never sees a
     /// headless packet.
-    discarding: Vec<Option<u32>>,
+    pub(crate) discarding: Vec<Option<u32>>,
     /// Per output port: packet that started crossing before the cable
     /// died. Failure takes effect at packet granularity: a packet
     /// already crossing completes, the *next* head sees the dead link.
-    link_mid_packet: Vec<Option<u32>>,
+    pub(crate) link_mid_packet: Vec<Option<u32>>,
 
-    resil: Option<Resilience>,
+    /// Path selection: the shared engine, plus the lagged fault
+    /// timeline for schedule-driven runs.
+    pub(crate) routing: RoutingView<R>,
+    /// End-to-end retransmission parameters (`None` = reliability off;
+    /// only [`FlitSim::with_schedule`] can turn it on).
+    pub(crate) retx: Option<RetxConfig>,
+    /// Transfer records and the timeout heap (all zeros/empty while
+    /// reliability is off).
+    pub(crate) ledger: RetxLedger,
 
     // No-progress watchdog state.
-    last_progress: u64,
-    progress: bool,
+    pub(crate) last_progress: u64,
+    pub(crate) progress: bool,
 
     // Lifetime counters (conservation audits).
-    total_injected: u64,
-    total_delivered: u64,
-    total_dropped: u64,
-    total_duplicate: u64,
+    pub(crate) total_injected: u64,
+    pub(crate) total_delivered: u64,
+    pub(crate) total_dropped: u64,
+    pub(crate) total_duplicate: u64,
 
     // Measurement-window counters.
-    w_injected: u64,
-    w_delivered: u64,
-    w_dropped: u64,
-    w_duplicate: u64,
-    w_disconnected: u64,
-    w_created_messages: u64,
-    w_completed_messages: u64,
-    w_sum_delay: f64,
-    w_max_delay: u64,
+    pub(crate) w_injected: u64,
+    pub(crate) w_delivered: u64,
+    pub(crate) w_dropped: u64,
+    pub(crate) w_duplicate: u64,
+    pub(crate) w_disconnected: u64,
+    pub(crate) w_created_messages: u64,
+    pub(crate) w_completed_messages: u64,
+    pub(crate) w_sum_delay: f64,
+    pub(crate) w_max_delay: u64,
     /// Delays of measured completed messages (percentile source).
-    w_delays: Vec<u64>,
+    pub(crate) w_delays: Vec<u64>,
     /// Per-output-port busy cycles during the measurement window.
-    link_busy: Vec<u64>,
-}
-
-/// The directed links whose up/down state a fault change toggles.
-fn affected_links(topo: &Topology, change: FaultChange) -> Vec<DirectedLinkId> {
-    match change {
-        FaultChange::LinkDown(l) | FaultChange::LinkUp(l) => vec![l],
-        FaultChange::SwitchDown(n) | FaultChange::SwitchUp(n) => (0..topo.num_links())
-            .map(DirectedLinkId)
-            .filter(|&l| {
-                let e = topo.endpoints(l);
-                e.from == n || e.to == n
-            })
-            .collect(),
-    }
+    pub(crate) link_busy: Vec<u64>,
 }
 
 impl<R: Router> FlitSim<R> {
@@ -199,19 +143,7 @@ impl<R: Router> FlitSim<R> {
         let sources = (0..graph.num_pns())
             .map(|pn| Source::new(cfg.seed, pn, topo.up_ports(0), rate))
             .collect();
-        // One VOQ per local output of the owning node (PNs eject through
-        // a single queue).
-        let in_buf = (0..ports as u32)
-            .map(|p| {
-                let owner = graph.port_owner(p);
-                let voqs = if graph.is_pn(owner) {
-                    1
-                } else {
-                    (graph.ports_of(owner).len()).max(1)
-                };
-                vec![VecDeque::new(); voqs]
-            })
-            .collect();
+        let arb = Arbiter::new(&graph, cfg.buffer_flits());
         // Map each failed directed link to the output port that feeds it.
         let mut failed_out = vec![false; ports];
         for link in faults.failed_links() {
@@ -221,16 +153,11 @@ impl<R: Router> FlitSim<R> {
         }
         Ok(FlitSim {
             topo: topo.clone(),
-            router,
             cfg,
             traffic,
             graph,
             now: 0,
-            in_buf,
-            out_buf: vec![VecDeque::new(); ports],
-            credits: vec![cfg.buffer_flits(); ports],
-            grant: vec![None; ports],
-            rr_ptr: vec![0; ports],
+            arb,
             packets: Slab::new(),
             messages: Slab::new(),
             sources,
@@ -239,7 +166,9 @@ impl<R: Router> FlitSim<R> {
             fault_policy: policy,
             discarding: vec![None; ports],
             link_mid_packet: vec![None; ports],
-            resil: None,
+            routing: RoutingView::plain(router),
+            retx: None,
+            ledger: RetxLedger::default(),
             last_progress: 0,
             progress: false,
             total_injected: 0,
@@ -285,21 +214,8 @@ impl<R: Router> FlitSim<R> {
     ) -> Result<Self, SimError> {
         res.validate()?;
         let mut sim = Self::with_faults(topo, router, cfg, traffic, &FaultSet::default(), policy)?;
-        sim.resil = Some(Resilience {
-            schedule,
-            cursor: 0,
-            phys_faults: FaultSet::new(),
-            view_faults: FaultSet::new(),
-            lag: res.lag(),
-            pending_view: VecDeque::new(),
-            route_cache: HashMap::new(),
-            retx: res.retx,
-            ledger: RetxLedger::default(),
-            reconv_events: 0,
-            reconv_sum_lag: 0,
-            reconv_max_lag: 0,
-            routes_invalidated: 0,
-        });
+        sim.routing = RoutingView::scheduled(sim.routing.into_router(), schedule, res.lag());
+        sim.retx = res.retx;
         Ok(sim)
     }
 
@@ -394,23 +310,7 @@ impl<R: Router> FlitSim<R> {
     /// Snapshot of the window statistics (valid any time; final after
     /// [`FlitSim::run`]).
     pub fn stats(&self) -> SimStats {
-        let (tc, td, tdr, rp, re, mean_rc, max_rc, ri) = match self.resil.as_ref() {
-            Some(r) => (
-                r.ledger.created,
-                r.ledger.delivered,
-                r.ledger.dropped,
-                r.ledger.retransmitted,
-                r.reconv_events,
-                if r.reconv_events > 0 {
-                    r.reconv_sum_lag as f64 / r.reconv_events as f64
-                } else {
-                    0.0
-                },
-                r.reconv_max_lag,
-                r.routes_invalidated,
-            ),
-            None => (0, 0, 0, 0, 0, 0.0, 0, 0),
-        };
+        let (reconv_events, reconv_sum_lag, reconv_max_lag) = self.routing.reconv_counters();
         SimStats {
             offered_load: self.cfg.offered_load,
             measure_cycles: self.cfg.measure_cycles,
@@ -428,15 +328,26 @@ impl<R: Router> FlitSim<R> {
             delay_p95: percentile_of(&self.w_delays, 0.95),
             delay_p99: percentile_of(&self.w_delays, 0.99),
             final_source_backlog: self.sources.iter().map(|s| s.backlog() as u64).sum(),
-            transfers_created: tc,
-            transfers_delivered: td,
-            transfers_dropped: tdr,
-            retransmitted_packets: rp,
-            reconvergence_events: re,
-            mean_reconverge_cycles: mean_rc,
-            max_reconverge_cycles: max_rc,
-            routes_invalidated: ri,
+            transfers_created: self.ledger.created,
+            transfers_delivered: self.ledger.delivered,
+            transfers_dropped: self.ledger.dropped,
+            retransmitted_packets: self.ledger.retransmitted,
+            reconvergence_events: reconv_events,
+            mean_reconverge_cycles: if reconv_events > 0 {
+                reconv_sum_lag as f64 / reconv_events as f64
+            } else {
+                0.0
+            },
+            max_reconverge_cycles: reconv_max_lag,
+            routes_invalidated: self.routing.selection_stats().invalidated,
         }
+    }
+
+    /// Lifetime hit/miss/invalidation counters of the shared
+    /// [`SelectionEngine`](lmpr_core::SelectionEngine) behind path
+    /// selection (all zeros for plain, uncached runs).
+    pub fn selection_stats(&self) -> SelectionStats {
+        self.routing.selection_stats()
     }
 
     /// Fraction of the measurement window each directed cable (indexed
@@ -455,13 +366,7 @@ impl<R: Router> FlitSim<R> {
     /// Conservation audit: every flit ever injected is either delivered
     /// (once or as a duplicate), dropped, or sitting in some buffer.
     pub fn flits_in_network(&self) -> u64 {
-        let inputs: usize = self
-            .in_buf
-            .iter()
-            .map(|voqs| voqs.iter().map(VecDeque::len).sum::<usize>())
-            .sum();
-        let outputs: usize = self.out_buf.iter().map(VecDeque::len).sum();
-        (inputs + outputs) as u64
+        self.arb.flits_in_network()
     }
 
     /// Lifetime injected/delivered counters (for audits).
@@ -487,116 +392,19 @@ impl<R: Router> FlitSim<R> {
         self.sources.iter().map(|s| s.backlog() as u64).sum()
     }
 
-    /// Snapshot of every counter the runtime conservation monitors
-    /// reason about.
-    pub fn conservation_ledger(&self) -> ConservationLedger {
-        let (retx_enabled, created, delivered, dropped, in_flight) = match self.resil.as_ref() {
-            Some(r) => (
-                r.retx.is_some(),
-                r.ledger.created,
-                r.ledger.delivered,
-                r.ledger.dropped,
-                r.ledger.in_flight(),
-            ),
-            None => (false, 0, 0, 0, 0),
-        };
-        ConservationLedger {
-            injected: self.total_injected,
-            delivered: self.total_delivered,
-            duplicate: self.total_duplicate,
-            dropped: self.total_dropped,
-            in_network: self.flits_in_network(),
-            retx_enabled,
-            transfers_created: created,
-            transfers_delivered: delivered,
-            transfers_dropped: dropped,
-            transfers_in_flight: in_flight,
-        }
-    }
-
-    /// Run every runtime invariant monitor against the current state:
-    /// flit and transfer conservation (`RT-CONSERVE`), duplicate
-    /// delivery (`RT-DUP`), online progress (`RT-PROGRESS`), and
-    /// validity of every cached routing selection against the routing
-    /// view's fault state (`RT-SELECT`). An empty result is the runtime
-    /// analogue of a verification certificate.
-    pub fn check_invariants(&self) -> Vec<Diagnostic> {
-        let mut out = Vec::new();
-        self.conservation_ledger().check(&mut out);
-        check_progress(
-            self.now.saturating_sub(self.last_progress),
-            self.cfg.watchdog_cycles,
-            self.flits_in_network() > 0 || self.source_backlog() > 0,
-            &mut out,
-        );
-        if let Some(r) = self.resil.as_ref() {
-            let mut keys: Vec<u64> = r.route_cache.keys().copied().collect();
-            keys.sort_unstable();
-            for key in keys {
-                let Some(cr) = r.route_cache.get(&key) else {
-                    continue;
-                };
-                let (s, d) = route_key_pair(key);
-                for (i, &p) in cr.paths.iter().enumerate() {
-                    if cr.paths[..i].contains(&p) {
-                        out.push(Diagnostic::error(
-                            RuleId::RtSelection,
-                            format!(
-                                "cached selection of ({}, {}) lists path {} twice",
-                                s.0, d.0, p.0
-                            ),
-                            Witness::Path {
-                                src: s,
-                                dst: d,
-                                path: p,
-                            },
-                        ));
-                    }
-                    if !r.view_faults.path_survives(&self.topo, s, d, p) {
-                        out.push(Diagnostic::error(
-                            RuleId::RtSelection,
-                            format!(
-                                "cached selection of ({}, {}) crosses a link the routing \
-                                 view knows is dead (path {})",
-                                s.0, d.0, p.0
-                            ),
-                            Witness::Path {
-                                src: s,
-                                dst: d,
-                                path: p,
-                            },
-                        ));
-                    }
-                }
-                if cr.paths.is_empty() && r.view_faults.num_surviving(&self.topo, s, d) > 0 {
-                    out.push(Diagnostic::error(
-                        RuleId::RtSelection,
-                        format!(
-                            "pair ({}, {}) cached as disconnected while paths survive \
-                             in the routing view",
-                            s.0, d.0
-                        ),
-                        Witness::Pair { src: s, dst: d },
-                    ));
-                }
-            }
-        }
-        out
-    }
-
     /// Snapshot for the watchdog's diagnostic report.
-    fn deadlock_report(&self, stalled_for: u64) -> DeadlockReport {
+    pub(crate) fn deadlock_report(&self, stalled_for: u64) -> DeadlockReport {
         DeadlockReport {
             cycle: self.now,
             stalled_for,
             flits_in_network: self.flits_in_network(),
             in_flight_packets: self.packets.len(),
-            blocked_ports: self.out_buf.iter().filter(|b| !b.is_empty()).count(),
+            blocked_ports: self.arb.blocked_ports(),
             source_backlog: self.source_backlog(),
         }
     }
 
-    fn watchdog_fired(&self) -> Option<DeadlockReport> {
+    pub(crate) fn watchdog_fired(&self) -> Option<DeadlockReport> {
         if self.cfg.watchdog_cycles == 0 {
             return None;
         }
@@ -610,768 +418,8 @@ impl<R: Router> FlitSim<R> {
         }
     }
 
-    fn in_window(&self) -> bool {
+    pub(crate) fn in_window(&self) -> bool {
         self.now >= self.cfg.warmup_cycles && self.now < self.cfg.horizon()
-    }
-
-    fn retx_config(&self) -> Option<RetxConfig> {
-        self.resil.as_ref().and_then(|r| r.retx)
-    }
-
-    // ------------------------------------------------------------------
-    // Stage 0a: fault timeline — physical events now, view events after
-    // the detection + reconvergence lag.
-    // ------------------------------------------------------------------
-    fn advance_faults(&mut self) {
-        let Some(r) = self.resil.as_mut() else {
-            return;
-        };
-        // Phase 1: events striking this cycle hit the cables immediately.
-        let mut changes: Vec<FaultChange> = Vec::new();
-        while let Some(e) = r.schedule.events().get(r.cursor) {
-            if e.at > self.now {
-                break;
-            }
-            e.change.apply(&self.topo, &mut r.phys_faults);
-            changes.push(e.change);
-            r.cursor += 1;
-        }
-        if !changes.is_empty() {
-            for &change in &changes {
-                for link in affected_links(&self.topo, change) {
-                    let e = self.topo.endpoints(link);
-                    let gid = self
-                        .graph
-                        .port_gid(self.graph.node_gid(e.from), e.from_port);
-                    self.failed_out[gid as usize] = r.phys_faults.is_link_failed(link);
-                }
-            }
-            let apply_at = self.now.saturating_add(r.lag);
-            r.pending_view.push_back(ViewBatch {
-                event_at: self.now,
-                apply_at,
-                changes,
-            });
-        }
-        // Phase 2: the routing view catches up on due batches. Only
-        // cached selections the batch actually touched are flushed —
-        // incremental reconvergence, not a rebuild.
-        while r
-            .pending_view
-            .front()
-            .is_some_and(|b| b.apply_at <= self.now)
-        {
-            let Some(batch) = r.pending_view.pop_front() else {
-                break;
-            };
-            let mut newly_down = FaultSet::new();
-            let mut any_up = false;
-            for &change in &batch.changes {
-                match change {
-                    FaultChange::LinkDown(_) | FaultChange::SwitchDown(_) => {
-                        change.apply(&self.topo, &mut newly_down);
-                    }
-                    FaultChange::LinkUp(_) | FaultChange::SwitchUp(_) => any_up = true,
-                }
-                change.apply(&self.topo, &mut r.view_faults);
-            }
-            let before = r.route_cache.len();
-            if !newly_down.is_empty() {
-                let topo = &self.topo;
-                r.route_cache.retain(|&key, cr| {
-                    let (s, d) = route_key_pair(key);
-                    cr.paths
-                        .iter()
-                        .all(|&p| newly_down.path_survives(topo, s, d, p))
-                });
-            }
-            if any_up {
-                // Degraded (and disconnected) selections may improve now
-                // that something recovered; pristine ones cannot.
-                r.route_cache.retain(|_, cr| !cr.degraded);
-            }
-            r.routes_invalidated += (before - r.route_cache.len()) as u64;
-            r.reconv_events += 1;
-            let lag = self.now.saturating_sub(batch.event_at);
-            r.reconv_sum_lag = r.reconv_sum_lag.saturating_add(lag);
-            r.reconv_max_lag = r.reconv_max_lag.max(lag);
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Stage 0b: end-to-end delivery timeouts and retransmission.
-    // ------------------------------------------------------------------
-    fn process_timeouts(&mut self) {
-        let Some(rc) = self.retx_config() else {
-            return;
-        };
-        loop {
-            let due = match self.resil.as_ref().and_then(|r| r.ledger.timeouts.peek()) {
-                Some(&Reverse((deadline, xfer, seq, sends))) if deadline <= self.now => {
-                    (xfer, seq, sends)
-                }
-                _ => break,
-            };
-            if let Some(r) = self.resil.as_mut() {
-                r.ledger.timeouts.pop();
-            }
-            self.handle_timeout(due.0, due.1, due.2, rc);
-        }
-    }
-
-    fn handle_timeout(&mut self, xfer: u32, seq: u64, sends: u32, rc: RetxConfig) {
-        let info = self
-            .resil
-            .as_ref()
-            .and_then(|r| r.ledger.transfers.get(xfer))
-            .map(|t| (t.seq, t.state, t.sends, t.ever_sent));
-        // Reaped or slot reused by a different transfer: stale.
-        let Some((cur_seq, state, cur_sends, ever_sent)) = info else {
-            return;
-        };
-        // Resolved, superseded by a newer attempt, or a slot-reuse
-        // collision (the armed transfer was reaped and an unrelated one
-        // now lives at this key): stale either way.
-        if cur_seq != seq || state != XferState::InFlight || cur_sends != sends {
-            return;
-        }
-        if cur_sends > rc.max_retries {
-            // The cap of 1 + max_retries total attempts is exhausted.
-            let cause = if ever_sent {
-                DropCause::RetryExhausted
-            } else {
-                DropCause::Disconnected
-            };
-            if let Some(r) = self.resil.as_mut() {
-                if let Some(t) = r.ledger.transfers.get_mut(xfer) {
-                    t.state = XferState::Dropped(cause);
-                }
-                r.ledger.dropped += 1;
-                r.ledger.maybe_reap(xfer);
-            }
-            return;
-        }
-        self.retransmit(xfer);
-    }
-
-    fn retransmit(&mut self, xfer: u32) {
-        let Some((src, dst, msg)) = self
-            .resil
-            .as_ref()
-            .and_then(|r| r.ledger.transfers.get(xfer))
-            .map(|t| (t.src, t.dst, t.msg))
-        else {
-            return;
-        };
-        self.ensure_routes(PnId(src), dst);
-        let paths = std::mem::take(&mut self.path_buf);
-        let sends = {
-            let bumped = self
-                .resil
-                .as_mut()
-                .and_then(|r| r.ledger.transfers.get_mut(xfer))
-                .map(|t| {
-                    t.sends += 1;
-                    t.sends
-                });
-            let Some(sends) = bumped else {
-                self.path_buf = paths;
-                return;
-            };
-            sends
-        };
-        if paths.is_empty() {
-            // Still disconnected in the routing view: the attempt is
-            // burned (the backoff clock keeps ticking) and the next
-            // timeout re-examines the — possibly reconverged — view.
-            self.arm_timeout(xfer, sends);
-            self.path_buf = paths;
-            return;
-        }
-        let choice = self.sources[src as usize].pick_message_path(paths.len());
-        let route: Box<[u16]> = self
-            .topo
-            .path_output_ports(PnId(src), dst, paths[choice])
-            .into_iter()
-            .map(|p| p as u16)
-            .collect();
-        if route.is_empty() {
-            debug_assert!(false, "a transfer can never be a self-pair");
-            self.arm_timeout(xfer, sends);
-            self.path_buf = paths;
-            return;
-        }
-        let first_port = route[0] as usize;
-        let pkt = self.packets.insert(Packet {
-            msg,
-            len: self.cfg.packet_flits,
-            route,
-            dst,
-            xfer,
-        });
-        if let Some(r) = self.resil.as_mut() {
-            if let Some(t) = r.ledger.transfers.get_mut(xfer) {
-                if t.ever_sent {
-                    r.ledger.retransmitted += 1;
-                }
-                t.ever_sent = true;
-                t.live_copies += 1;
-            }
-        }
-        self.sources[src as usize].queues[first_port]
-            .push_back(StreamingPacket { pkt, next_seq: 0 });
-        self.arm_timeout(xfer, sends);
-        self.path_buf = paths;
-    }
-
-    /// Create a transfer record for one reliable packet. `queued` marks
-    /// whether a first copy is being queued right now.
-    fn new_transfer(&mut self, src: u32, dst: PnId, msg: u32, queued: bool) -> u32 {
-        let Some(r) = self.resil.as_mut() else {
-            debug_assert!(false, "transfers exist only under a resilience config");
-            return NO_XFER;
-        };
-        r.ledger.created += 1;
-        r.ledger.transfers.insert(Transfer {
-            seq: r.ledger.created,
-            src,
-            dst,
-            msg,
-            sends: 1,
-            ever_sent: queued,
-            live_copies: queued as u32,
-            state: XferState::InFlight,
-        })
-    }
-
-    fn arm_timeout(&mut self, xfer: u32, sends: u32) {
-        let now = self.now;
-        let Some(r) = self.resil.as_mut() else {
-            return;
-        };
-        let Some(rc) = r.retx else {
-            return;
-        };
-        let Some(seq) = r.ledger.transfers.get(xfer).map(|t| t.seq) else {
-            return;
-        };
-        r.ledger.timeouts.push(Reverse((
-            backoff_deadline(now, rc.timeout, sends),
-            xfer,
-            seq,
-            sends,
-        )));
-    }
-
-    /// Fill `self.path_buf` with the selection for the pair. Under a
-    /// resilience config the result is the cached surviving selection
-    /// computed against the routing view (base selection degraded: dead
-    /// paths replaced by survivors scanned from the pair's d-mod-k
-    /// index); otherwise the router's plain selection.
-    fn ensure_routes(&mut self, s: PnId, d: PnId) {
-        let mut paths = std::mem::take(&mut self.path_buf);
-        paths.clear();
-        if let Some(r) = self.resil.as_mut() {
-            let key = route_key(s, d);
-            if let Some(cached) = r.route_cache.get(&key) {
-                paths.extend_from_slice(&cached.paths);
-            } else {
-                self.router.fill_paths(&self.topo, s, d, &mut paths);
-                let degraded = match degrade_selection(&self.topo, s, d, &r.view_faults, &mut paths)
-                {
-                    Ok(modified) => modified,
-                    Err(_) => {
-                        paths.clear();
-                        true
-                    }
-                };
-                r.route_cache.insert(
-                    key,
-                    CachedRoute {
-                        paths: paths.clone(),
-                        degraded,
-                    },
-                );
-            }
-        } else {
-            self.router.fill_paths(&self.topo, s, d, &mut paths);
-        }
-        self.path_buf = paths;
-    }
-
-    // ------------------------------------------------------------------
-    // Stage 1: ejection at processing nodes.
-    // ------------------------------------------------------------------
-    fn eject(&mut self) {
-        for pn in 0..self.graph.num_pns() {
-            for port in self.graph.ports_of(pn) {
-                let Some(&f) = self.in_buf[port as usize][0].front() else {
-                    continue;
-                };
-                if f.entered >= self.now {
-                    continue; // arrived this cycle; consumable next cycle
-                }
-                self.in_buf[port as usize][0].pop_front();
-                self.credits[self.graph.peer(port) as usize] += 1;
-                self.deliver(pn, f);
-            }
-        }
-    }
-
-    fn deliver(&mut self, pn: u32, f: Flit) {
-        let Some(pkt) = self.packets.get(f.pkt) else {
-            debug_assert!(false, "ejected flit references a vacant packet record");
-            return;
-        };
-        debug_assert_eq!(pkt.dst, PnId(pn), "flit ejected at the wrong PN");
-        debug_assert_eq!(f.hop as usize, pkt.route.len(), "flit ejected mid-route");
-        let (msg_key, is_tail, len, xfer) = (pkt.msg, pkt.is_tail(f.seq), pkt.len, pkt.xfer);
-        self.progress = true;
-        if xfer != NO_XFER {
-            self.deliver_reliable(f, msg_key, is_tail, len, xfer);
-            return;
-        }
-        self.total_delivered += 1;
-        if self.in_window() {
-            self.w_delivered += 1;
-        }
-        if is_tail {
-            self.packets.remove(f.pkt);
-        }
-        let Some(msg) = self.messages.get_mut(msg_key) else {
-            debug_assert!(false, "delivered flit references a vacant message record");
-            return;
-        };
-        msg.remaining_flits = msg.remaining_flits.saturating_sub(1);
-        if msg.remaining_flits == 0 {
-            self.complete_message(msg_key);
-        }
-    }
-
-    /// Sink-side duplicate suppression: the first copy whose flits
-    /// arrive while the transfer is unresolved counts as delivered; its
-    /// tail resolves the transfer and advances the message. Copies of an
-    /// already-resolved transfer (delivered by a sibling, or dropped
-    /// because the source gave up) count as duplicates flit by flit.
-    fn deliver_reliable(&mut self, f: Flit, msg_key: u32, is_tail: bool, len: u16, xfer: u32) {
-        let state = self
-            .resil
-            .as_ref()
-            .and_then(|r| r.ledger.transfers.get(xfer))
-            .map(|t| t.state);
-        debug_assert!(state.is_some(), "live copy of a reaped transfer");
-        let first_copy = state == Some(XferState::InFlight);
-        if first_copy {
-            self.total_delivered += 1;
-            if self.in_window() {
-                self.w_delivered += 1;
-            }
-        } else {
-            self.total_duplicate += 1;
-            if self.in_window() {
-                self.w_duplicate += 1;
-            }
-        }
-        if !is_tail {
-            return;
-        }
-        self.packets.remove(f.pkt);
-        if let Some(r) = self.resil.as_mut() {
-            if let Some(t) = r.ledger.transfers.get_mut(xfer) {
-                t.live_copies = t.live_copies.saturating_sub(1);
-                if first_copy {
-                    t.state = XferState::Delivered;
-                }
-            }
-            if first_copy {
-                r.ledger.delivered += 1;
-            }
-            r.ledger.maybe_reap(xfer);
-        }
-        if first_copy {
-            let Some(msg) = self.messages.get_mut(msg_key) else {
-                debug_assert!(false, "transfer references a vacant message record");
-                return;
-            };
-            msg.remaining_flits = msg.remaining_flits.saturating_sub(len as u32);
-            if msg.remaining_flits == 0 {
-                self.complete_message(msg_key);
-            }
-        }
-    }
-
-    fn complete_message(&mut self, msg_key: u32) {
-        let Some(msg) = self.messages.remove(msg_key) else {
-            return;
-        };
-        if msg.measured {
-            let delay = self.now.saturating_sub(msg.created);
-            self.w_completed_messages += 1;
-            self.w_sum_delay += delay as f64;
-            self.w_max_delay = self.w_max_delay.max(delay);
-            self.w_delays.push(delay);
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Stage 2: crossbar traversal at switches (input → output buffers).
-    // ------------------------------------------------------------------
-    fn crossbar(&mut self) {
-        let cap = self.cfg.buffer_flits();
-        for node in self.graph.num_pns()..self.graph.num_nodes() {
-            let ports = self.graph.ports_of(node);
-            let n_ports = (ports.end - ports.start) as usize;
-            for out in ports.clone() {
-                let out_local = (out - ports.start) as usize;
-                if let Some((in_gid, pkt_key)) = self.grant[out as usize] {
-                    // A packet holds this output until its tail passes.
-                    let Some(&f) = self.in_buf[in_gid as usize][out_local].front() else {
-                        continue;
-                    };
-                    if f.entered >= self.now {
-                        continue;
-                    }
-                    debug_assert_eq!(
-                        f.pkt, pkt_key,
-                        "foreign packet at VOQ head while output is granted"
-                    );
-                    if self.out_buf[out as usize].len() as u32 == cap {
-                        continue; // output staging full; packet waits at the input
-                    }
-                    self.move_through_crossbar(in_gid, out_local, out);
-                    // A vacant record means the tail already passed some
-                    // impossible way; releasing the grant keeps the port
-                    // usable either way.
-                    if self.packets.get(f.pkt).is_none_or(|p| p.is_tail(f.seq)) {
-                        self.grant[out as usize] = None;
-                    }
-                    continue;
-                }
-                // No grant: round-robin over the node's inputs for a VOQ
-                // head flit destined here.
-                //
-                // Note the whole-packet VCT reservation applies at the
-                // *link* (downstream input buffer); within the switch a
-                // blocked packet may straddle the input and output
-                // buffers, as in real combined-queue VCT switches.
-                if self.out_buf[out as usize].len() as u32 == cap {
-                    continue;
-                }
-                let start = self.rr_ptr[out as usize] as usize;
-                for k in 0..n_ports {
-                    let local_in = (start + k) % n_ports;
-                    let in_gid = ports.start + local_in as u32;
-                    let Some(&f) = self.in_buf[in_gid as usize][out_local].front() else {
-                        continue;
-                    };
-                    if f.entered >= self.now {
-                        continue;
-                    }
-                    debug_assert!(f.is_head(), "VOQ head must be a packet head between grants");
-                    let Some(pkt) = self.packets.get(f.pkt) else {
-                        debug_assert!(false, "VOQ head references a vacant packet record");
-                        continue;
-                    };
-                    let len = pkt.len;
-                    debug_assert_eq!(
-                        pkt.route.get(f.hop as usize).map(|&p| p as usize),
-                        Some(out_local)
-                    );
-                    self.move_through_crossbar(in_gid, out_local, out);
-                    if len > 1 {
-                        self.grant[out as usize] = Some((in_gid, f.pkt));
-                    }
-                    self.rr_ptr[out as usize] = (local_in as u32 + 1) % n_ports as u32;
-                    break;
-                }
-            }
-        }
-    }
-
-    fn move_through_crossbar(&mut self, in_gid: u32, voq: usize, out_gid: u32) {
-        let Some(mut f) = self.in_buf[in_gid as usize][voq].pop_front() else {
-            debug_assert!(false, "VOQ head vanished between inspection and move");
-            return;
-        };
-        self.credits[self.graph.peer(in_gid) as usize] += 1;
-        f.entered = self.now;
-        self.out_buf[out_gid as usize].push_back(f);
-        self.progress = true;
-    }
-
-    // ------------------------------------------------------------------
-    // Stage 3: link transfer (output buffer → downstream input buffer).
-    // ------------------------------------------------------------------
-    fn link_transfer(&mut self) {
-        for out in 0..self.graph.num_ports() {
-            let o = out as usize;
-            let Some(&f) = self.out_buf[o].front() else {
-                continue;
-            };
-            if f.entered >= self.now {
-                continue;
-            }
-            // A packet truncated here earlier keeps draining here, even
-            // if the cable has recovered since — downstream must never
-            // see a headless packet.
-            if self.discarding[o] == Some(f.pkt) {
-                self.drop_front_flit(o);
-                continue;
-            }
-            // Failure takes effect at packet granularity: a packet that
-            // started crossing before the cable died completes.
-            if self.failed_out[o] && self.link_mid_packet[o] != Some(f.pkt) {
-                match self.fault_policy {
-                    // A dead cable transfers nothing; traffic routed over
-                    // it backs up until the link recovers (or the
-                    // watchdog aborts the run).
-                    FaultPolicy::Block => continue,
-                    // Discard at the failure point. The rest of the
-                    // packet drains via the `discarding` marker; no
-                    // credit moves and nothing downstream ever sees the
-                    // packet. The packet record is retired when its tail
-                    // drops (a dropped *transfer* copy releases its pin
-                    // on the transfer record there).
-                    FaultPolicy::Drop => {
-                        self.drop_front_flit(o);
-                        continue;
-                    }
-                }
-            }
-            let need = if f.is_head() {
-                self.packets.get(f.pkt).map_or(1, |p| p.len as u32)
-            } else {
-                debug_assert!(
-                    self.credits[o] >= 1,
-                    "credit reservation violated for a body flit"
-                );
-                1
-            };
-            if self.credits[o] < need {
-                continue;
-            }
-            let Some(mut f) = self.out_buf[o].pop_front() else {
-                continue;
-            };
-            self.credits[o] -= 1;
-            self.progress = true;
-            if self.in_window() {
-                self.link_busy[o] += 1;
-            }
-            let is_tail = self.packets.get(f.pkt).is_none_or(|p| p.is_tail(f.seq));
-            if is_tail {
-                self.link_mid_packet[o] = None;
-            } else if f.is_head() {
-                self.link_mid_packet[o] = Some(f.pkt);
-            }
-            f.hop += 1;
-            f.entered = self.now;
-            let dst_in = self.graph.peer(out);
-            let voq = self.voq_of(dst_in, &f);
-            self.in_buf[dst_in as usize][voq].push_back(f);
-        }
-    }
-
-    /// Discard the flit at the head of output `o`, maintaining the
-    /// truncated-packet drain marker and the drop counters. When the
-    /// tail goes, the packet record is retired.
-    fn drop_front_flit(&mut self, o: usize) {
-        let Some(f) = self.out_buf[o].pop_front() else {
-            return;
-        };
-        self.total_dropped += 1;
-        if self.in_window() {
-            self.w_dropped += 1;
-        }
-        self.progress = true;
-        let is_tail = self.packets.get(f.pkt).is_none_or(|p| p.is_tail(f.seq));
-        if is_tail {
-            self.discarding[o] = None;
-            self.retire_dropped_packet(f.pkt);
-        } else {
-            self.discarding[o] = Some(f.pkt);
-        }
-    }
-
-    /// Remove a fully-discarded packet's record; if end-to-end
-    /// reliability tracks it, release the copy's pin on the transfer so
-    /// the retransmission machinery (not this drop) decides its fate.
-    fn retire_dropped_packet(&mut self, pkt_key: u32) {
-        let Some(pkt) = self.packets.remove(pkt_key) else {
-            return;
-        };
-        if pkt.xfer == NO_XFER {
-            return;
-        }
-        if let Some(r) = self.resil.as_mut() {
-            if let Some(t) = r.ledger.transfers.get_mut(pkt.xfer) {
-                t.live_copies = t.live_copies.saturating_sub(1);
-            }
-            r.ledger.maybe_reap(pkt.xfer);
-        }
-    }
-
-    /// VOQ a flit arriving on input port `in_gid` must join: the local
-    /// output it will leave through, or queue 0 at a processing node
-    /// (ejection).
-    fn voq_of(&self, in_gid: u32, f: &Flit) -> usize {
-        let owner = self.graph.port_owner(in_gid);
-        if self.graph.is_pn(owner) {
-            debug_assert!(
-                self.packets
-                    .get(f.pkt)
-                    .is_some_and(|p| f.hop as usize == p.route.len()),
-                "a flit reaching a PN must be at its final hop"
-            );
-            0
-        } else {
-            debug_assert!(
-                self.packets
-                    .get(f.pkt)
-                    .is_some_and(|p| (f.hop as usize) < p.route.len()),
-                "a flit at a switch must have a next hop"
-            );
-            self.packets
-                .get(f.pkt)
-                .and_then(|p| p.route.get(f.hop as usize))
-                .map_or(0, |&p| p as usize)
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Stage 4: message creation and source injection.
-    // ------------------------------------------------------------------
-    fn inject(&mut self) {
-        let rate = self.cfg.message_rate();
-        let num_pns = self.graph.num_pns();
-        for pn in 0..num_pns {
-            while self.sources[pn as usize].poll_arrival(self.now, rate) {
-                self.create_message(pn);
-            }
-            self.stream_source_flits(pn);
-        }
-    }
-
-    fn create_message(&mut self, pn: u32) {
-        let src = PnId(pn);
-        let traffic = std::mem::replace(&mut self.traffic, TrafficMode::Uniform);
-        let picked =
-            self.sources[pn as usize].pick_destination_mode(&traffic, pn, self.graph.num_pns());
-        self.traffic = traffic;
-        let Some(dst) = picked else {
-            return; // self-mapped permutation entry: this source is silent
-        };
-        let dst = PnId(dst);
-        self.ensure_routes(src, dst);
-        let paths = std::mem::take(&mut self.path_buf);
-        let retx = self.retx_config();
-        let measured = self.in_window();
-        if paths.is_empty() {
-            if measured {
-                self.w_disconnected += 1;
-            }
-            if retx.is_none() {
-                // No surviving route and no reliability: the message is
-                // never materialized, only counted.
-                self.path_buf = paths;
-                return;
-            }
-            // Reliability keeps the bookkeeping alive: each packet
-            // becomes a transfer that retries — and may succeed once the
-            // view reconverges — or drops as Disconnected.
-            if measured {
-                self.w_created_messages += 1;
-            }
-            let msg = self.messages.insert(Message {
-                created: self.now,
-                remaining_flits: self.cfg.message_flits(),
-                measured,
-            });
-            for _ in 0..self.cfg.packets_per_message {
-                let xfer = self.new_transfer(pn, dst, msg, false);
-                self.arm_timeout(xfer, 1);
-            }
-            self.path_buf = paths;
-            return;
-        }
-        if measured {
-            self.w_created_messages += 1;
-        }
-        let msg = self.messages.insert(Message {
-            created: self.now,
-            remaining_flits: self.cfg.message_flits(),
-            measured,
-        });
-        let per_message_choice = self.sources[pn as usize].pick_message_path(paths.len());
-        for _ in 0..self.cfg.packets_per_message {
-            let choice = self.sources[pn as usize].pick_path(
-                self.cfg.path_policy,
-                paths.len(),
-                per_message_choice,
-            );
-            let route: Box<[u16]> = self
-                .topo
-                .path_output_ports(src, dst, paths[choice])
-                .into_iter()
-                .map(|p| p as u16)
-                .collect();
-            debug_assert!(!route.is_empty(), "traffic modes never self-address");
-            let xfer = if retx.is_some() {
-                let x = self.new_transfer(pn, dst, msg, true);
-                self.arm_timeout(x, 1);
-                x
-            } else {
-                NO_XFER
-            };
-            let first_port = route[0] as usize;
-            let pkt = self.packets.insert(Packet {
-                msg,
-                len: self.cfg.packet_flits,
-                route,
-                dst,
-                xfer,
-            });
-            self.sources[pn as usize].queues[first_port]
-                .push_back(StreamingPacket { pkt, next_seq: 0 });
-        }
-        self.path_buf = paths;
-    }
-
-    fn stream_source_flits(&mut self, pn: u32) {
-        let cap = self.cfg.buffer_flits();
-        let n_ports = self.sources[pn as usize].queues.len();
-        for local in 0..n_ports {
-            let Some(&sp) = self.sources[pn as usize].queues[local].front() else {
-                continue;
-            };
-            let Some(len) = self.packets.get(sp.pkt).map(|p| p.len) else {
-                debug_assert!(false, "queued packet references a vacant record");
-                self.sources[pn as usize].queues[local].pop_front();
-                continue;
-            };
-            let out = self.graph.port_gid(pn, local as u32) as usize;
-            if cap == self.out_buf[out].len() as u32 {
-                continue; // NIC staging buffer full
-            }
-            self.out_buf[out].push_back(Flit {
-                pkt: sp.pkt,
-                seq: sp.next_seq,
-                hop: 0,
-                entered: self.now,
-            });
-            self.total_injected += 1;
-            self.progress = true;
-            if self.in_window() {
-                self.w_injected += 1;
-            }
-            let q = &mut self.sources[pn as usize].queues[local];
-            if let Some(head) = q.front_mut() {
-                head.next_seq += 1;
-                if head.next_seq == len {
-                    q.pop_front();
-                }
-            }
-        }
     }
 }
 
@@ -1380,604 +428,4 @@ fn percentile_of(delays: &[u64], q: f64) -> f64 {
     let mut sorted = delays.to_vec();
     sorted.sort_unstable();
     percentile(&sorted, q)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::PathPolicy;
-    use lmpr_core::{DModK, Disjoint};
-    use xgft::{FaultEvent, XgftSpec};
-
-    fn small_topo() -> Topology {
-        Topology::new(XgftSpec::new(&[4, 4], &[1, 4]).unwrap())
-    }
-
-    fn quick_cfg(load: f64) -> SimConfig {
-        SimConfig {
-            warmup_cycles: 2_000,
-            measure_cycles: 6_000,
-            offered_load: load,
-            ..SimConfig::default()
-        }
-    }
-
-    #[test]
-    fn low_load_delivers_what_it_injects() {
-        let topo = small_topo();
-        let stats = FlitSim::simulate(&topo, DModK, quick_cfg(0.1)).expect("valid config");
-        let t = stats.accepted_throughput();
-        assert!(
-            (t - 0.1).abs() < 0.02,
-            "at 10% load throughput must track offered load, got {t}"
-        );
-        assert!(stats.completion_rate() > 0.95);
-        assert!(stats.avg_message_delay() > 0.0);
-    }
-
-    #[test]
-    fn conservation_of_flits() {
-        let topo = small_topo();
-        let mut sim = FlitSim::new(&topo, Disjoint::new(2), quick_cfg(0.6)).expect("valid config");
-        for _ in 0..5_000 {
-            sim.step();
-        }
-        let (injected, delivered) = sim.lifetime_counters();
-        assert_eq!(
-            injected,
-            delivered + sim.flits_in_network(),
-            "flits must be conserved"
-        );
-        assert!(delivered > 0);
-        let ledger = sim.conservation_ledger();
-        assert!(ledger.flit_balance_holds());
-        assert!(ledger.transfer_balance_holds());
-        assert!(sim.check_invariants().is_empty());
-    }
-
-    #[test]
-    fn zero_load_latency_matches_pipeline_depth() {
-        // At a vanishing load a message's delay approaches the no-
-        // contention pipeline latency: each of the 2κ+1 link crossings
-        // costs ~2 cycles (buffer + wire) and the message streams
-        // message_flits flits behind its head.
-        let topo = small_topo();
-        let cfg = SimConfig {
-            warmup_cycles: 0,
-            measure_cycles: 60_000,
-            offered_load: 0.005,
-            ..SimConfig::default()
-        };
-        let stats = FlitSim::simulate(&topo, DModK, cfg).expect("valid config");
-        assert!(stats.completed_messages > 10);
-        let delay = stats.avg_message_delay();
-        // Lower bound: serialization alone (64 flits) plus a couple of
-        // hops; upper bound: generous contention-free envelope.
-        assert!(delay > 64.0, "delay {delay} below serialization bound");
-        assert!(delay < 110.0, "delay {delay} too high for near-zero load");
-    }
-
-    #[test]
-    fn saturation_backlog_grows_with_overload() {
-        let topo = small_topo();
-        let low = FlitSim::simulate(&topo, DModK, quick_cfg(0.1)).expect("valid config");
-        let high = FlitSim::simulate(&topo, DModK, quick_cfg(1.0)).expect("valid config");
-        assert!(high.final_source_backlog > low.final_source_backlog);
-        // Overloaded d-mod-k cannot deliver the full offered load.
-        assert!(high.accepted_throughput() < 0.95);
-    }
-
-    #[test]
-    fn multipath_beats_single_path_at_high_load() {
-        // On the paper's 3-level Table-1 topology, limited multi-path
-        // routing must outperform d-mod-k at high uniform load.
-        let topo = Topology::new(XgftSpec::new(&[4, 4, 8], &[1, 4, 4]).unwrap());
-        let single = FlitSim::simulate(&topo, DModK, quick_cfg(0.8)).expect("valid config");
-        let multi =
-            FlitSim::simulate(&topo, Disjoint::new(4), quick_cfg(0.8)).expect("valid config");
-        assert!(
-            multi.accepted_throughput() > single.accepted_throughput(),
-            "disjoint(4) {:.3} must beat d-mod-k {:.3} at 80% uniform load",
-            multi.accepted_throughput(),
-            single.accepted_throughput()
-        );
-    }
-
-    #[test]
-    fn policies_all_run() {
-        let topo = small_topo();
-        for policy in [
-            PathPolicy::PerPacketRandom,
-            PathPolicy::PerMessageRandom,
-            PathPolicy::RoundRobin,
-        ] {
-            let cfg = SimConfig {
-                path_policy: policy,
-                ..quick_cfg(0.4)
-            };
-            let stats = FlitSim::simulate(&topo, Disjoint::new(4), cfg).expect("valid config");
-            assert!(
-                stats.delivered_flits > 0,
-                "policy {policy:?} delivered nothing"
-            );
-        }
-    }
-
-    #[test]
-    fn percentiles_bracket_the_mean_and_util_is_sane() {
-        let topo = small_topo();
-        let mut sim = FlitSim::new(&topo, DModK, quick_cfg(0.4)).expect("valid config");
-        let stats = sim.run().expect("no deadlock");
-        assert!(stats.delay_p50 > 0.0);
-        assert!(stats.delay_p50 <= stats.delay_p95);
-        assert!(stats.delay_p95 <= stats.delay_p99);
-        assert!(stats.delay_p99 <= stats.max_message_delay as f64);
-        assert!(stats.delay_p50 <= stats.avg_message_delay() * 1.5);
-        let util = sim.link_utilization();
-        assert_eq!(util.len(), sim.graph().num_ports() as usize);
-        assert!(util.iter().all(|&u| (0.0..=1.0).contains(&u)));
-        // Injection links carry roughly the offered load.
-        let pn0_out = util[sim.graph().port_gid(0, 0) as usize];
-        assert!(
-            (pn0_out - 0.4).abs() < 0.12,
-            "PN0 injection utilization {pn0_out}"
-        );
-    }
-
-    #[test]
-    fn deterministic_given_seed() {
-        let topo = small_topo();
-        let a = FlitSim::simulate(&topo, Disjoint::new(2), quick_cfg(0.5)).expect("valid config");
-        let b = FlitSim::simulate(&topo, Disjoint::new(2), quick_cfg(0.5)).expect("valid config");
-        assert_eq!(a, b);
-        let c = FlitSim::simulate(&topo, Disjoint::new(2), quick_cfg(0.5).with_seed(9))
-            .expect("valid config");
-        assert_ne!(a, c);
-    }
-
-    #[test]
-    fn empty_fault_set_is_bit_identical() {
-        let topo = small_topo();
-        let a = FlitSim::simulate(&topo, DModK, quick_cfg(0.5)).expect("valid config");
-        let b = FlitSim::with_faults(
-            &topo,
-            DModK,
-            quick_cfg(0.5),
-            TrafficMode::Uniform,
-            &FaultSet::default(),
-            FaultPolicy::Block,
-        )
-        .expect("valid config")
-        .run()
-        .expect("no deadlock");
-        assert_eq!(a, b);
-        assert_eq!(a.dropped_flits, 0);
-        assert_eq!(a.disconnected_messages, 0);
-    }
-
-    #[test]
-    fn empty_schedule_matches_plain_run() {
-        // The resilience layer with nothing to do must be invisible:
-        // same RNG consumption, same stats, all resilience counters 0.
-        let topo = small_topo();
-        let plain = FlitSim::simulate(&topo, Disjoint::new(2), quick_cfg(0.5)).expect("valid");
-        let sched = FlitSim::with_schedule(
-            &topo,
-            Disjoint::new(2),
-            quick_cfg(0.5),
-            TrafficMode::Uniform,
-            FaultSchedule::default(),
-            FaultPolicy::Drop,
-            ResilienceConfig::default(),
-        )
-        .expect("valid config")
-        .run()
-        .expect("no deadlock");
-        assert_eq!(plain, sched);
-        assert_eq!(sched.reconvergence_events, 0);
-        assert_eq!(sched.transfers_created, 0);
-        assert_eq!(sched.duplicate_flits, 0);
-    }
-
-    #[test]
-    fn scripted_outage_dips_and_recovers() {
-        // One level-2 up-link dies mid-run and is repaired. Under the
-        // blocking policy nothing is lost: traffic jams, the routing
-        // view reconverges after the configured lag, and the backlog
-        // drains after repair — the run completes with clean invariants.
-        let topo = small_topo();
-        let link = topo.up_link(2, 0, 0);
-        let schedule = FaultSchedule::scripted(vec![
-            FaultEvent {
-                at: 3_000,
-                change: FaultChange::LinkDown(link),
-            },
-            FaultEvent {
-                at: 5_000,
-                change: FaultChange::LinkUp(link),
-            },
-        ]);
-        let res = ResilienceConfig {
-            detect_cycles: 100,
-            reconverge_cycles: 100,
-            retx: None,
-        };
-        let mut sim = FlitSim::with_schedule(
-            &topo,
-            DModK,
-            quick_cfg(0.3),
-            TrafficMode::Uniform,
-            schedule,
-            FaultPolicy::Block,
-            res,
-        )
-        .expect("valid config");
-        let stats = sim
-            .run()
-            .expect("no deadlock: the outage is shorter than the watchdog");
-        assert_eq!(stats.reconvergence_events, 2, "one batch down, one up");
-        assert!(
-            (stats.mean_reconverge_cycles - 200.0).abs() < 1e-9,
-            "realized lag must equal detect + reconverge, got {}",
-            stats.mean_reconverge_cycles
-        );
-        assert_eq!(stats.max_reconverge_cycles, 200);
-        assert!(
-            stats.routes_invalidated > 0,
-            "d-mod-k selections crossing the dead link must be flushed"
-        );
-        assert_eq!(stats.dropped_flits, 0, "blocking policy loses nothing");
-        assert!(stats.delivered_flits > 0);
-        let diags = sim.check_invariants();
-        assert!(diags.is_empty(), "unexpected findings: {diags:?}");
-    }
-
-    #[test]
-    fn retransmission_recovers_drops() {
-        // Drop policy + a long outage: packets routed over the dead link
-        // are discarded until the view reconverges; end-to-end
-        // retransmission resends them and the ledger accounts for every
-        // transfer exactly once.
-        let topo = small_topo();
-        let link = topo.up_link(2, 0, 0);
-        let schedule = FaultSchedule::scripted(vec![
-            FaultEvent {
-                at: 2_500,
-                change: FaultChange::LinkDown(link),
-            },
-            FaultEvent {
-                at: 6_000,
-                change: FaultChange::LinkUp(link),
-            },
-        ]);
-        let res = ResilienceConfig {
-            detect_cycles: 50,
-            reconverge_cycles: 50,
-            retx: Some(RetxConfig {
-                timeout: 600,
-                max_retries: 6,
-            }),
-        };
-        let mut sim = FlitSim::with_schedule(
-            &topo,
-            DModK,
-            quick_cfg(0.4),
-            TrafficMode::Uniform,
-            schedule,
-            FaultPolicy::Drop,
-            res,
-        )
-        .expect("valid config");
-        let stats = sim.run().expect("no deadlock");
-        assert!(stats.dropped_flits > 0, "the outage must discard something");
-        assert!(
-            stats.retransmitted_packets > 0,
-            "dropped transfers must be retried"
-        );
-        assert!(stats.transfers_created > 0);
-        let ledger = sim.conservation_ledger();
-        assert!(ledger.flit_balance_holds(), "flit ledger: {ledger:?}");
-        assert!(
-            ledger.transfer_balance_holds(),
-            "transfer ledger: {ledger:?}"
-        );
-        let diags = sim.check_invariants();
-        assert!(diags.is_empty(), "unexpected findings: {diags:?}");
-    }
-
-    #[test]
-    fn generous_timeout_never_retransmits_without_faults() {
-        // Regression: timeout-heap entries identify transfers by slab
-        // slot, and resolved transfers are reaped, so slots are reused
-        // long before old deadlines expire. Without the per-transfer
-        // sequence tag a stale entry would match the fresh occupant
-        // (also on its first send) and retransmit a perfectly healthy
-        // packet. With a timeout far above the worst-case delay and no
-        // faults, any retransmission at all is the ABA bug.
-        let topo = small_topo();
-        let res = ResilienceConfig {
-            detect_cycles: 0,
-            reconverge_cycles: 0,
-            retx: Some(RetxConfig {
-                timeout: 50_000,
-                max_retries: 4,
-            }),
-        };
-        let mut sim = FlitSim::with_schedule(
-            &topo,
-            DModK,
-            quick_cfg(0.5),
-            TrafficMode::Uniform,
-            FaultSchedule::default(),
-            FaultPolicy::Drop,
-            res,
-        )
-        .expect("valid config");
-        let stats = sim.run().expect("no deadlock");
-        assert_eq!(
-            stats.retransmitted_packets, 0,
-            "stale timeout entries acted on reused transfer slots"
-        );
-        assert_eq!(stats.duplicate_flits, 0);
-        assert_eq!(stats.transfers_dropped, 0);
-    }
-
-    #[test]
-    fn duplicates_are_suppressed() {
-        // A timeout shorter than the congested delivery delay forces
-        // spurious retransmissions: both copies arrive, exactly one
-        // counts, and the duplicate monitors stay quiet.
-        let topo = small_topo();
-        let res = ResilienceConfig {
-            detect_cycles: 0,
-            reconverge_cycles: 0,
-            retx: Some(RetxConfig {
-                timeout: 60,
-                max_retries: 4,
-            }),
-        };
-        let mut sim = FlitSim::with_schedule(
-            &topo,
-            DModK,
-            quick_cfg(0.8),
-            TrafficMode::Uniform,
-            FaultSchedule::default(),
-            FaultPolicy::Drop,
-            res,
-        )
-        .expect("valid config");
-        let stats = sim.run().expect("no deadlock");
-        assert!(
-            stats.duplicate_flits > 0,
-            "a 60-cycle timeout under congestion must produce duplicates"
-        );
-        assert!(stats.retransmit_ratio() > 0.0);
-        let ledger = sim.conservation_ledger();
-        assert!(ledger.flit_balance_holds(), "flit ledger: {ledger:?}");
-        assert!(
-            ledger.transfer_balance_holds(),
-            "transfer ledger: {ledger:?}"
-        );
-        assert!(
-            ledger.transfers_delivered + ledger.transfers_dropped <= ledger.transfers_created,
-            "no transfer resolves twice"
-        );
-        let diags = sim.check_invariants();
-        assert!(diags.is_empty(), "unexpected findings: {diags:?}");
-    }
-
-    #[test]
-    fn monitored_chaos_run_is_clean_and_deterministic() {
-        let topo = small_topo();
-        let cfg = quick_cfg(0.4);
-        let run = || {
-            let schedule = FaultSchedule::poisson(&topo, 2e-5, 400.0, cfg.horizon(), 11);
-            let res = ResilienceConfig {
-                detect_cycles: 50,
-                reconverge_cycles: 100,
-                retx: Some(RetxConfig::default()),
-            };
-            FlitSim::with_schedule(
-                &topo,
-                Disjoint::new(2),
-                cfg,
-                TrafficMode::Uniform,
-                schedule,
-                FaultPolicy::Drop,
-                res,
-            )
-            .expect("valid config")
-            .run_monitored(500)
-            .expect("no deadlock")
-        };
-        let (a, diags_a) = run();
-        let (b, _) = run();
-        assert_eq!(a, b, "chaos runs must be deterministic in the seed");
-        assert!(
-            !diags_a.iter().any(|d| d.severity == Severity::Error),
-            "invariant errors: {diags_a:?}"
-        );
-        assert!(a.reconvergence_events > 0, "the schedule must fire");
-    }
-
-    #[test]
-    fn dropped_flits_balance_the_conservation_audit() {
-        let topo = small_topo();
-        // Fail one level-2 up-link: inter-group traffic whose d-mod-k
-        // path climbs through it is discarded at the failure point.
-        let mut faults = FaultSet::new();
-        faults.fail_link(topo.up_link(2, 0, 0));
-        let mut sim = FlitSim::with_faults(
-            &topo,
-            DModK,
-            quick_cfg(0.5),
-            TrafficMode::Uniform,
-            &faults,
-            FaultPolicy::Drop,
-        )
-        .expect("valid config");
-        for _ in 0..6_000 {
-            sim.step();
-        }
-        let (injected, delivered) = sim.lifetime_counters();
-        assert!(
-            sim.dropped_in_lifetime() > 0,
-            "the failed link saw no traffic"
-        );
-        assert!(delivered > 0);
-        assert_eq!(
-            injected,
-            delivered + sim.flits_in_network() + sim.dropped_in_lifetime(),
-            "conservation under faults: injected = delivered + in-flight + dropped"
-        );
-        assert!(sim.stats().dropped_flits > 0);
-        assert!(sim.conservation_ledger().flit_balance_holds());
-    }
-
-    #[test]
-    fn blocking_faults_trip_the_watchdog() {
-        let topo = small_topo();
-        // Sever every PN's injection cable with the blocking policy: the
-        // NIC staging buffers fill, then nothing can ever move again.
-        let mut faults = FaultSet::new();
-        for pn in 0..topo.num_pns() {
-            faults.fail_link(topo.up_link(1, pn, 0));
-        }
-        let cfg = SimConfig {
-            watchdog_cycles: 500,
-            ..quick_cfg(0.5)
-        };
-        let err = FlitSim::with_faults(
-            &topo,
-            DModK,
-            cfg,
-            TrafficMode::Uniform,
-            &faults,
-            FaultPolicy::Block,
-        )
-        .expect("valid config")
-        .run()
-        .unwrap_err();
-        let SimError::Deadlock(report) = err else {
-            panic!("expected a deadlock, got {err:?}")
-        };
-        assert!(report.stalled_for > 500);
-        assert!(report.flits_in_network > 0);
-        assert!(report.blocked_ports > 0);
-        assert!(report.in_flight_packets > 0);
-    }
-
-    #[test]
-    fn fault_aware_routing_counts_disconnected_messages() {
-        use lmpr_core::FaultAware;
-        let topo = small_topo();
-        // PN 0 cannot send (its only up-link is down); a fault-aware
-        // router reports its pairs as disconnected instead of panicking,
-        // and the rest of the network keeps delivering.
-        let mut faults = FaultSet::new();
-        faults.fail_link(topo.up_link(1, 0, 0));
-        let router = FaultAware::new(DModK, faults.clone());
-        let stats = FlitSim::with_faults(
-            &topo,
-            router,
-            quick_cfg(0.3),
-            TrafficMode::Uniform,
-            &faults,
-            FaultPolicy::Drop,
-        )
-        .expect("valid config")
-        .run()
-        .expect("no deadlock");
-        assert!(stats.disconnected_messages > 0);
-        assert!(stats.delivered_flits > 0);
-        // Routing around the failure means nothing is ever dropped.
-        assert_eq!(stats.dropped_flits, 0);
-    }
-
-    #[test]
-    fn persistent_disconnection_drops_with_cause() {
-        // PN 0's only up-link dies at cycle 0 and never recovers, with a
-        // tiny lag: PN 0's transfers can never be sent and must resolve
-        // as dropped (cause: disconnected), keeping the ledger balanced.
-        let topo = small_topo();
-        let link = topo.up_link(1, 0, 0);
-        let schedule = FaultSchedule::scripted(vec![FaultEvent {
-            at: 0,
-            change: FaultChange::LinkDown(link),
-        }]);
-        let res = ResilienceConfig {
-            detect_cycles: 0,
-            reconverge_cycles: 10,
-            retx: Some(RetxConfig {
-                timeout: 200,
-                max_retries: 2,
-            }),
-        };
-        let cfg = SimConfig {
-            warmup_cycles: 0,
-            measure_cycles: 8_000,
-            offered_load: 0.3,
-            watchdog_cycles: 0,
-            ..SimConfig::default()
-        };
-        let mut sim = FlitSim::with_schedule(
-            &topo,
-            DModK,
-            cfg,
-            TrafficMode::Uniform,
-            schedule,
-            FaultPolicy::Drop,
-            res,
-        )
-        .expect("valid config");
-        let stats = sim.run().expect("watchdog disabled");
-        assert!(
-            stats.transfers_dropped > 0,
-            "PN 0's transfers must exhaust their retries"
-        );
-        assert!(stats.disconnected_messages > 0);
-        let ledger = sim.conservation_ledger();
-        assert!(ledger.flit_balance_holds());
-        assert!(ledger.transfer_balance_holds());
-        let diags = sim.check_invariants();
-        assert!(diags.is_empty(), "unexpected findings: {diags:?}");
-    }
-
-    #[test]
-    fn bad_configs_are_typed_errors_not_panics() {
-        let topo = small_topo();
-        let bad = SimConfig {
-            offered_load: 2.0,
-            ..SimConfig::default()
-        };
-        assert!(matches!(
-            FlitSim::simulate(&topo, DModK, bad),
-            Err(SimError::Config(_))
-        ));
-        let bad_traffic = TrafficMode::Permutation(vec![0, 1]);
-        assert!(matches!(
-            FlitSim::with_traffic(&topo, DModK, quick_cfg(0.5), bad_traffic),
-            Err(SimError::Traffic(_))
-        ));
-        let bad_res = ResilienceConfig {
-            retx: Some(RetxConfig {
-                timeout: 0,
-                max_retries: 1,
-            }),
-            ..ResilienceConfig::default()
-        };
-        assert!(matches!(
-            FlitSim::with_schedule(
-                &topo,
-                DModK,
-                quick_cfg(0.5),
-                TrafficMode::Uniform,
-                FaultSchedule::default(),
-                FaultPolicy::Drop,
-                bad_res,
-            )
-            .map(|_| ()),
-            Err(SimError::Config(crate::ConfigError::ZeroRetxTimeout))
-        ));
-    }
 }

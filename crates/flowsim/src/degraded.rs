@@ -1,12 +1,14 @@
 //! Flow-level load accumulation under link/switch failures.
 //!
 //! Mirrors [`LinkLoads::accumulate`](crate::LinkLoads::accumulate) but
-//! routes every flow through a [`FaultAware`] adapter: dead paths are
-//! swapped for surviving ones, and flows whose SD pair is disconnected
-//! are skipped and counted instead of dividing by an empty path set.
+//! routes every flow through the shared [`SelectionEngine`]: dead paths
+//! are swapped for surviving ones, flows whose SD pair is disconnected
+//! are skipped and counted instead of dividing by an empty path set,
+//! and repeated SD pairs replay the cached selection instead of
+//! recomputing it.
 
 use crate::LinkLoads;
-use lmpr_core::{FaultAware, Router};
+use lmpr_core::{Router, SelectionEngine};
 use lmpr_traffic::TrafficMatrix;
 use xgft::{FaultSet, PathId, Topology};
 
@@ -39,14 +41,14 @@ impl DegradedLoads {
             topo.num_pns(),
             "traffic matrix and topology node counts must agree"
         );
-        let fa = FaultAware::new(router, faults.clone());
+        let mut engine = SelectionEngine::cached(router, faults.clone());
         let mut loads = LinkLoads::zero(topo);
         let mut routed_flows = 0u64;
         let mut disconnected_flows = 0u64;
         let mut disconnected_demand = 0.0f64;
         let mut paths: Vec<PathId> = Vec::new();
         for f in tm.flows() {
-            if fa.try_fill_paths(topo, f.src, f.dst, &mut paths).is_err() {
+            if engine.try_select(topo, f.src, f.dst, &mut paths).is_err() {
                 disconnected_flows += 1;
                 disconnected_demand += f.demand;
                 continue;

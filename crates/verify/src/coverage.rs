@@ -17,7 +17,7 @@
 
 use crate::{Diagnostic, Report, RuleId, Witness};
 use lmpr_core::forwarding::{shift_vectors, ForwardingTables, SlotOrder};
-use lmpr_core::{FaultAware, RouteError, Router};
+use lmpr_core::{FaultAware, RouteError, Router, SelectionEngine};
 use std::collections::HashMap;
 use xgft::{DirectedLinkId, FaultSet, LinkDir, NodeId, PathId, PnId, Topology, MAX_HEIGHT};
 
@@ -183,6 +183,10 @@ pub fn check_router_coverage<R: Router + ?Sized>(
 /// `min(K, X_surviving)` surviving paths, every selected path avoiding
 /// every failed link, and `RouteError::Disconnected` exactly on the
 /// pairs whose whole path space is dead.
+///
+/// The selections under audit come from the same cached
+/// [`SelectionEngine`] the simulators route with, so a certificate here
+/// covers exactly the paths a degraded run would use.
 pub fn check_fault_aware_coverage<R: Router>(
     topo: &Topology,
     adapter: &FaultAware<R>,
@@ -190,6 +194,7 @@ pub fn check_fault_aware_coverage<R: Router>(
     report: &mut Report,
 ) {
     let faults = adapter.faults().clone();
+    let mut engine = SelectionEngine::cached(adapter.inner(), faults.clone());
     let n = topo.num_pns();
     let mut paths = Vec::new();
     let mut pairs = 0u64;
@@ -202,8 +207,8 @@ pub fn check_fault_aware_coverage<R: Router>(
             pairs += 1;
             let (s, d) = (PnId(s), PnId(d));
             let surviving = faults.num_surviving(topo, s, d);
-            match adapter.try_fill_paths(topo, s, d, &mut paths) {
-                Ok(()) => {
+            match engine.try_select(topo, s, d, &mut paths) {
+                Ok(_) => {
                     if surviving == 0 {
                         report.findings.push(Diagnostic::error(
                             RuleId::CoverageDisconnect,

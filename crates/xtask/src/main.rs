@@ -33,6 +33,19 @@ const LINT_ROOTS: &[&str] = &[
 
 const ALLOWLIST: &str = "crates/xtask/lint-allowlist.txt";
 
+/// Directories whose files may never appear in the allowlist: the
+/// modules decomposed out of the old `sim.rs` monolith started
+/// panic-free and must stay that way — a new site there is always a
+/// lint failure, never a vetting candidate.
+const DENY_DIRS: &[&str] = &["crates/flitsim/src"];
+
+/// Whether an allowlist entry for `file` is categorically forbidden.
+fn denied(file: &str) -> bool {
+    DENY_DIRS
+        .iter()
+        .any(|d| file.starts_with(&format!("{d}/")) || file == *d)
+}
+
 /// The forbidden call forms. `.unwrap()` is matched exactly so
 /// `unwrap_or_else` and friends stay legal; `.expect(` does not match
 /// `.expect_err(`.
@@ -94,10 +107,28 @@ fn lint(update: bool) -> ExitCode {
              # library code (test modules excluded). Regenerate with\n\
              # `cargo xtask lint --update` after vetting any change; the lint\n\
              # fails on both increases (new panic paths) and decreases (stale\n\
-             # pins), so this file always reflects reality.\n",
+             # pins), so this file always reflects reality.\n\
+             # Files under crates/flitsim/src can never be pinned here: the\n\
+             # simulator modules are panic-free by construction.\n",
         );
+        let mut refused = false;
         for (file, sites) in &counts {
+            if denied(file) {
+                refused = true;
+                eprintln!(
+                    "xtask lint: {file}: {} site(s) in a deny-listed directory — these \
+                     cannot be vetted; convert them to typed errors:",
+                    sites.len()
+                );
+                for s in sites {
+                    eprintln!("  {file}:{}: {}", s.line, s.pattern);
+                }
+                continue;
+            }
             let _ = writeln!(out, "{} {}", sites.len(), file);
+        }
+        if refused {
+            return ExitCode::FAILURE;
         }
         if let Err(e) = std::fs::write(root.join(ALLOWLIST), out) {
             eprintln!("xtask lint: cannot write allowlist: {e}");
@@ -120,12 +151,27 @@ fn lint(update: bool) -> ExitCode {
     };
 
     let mut failed = false;
+    // Deny-listed directories reject their allowlist entries outright,
+    // so a site there can never be vetted away.
+    for (file, budget) in &allowed {
+        if *budget > 0 && denied(file) {
+            failed = true;
+            eprintln!(
+                "xtask lint: {ALLOWLIST} pins {budget} site(s) for {file}, which is in a \
+                 deny-listed directory — the simulator modules must stay panic-free"
+            );
+        }
+    }
     for (file, sites) in &counts {
-        let budget = allowed
-            .iter()
-            .find(|(f, _)| f == file)
-            .map(|&(_, n)| n)
-            .unwrap_or(0);
+        let budget = if denied(file) {
+            0
+        } else {
+            allowed
+                .iter()
+                .find(|(f, _)| f == file)
+                .map(|&(_, n)| n)
+                .unwrap_or(0)
+        };
         match sites.len().cmp(&budget) {
             std::cmp::Ordering::Greater => {
                 failed = true;
@@ -435,6 +481,15 @@ fn mask_tests(masked: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn deny_list_covers_the_simulator_sources_exactly() {
+        assert!(denied("crates/flitsim/src/engine.rs"));
+        assert!(denied("crates/flitsim/src/sweep.rs"));
+        assert!(!denied("crates/flitsim/srcx/other.rs"));
+        assert!(!denied("crates/core/src/selection.rs"));
+        assert!(!denied("crates/flowsim/src/loads.rs"));
+    }
 
     #[test]
     fn strings_and_comments_do_not_count() {
