@@ -31,4 +31,27 @@ echo "==> golden equivalence (chaos + faults quick documents, 180 s budget)"
 # invariant violations (conservation, duplicates, progress).
 timeout 180 cargo test -q --release -p lmpr-bench --test golden -- --ignored
 
+echo "==> SIGKILL-and-resume smoke (orchestrated chaos sweep, 120 s budget)"
+# Start an orchestrated quick sweep, SIGKILL it mid-flight, re-run the
+# same command, and byte-compare the resumed document against the
+# committed golden. Proves crash-consistency end to end: journal
+# replay, snapshot restore, and byte-identical reassembly.
+cargo build -q --release -p lmpr-bench --bin chaos
+timeout 120 bash -c '
+  dir=$(mktemp -d)
+  trap "rm -rf \"$dir\"" EXIT
+  orch=(./target/release/chaos --quick --orchestrate "$dir/results" \
+        --json "$dir/resumed.json")
+  "${orch[@]}" > /dev/null 2>&1 &
+  pid=$!
+  sleep 1.2
+  kill -KILL "$pid" 2> /dev/null || true
+  wait "$pid" 2> /dev/null || true
+  [ -f "$dir/results/journal.json" ] || {
+    echo "no journal written before the kill" >&2; exit 1; }
+  "${orch[@]}" > /dev/null
+  cmp "$dir/resumed.json" results/chaos_quick.json || {
+    echo "resumed document is not byte-identical to the golden" >&2; exit 1; }
+'
+
 echo "CI green."

@@ -31,4 +31,8 @@ fn main() {
         }
         None => println!("{}", document_to_json(&out.records, &out.failures)),
     }
+    if !out.failures.is_empty() {
+        eprintln!("faults: {} failed replays", out.failures.len());
+        std::process::exit(1);
+    }
 }

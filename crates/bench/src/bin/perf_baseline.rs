@@ -21,10 +21,11 @@
 //!
 //! Usage: `perf_baseline [--quick] [DIR]`
 
-use lmpr_bench::{json_f64, json_string, CommonArgs};
+use lmpr_bench::{failure_to_json, json_f64, json_string, CommonArgs, Failure};
 use lmpr_core::{Disjoint, RouterKind, SelectionEngine};
 use lmpr_flitsim::{
-    run_sweep, FaultPolicy, FlitSim, ResilienceConfig, RetxConfig, SimConfig, TrafficMode,
+    run_sweep, FaultPolicy, FlitSim, ResilienceConfig, RetxConfig, SimConfig, SweepError,
+    TrafficMode,
 };
 use lmpr_flowsim::{DegradedLoads, LinkLoads};
 use lmpr_traffic::{random_permutation, TrafficMatrix};
@@ -40,15 +41,30 @@ fn main() {
         }
     };
     let dir = args.positional.first().map_or(".", String::as_str);
+    // A baseline run that errors (deadlock, invalid config) becomes a
+    // structured failure record and a non-zero exit — never a panic,
+    // and never a silently truncated baseline file.
     let flit = flitsim_baseline(args.quick);
     let flow = flowsim_baseline(args.quick);
-    for (name, doc) in [("BENCH_flitsim.json", flit), ("BENCH_flowsim.json", flow)] {
+    let mut failed = false;
+    for (name, result) in [("BENCH_flitsim.json", flit), ("BENCH_flowsim.json", flow)] {
+        let doc = match result {
+            Ok(doc) => doc,
+            Err(f) => {
+                failed = true;
+                eprintln!("perf_baseline: {} failed: {}", f.experiment, f.error);
+                format!("{{\n  \"failures\": [\n{}\n  ]\n}}\n", failure_to_json(&f))
+            }
+        };
         let path = format!("{dir}/{name}");
         if let Err(e) = std::fs::write(&path, &doc) {
             eprintln!("perf_baseline: cannot write {path}: {e}");
             std::process::exit(2);
         }
         println!("wrote {path}");
+    }
+    if failed {
+        std::process::exit(1);
     }
 }
 
@@ -68,9 +84,20 @@ fn render(benchmark: &str, topology: &str, quick: bool, metrics: &[(&str, f64)])
 }
 
 /// Cycle-rate, cache and sweep baselines of the flit-level simulator.
-fn flitsim_baseline(quick: bool) -> String {
+fn flitsim_baseline(quick: bool) -> Result<String, Box<Failure>> {
     let topo = Topology::new(XgftSpec::m_port_n_tree(8, 3).expect("valid"));
     let label = topo.spec().to_string();
+    let fail = |error| {
+        Box::new(Failure {
+            experiment: "perf-flitsim".into(),
+            topology: label.clone(),
+            scheme: "disjoint(4)".into(),
+            k: 4,
+            x: 0.0,
+            seed: 0,
+            error,
+        })
+    };
     let cfg = SimConfig {
         warmup_cycles: 1_000,
         measure_cycles: if quick { 4_000 } else { 10_000 },
@@ -79,9 +106,9 @@ fn flitsim_baseline(quick: bool) -> String {
     };
     let cycles = cfg.horizon() as f64;
 
-    let mut sim = FlitSim::new(&topo, Disjoint::new(4), cfg).expect("valid config");
+    let mut sim = FlitSim::new(&topo, Disjoint::new(4), cfg).map_err(fail)?;
     let t0 = Instant::now();
-    sim.run().expect("plain baseline run must complete");
+    sim.run().map_err(fail)?;
     let plain_cps = cycles / t0.elapsed().as_secs_f64();
 
     let schedule = FaultSchedule::poisson(&topo, 5e-5, 1_500.0, cfg.horizon(), 7);
@@ -99,9 +126,9 @@ fn flitsim_baseline(quick: bool) -> String {
         FaultPolicy::Drop,
         res,
     )
-    .expect("valid config");
+    .map_err(fail)?;
     let t0 = Instant::now();
-    sim.run().expect("resilient baseline run must complete");
+    sim.run().map_err(fail)?;
     let resilient_cps = cycles / t0.elapsed().as_secs_f64();
     let hit_rate = sim.selection_stats().hit_rate();
 
@@ -116,10 +143,18 @@ fn flitsim_baseline(quick: bool) -> String {
         &[0.2, 0.4, 0.6, 0.8]
     };
     let t0 = Instant::now();
-    run_sweep(&topo, &Disjoint::new(4), sweep_cfg, loads, 0).expect("sweep must complete");
+    run_sweep(&topo, &Disjoint::new(4), sweep_cfg, loads, 0).map_err(|e| match e {
+        SweepError::Sim { source, .. } => fail(source),
+        // Worker panics and missing results are harness defects, not
+        // typed simulator outcomes — they have no Failure encoding.
+        other => {
+            eprintln!("perf_baseline: sweep harness error: {other}");
+            std::process::exit(2);
+        }
+    })?;
     let sweep_secs = t0.elapsed().as_secs_f64();
 
-    render(
+    Ok(render(
         "flitsim",
         &label,
         quick,
@@ -129,11 +164,12 @@ fn flitsim_baseline(quick: bool) -> String {
             ("selection_cache_hit_rate", hit_rate),
             ("sweep_wall_time_sec", sweep_secs),
         ],
-    )
+    ))
 }
 
-/// Routing-rate, cache and sweep baselines of the flow-level stack.
-fn flowsim_baseline(quick: bool) -> String {
+/// Routing-rate, cache and sweep baselines of the flow-level stack
+/// (infallible today; the `Result` keeps both baselines uniform).
+fn flowsim_baseline(quick: bool) -> Result<String, Box<Failure>> {
     let topo = Topology::new(XgftSpec::m_port_n_tree(8, 3).expect("valid"));
     let label = topo.spec().to_string();
     let tm = TrafficMatrix::uniform(topo.num_pns(), 1.0);
@@ -180,7 +216,7 @@ fn flowsim_baseline(quick: bool) -> String {
     }
     let sweep_secs = t0.elapsed().as_secs_f64();
 
-    render(
+    Ok(render(
         "flowsim",
         &label,
         quick,
@@ -189,5 +225,5 @@ fn flowsim_baseline(quick: bool) -> String {
             ("selection_cache_hit_rate", hit_rate),
             ("sweep_wall_time_sec", sweep_secs),
         ],
-    )
+    ))
 }

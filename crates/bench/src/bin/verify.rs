@@ -20,8 +20,10 @@
 //! against its shift-vector specification instead of the router.
 //!
 //! `--ci` runs the acceptance matrix: all four heuristics at
-//! K ∈ {1, 2, X} on the three fixtures, both LFT slot orders, and one
-//! degraded-mode fault sample — the gate wired into `ci.sh`.
+//! K ∈ {1, 2, X} on the three fixtures, both LFT slot orders, one
+//! degraded-mode fault sample, and the snapshot-subsystem certificates
+//! (`SNAP-ROUNDTRIP`, `SNAP-REJECT`, `SNAP-RESUME`) — the gate wired
+//! into `ci.sh`.
 //! `--demo-cycle` feeds the analyzer a deliberately cyclic (valley
 //! routed) dependency fixture and shows the minimal counterexample.
 
@@ -212,6 +214,10 @@ fn ci_matrix() -> Result<Vec<Report>, String> {
             Some(&faults),
         ));
     }
+    // The snapshot-subsystem certificates (SNAP-ROUNDTRIP, SNAP-REJECT,
+    // SNAP-RESUME): round-trip state equality, corruption/version
+    // rejection witnesses, and the resume-equivalence proof.
+    reports.extend(lmpr_bench::snapcheck::snapshot_reports());
     Ok(reports)
 }
 

@@ -21,6 +21,9 @@ use xgft::{Topology, XgftSpec};
 
 pub mod chaos;
 pub mod faults;
+pub mod jsonio;
+pub mod orchestrator;
+pub mod snapcheck;
 
 /// The evaluation topologies of §5, keyed the way the paper labels them.
 pub fn topology_by_name(name: &str) -> Option<(String, Topology)> {
@@ -174,37 +177,58 @@ pub fn sim_error_to_json(e: &SimError) -> String {
     }
 }
 
-/// Render a results document holding both successful-run records and
-/// structured failures: `{"records": […], "failures": […]}`.
-pub fn document_to_json(records: &[Record], failures: &[Failure]) -> String {
+/// Render one [`Failure`] as the exact indented JSON object block that
+/// [`document_to_json`] embeds in the `failures` array. The orchestrator
+/// journals these pre-rendered blocks so a resumed sweep reproduces the
+/// final document byte for byte without having to re-parse a typed
+/// [`SimError`] out of the journal.
+pub fn failure_to_json(f: &Failure) -> String {
+    let mut out = String::from("    {\n");
+    out.push_str(&format!(
+        "      \"experiment\": {},\n",
+        json_string(&f.experiment)
+    ));
+    out.push_str(&format!(
+        "      \"topology\": {},\n",
+        json_string(&f.topology)
+    ));
+    out.push_str(&format!("      \"scheme\": {},\n", json_string(&f.scheme)));
+    out.push_str(&format!("      \"k\": {},\n", f.k));
+    out.push_str(&format!("      \"x\": {},\n", json_f64(f.x)));
+    out.push_str(&format!("      \"seed\": {},\n", f.seed));
+    out.push_str(&format!(
+        "      \"error\": {}\n",
+        sim_error_to_json(&f.error)
+    ));
+    out.push_str("    }");
+    out
+}
+
+/// Render a results document from records plus *pre-rendered* failure
+/// object blocks (the [`failure_to_json`] layout). This is the single
+/// serialization path for `{"records": […], "failures": […]}` documents:
+/// [`document_to_json`] and the resumable orchestrator both delegate
+/// here, which is what makes a kill/resume run byte-identical to an
+/// uninterrupted one.
+pub fn document_from_parts(records: &[Record], failure_objects: &[String]) -> String {
     let records_json = records_to_json(records).replace('\n', "\n  ");
     let mut out = format!("{{\n  \"records\": {records_json},\n  \"failures\": [");
-    for (i, f) in failures.iter().enumerate() {
+    for (i, obj) in failure_objects.iter().enumerate() {
         out.push_str(if i == 0 { "\n" } else { ",\n" });
-        out.push_str("    {\n");
-        out.push_str(&format!(
-            "      \"experiment\": {},\n",
-            json_string(&f.experiment)
-        ));
-        out.push_str(&format!(
-            "      \"topology\": {},\n",
-            json_string(&f.topology)
-        ));
-        out.push_str(&format!("      \"scheme\": {},\n", json_string(&f.scheme)));
-        out.push_str(&format!("      \"k\": {},\n", f.k));
-        out.push_str(&format!("      \"x\": {},\n", json_f64(f.x)));
-        out.push_str(&format!("      \"seed\": {},\n", f.seed));
-        out.push_str(&format!(
-            "      \"error\": {}\n",
-            sim_error_to_json(&f.error)
-        ));
-        out.push_str("    }");
+        out.push_str(obj);
     }
-    if !failures.is_empty() {
+    if !failure_objects.is_empty() {
         out.push_str("\n  ");
     }
     out.push_str("]\n}");
     out
+}
+
+/// Render a results document holding both successful-run records and
+/// structured failures: `{"records": […], "failures": […]}`.
+pub fn document_to_json(records: &[Record], failures: &[Failure]) -> String {
+    let objects: Vec<String> = failures.iter().map(failure_to_json).collect();
+    document_from_parts(records, &objects)
 }
 
 /// Write a records + failures document as pretty JSON to `path`.

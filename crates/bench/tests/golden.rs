@@ -16,6 +16,7 @@
 //! CI runs them in release via
 //! `cargo test -q --release -p lmpr-bench --test golden -- --ignored`.
 
+use lmpr_bench::orchestrator::{OrchestratorOptions, SweepOrchestrator};
 use lmpr_bench::{chaos, document_to_json, faults};
 
 #[test]
@@ -34,6 +35,51 @@ fn chaos_quick_document_is_byte_identical_to_golden() {
         got, golden,
         "chaos --quick document drifted from results/chaos_quick.json"
     );
+}
+
+#[test]
+#[ignore = "slow; CI runs it in release"]
+fn killed_and_resumed_orchestrator_matches_golden_byte_for_byte() {
+    // Crash-recovery certificate for the sweep orchestrator: interrupt
+    // the supervised quick sweep at a fixed journal point (three cells
+    // completed — deterministic, unlike a wall-clock SIGKILL), then
+    // re-run the orchestrator against the same results directory. The
+    // resumed sweep must skip the journaled cells, finish the rest, and
+    // assemble a document byte-identical to the committed golden — i.e.
+    // indistinguishable from a sweep that was never interrupted.
+    let dir = std::env::temp_dir().join(format!("lmpr-orch-golden-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut opts = OrchestratorOptions::new(&dir, true);
+    opts.max_cells = Some(3);
+    let mut first = SweepOrchestrator::new(opts.clone()).expect("orchestrator setup");
+    let report = first.run().expect("first pass");
+    assert!(!report.completed, "max_cells must interrupt the sweep");
+    assert!(report.document.is_none());
+    assert_eq!(report.cells_run, 3);
+    assert!(
+        dir.join("journal.json").is_file(),
+        "interrupted sweep must leave a journal"
+    );
+    drop(first);
+
+    opts.max_cells = None;
+    let mut second = SweepOrchestrator::new(opts).expect("orchestrator reload");
+    let report = second.run().expect("second pass");
+    assert!(report.completed, "resumed sweep must finish the grid");
+    assert!(report.cell_errors.is_empty(), "{:?}", report.cell_errors);
+    assert_eq!(report.violations, 0);
+    assert_eq!(report.failure_count, 0);
+    // Fewer cells this pass: the journal already held the first three.
+    assert_eq!(report.cells_run, 10 - 3);
+
+    let golden = include_str!("../../../results/chaos_quick.json");
+    let got = report.document.expect("completed sweep has a document");
+    assert_eq!(
+        got, golden,
+        "killed-and-resumed orchestrator document drifted from results/chaos_quick.json"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -254,6 +254,44 @@ impl<R: Router> SelectionEngine<R> {
         flushed
     }
 
+    /// The cache's key set in sorted order — the serialization surface
+    /// of a simulator snapshot. Selections themselves are *not*
+    /// serialized: a restore recomputes them against the restored view
+    /// (see [`SelectionEngine::restore_cached`]), which the
+    /// cached-vs-cold property test certifies as equivalent.
+    pub fn cached_keys(&self) -> Vec<u64> {
+        let Some(cache) = self.cache.as_ref() else {
+            return Vec::new();
+        };
+        let mut keys: Vec<u64> = cache.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Rebuild a cached engine from snapshot parts: the fault view the
+    /// selections were computed against, the key set exported by
+    /// [`SelectionEngine::cached_keys`], and the lifetime counters at
+    /// snapshot time. Each key's selection is *recomputed* against the
+    /// view (cache contents are derived state, never trusted from the
+    /// snapshot); the counters are restored verbatim so post-restore
+    /// statistics match the uninterrupted run exactly.
+    pub fn restore_cached(
+        router: R,
+        view: FaultSet,
+        topo: &Topology,
+        keys: &[u64],
+        stats: SelectionStats,
+    ) -> Self {
+        let mut engine = SelectionEngine::cached(router, view);
+        let mut scratch = Vec::new();
+        for &key in keys {
+            let (s, d) = route_key_pair(key);
+            let _ = engine.try_select(topo, s, d, &mut scratch);
+        }
+        engine.stats = stats;
+        engine
+    }
+
     /// The cached selections in deterministic (sorted-key) order — the
     /// iteration surface of the `RT-SELECT` runtime audit.
     pub fn cached_selections(&self) -> Vec<(PnId, PnId, &CachedSelection)> {
@@ -465,6 +503,33 @@ mod tests {
         let flushed = engine.apply_changes(&topo, &[FaultChange::LinkUp(link)]);
         assert_eq!(flushed, 1, "recovery flushes exactly the degraded entry");
         assert_eq!(engine.stats().invalidated, 2);
+    }
+
+    #[test]
+    fn restore_cached_rebuilds_identical_cache_and_stats() {
+        let topo = fig3();
+        let mut faults = FaultSet::new();
+        faults.fail_link(topo.up_link(2, 0, 0));
+        let mut engine = SelectionEngine::cached(ShiftOne::new(4), faults);
+        let mut out = Vec::new();
+        for &(s, d) in &[(0u32, 63u32), (1, 0), (0, 63), (5, 40), (17, 3)] {
+            engine.select(&topo, PnId(s), PnId(d), &mut out);
+        }
+        let keys = engine.cached_keys();
+        let restored = SelectionEngine::restore_cached(
+            ShiftOne::new(4),
+            engine.view().clone(),
+            &topo,
+            &keys,
+            engine.stats(),
+        );
+        assert_eq!(restored.stats(), engine.stats());
+        assert_eq!(restored.cached_keys(), keys);
+        let (orig, rest) = (engine.cached_selections(), restored.cached_selections());
+        assert_eq!(orig.len(), rest.len());
+        for (a, b) in orig.iter().zip(rest.iter()) {
+            assert_eq!((a.0, a.1, a.2), (b.0, b.1, b.2));
+        }
     }
 
     #[test]

@@ -108,6 +108,29 @@ impl Source {
     pub fn backlog(&self) -> usize {
         self.queues.iter().map(VecDeque::len).sum()
     }
+
+    /// Snapshot view of the private stream state: the RNG position, the
+    /// absolute next-arrival time, and the round-robin counter (the
+    /// queues are public and serialized separately).
+    pub fn snapshot_parts(&self) -> ([u64; 4], f64, u64) {
+        (self.rng.get_state(), self.next_arrival, self.rr)
+    }
+
+    /// Rebuild a source from snapshot parts, resuming its RNG stream at
+    /// the exact captured position.
+    pub fn from_parts(
+        rng_state: [u64; 4],
+        next_arrival: f64,
+        queues: Vec<VecDeque<StreamingPacket>>,
+        rr: u64,
+    ) -> Self {
+        Source {
+            rng: SmallRng::from_state(rng_state),
+            next_arrival,
+            queues,
+            rr,
+        }
+    }
 }
 
 /// Exponential inter-arrival sample with rate `rate` events/cycle.

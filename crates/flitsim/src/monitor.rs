@@ -122,6 +122,54 @@ impl ConservationLedger {
     }
 }
 
+/// Accumulator for monitor findings across run segments.
+///
+/// Warnings are deduplicated per rule for the log's lifetime; errors are
+/// always recorded. A resumable run
+/// ([`FlitSim::run_monitored_until`](crate::FlitSim::run_monitored_until))
+/// threads one log through all of its segments so the combined report
+/// matches what an uninterrupted [`FlitSim::run_monitored`](crate::FlitSim::run_monitored)
+/// would have produced.
+#[derive(Debug, Clone, Default)]
+pub struct MonitorLog {
+    warned: Vec<RuleId>,
+    report: Vec<Diagnostic>,
+}
+
+impl MonitorLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a batch of findings from one checkpoint. Errors are kept
+    /// verbatim; warnings only on their rule's first occurrence. Returns
+    /// whether the batch contained an error (the caller's abort signal).
+    pub fn absorb(&mut self, findings: Vec<Diagnostic>) -> bool {
+        let mut fatal = false;
+        for d in findings {
+            if d.severity == Severity::Error {
+                fatal = true;
+                self.report.push(d);
+            } else if !self.warned.contains(&d.rule) {
+                self.warned.push(d.rule);
+                self.report.push(d);
+            }
+        }
+        fatal
+    }
+
+    /// Findings recorded so far.
+    pub fn findings(&self) -> &[Diagnostic] {
+        &self.report
+    }
+
+    /// Consume the log, yielding the recorded findings.
+    pub fn into_findings(self) -> Vec<Diagnostic> {
+        self.report
+    }
+}
+
 /// The online progress monitor: warn at half the watchdog horizon, error
 /// once the horizon is exceeded while work is pending. A disabled
 /// watchdog (`horizon == 0`) checks nothing.

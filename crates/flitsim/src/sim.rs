@@ -10,6 +10,7 @@ use crate::arbiter::Arbiter;
 use crate::config::{FaultPolicy, ResilienceConfig, RetxConfig, SimConfig};
 use crate::error::{DeadlockReport, SimError};
 use crate::inject::Source;
+use crate::monitor::MonitorLog;
 use crate::network::PortGraph;
 use crate::packet::{Message, Packet};
 use crate::resilience::RetxLedger;
@@ -18,7 +19,7 @@ use crate::stats::{percentile, SimStats};
 use crate::traffic_mode::TrafficMode;
 use crate::util::Slab;
 use lmpr_core::{Router, SelectionStats};
-use lmpr_verify::{Diagnostic, RuleId, Severity};
+use lmpr_verify::Diagnostic;
 use xgft::{FaultSchedule, FaultSet, PathId, Topology};
 
 /// A flit-level simulation of one routing scheme on one topology at one
@@ -251,40 +252,45 @@ impl<R: Router> FlitSim<R> {
     /// failing checkpoint (the stats snapshot is the crash scene);
     /// warnings are deduplicated per rule and never abort.
     pub fn run_monitored(&mut self, every: u64) -> Result<(SimStats, Vec<Diagnostic>), SimError> {
+        let mut log = MonitorLog::new();
+        let fatal = self.run_monitored_until(self.cfg.horizon(), every, &mut log)?;
+        if !fatal {
+            log.absorb(self.check_invariants());
+        }
+        Ok((self.stats(), log.into_findings()))
+    }
+
+    /// Run one *segment* of a monitored run: advance until `until` (or
+    /// the configured horizon, whichever is first), running the invariant
+    /// monitors every `every` cycles into `log`. Returns `Ok(true)` when
+    /// an error-severity finding aborted the segment at a checkpoint.
+    ///
+    /// This is the resumable core of [`FlitSim::run_monitored`]: because
+    /// checks fire at absolute cycles divisible by `every`, splitting a
+    /// run into segments at *any* cycle boundaries — e.g. snapshotting at
+    /// cycle N, restoring, and continuing — drives the monitors at
+    /// exactly the cycles the uninterrupted run would have, as long as
+    /// one `log` is threaded through all segments. The final
+    /// end-of-horizon check is the caller's job (it belongs after the
+    /// *last* segment only).
+    pub fn run_monitored_until(
+        &mut self,
+        until: u64,
+        every: u64,
+        log: &mut MonitorLog,
+    ) -> Result<bool, SimError> {
         let every = every.max(1);
-        let end = self.cfg.horizon();
-        let mut warned: Vec<RuleId> = Vec::new();
-        let mut report: Vec<Diagnostic> = Vec::new();
-        while self.now < end {
+        let until = until.min(self.cfg.horizon());
+        while self.now < until {
             self.step();
             if let Some(r) = self.watchdog_fired() {
                 return Err(SimError::Deadlock(r));
             }
-            if self.now.is_multiple_of(every) {
-                let mut fatal = false;
-                for d in self.check_invariants() {
-                    if d.severity == Severity::Error {
-                        fatal = true;
-                        report.push(d);
-                    } else if !warned.contains(&d.rule) {
-                        warned.push(d.rule);
-                        report.push(d);
-                    }
-                }
-                if fatal {
-                    return Ok((self.stats(), report));
-                }
+            if self.now.is_multiple_of(every) && log.absorb(self.check_invariants()) {
+                return Ok(true);
             }
         }
-        for d in self.check_invariants() {
-            if d.severity == Severity::Error {
-                report.push(d);
-            } else if !warned.contains(&d.rule) {
-                warned.push(d.rule);
-                report.push(d);
-            }
-        }
-        Ok((self.stats(), report))
+        Ok(false)
     }
 
     /// Advance one cycle. Public so tests and harnesses can single-step.

@@ -178,6 +178,30 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// Export the full 256-bit xoshiro state, so a snapshot can
+        /// capture the stream position exactly.
+        #[inline]
+        pub fn get_state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a state previously exported with
+        /// [`SmallRng::get_state`]. The all-zero state is a fixed point
+        /// of xoshiro (it can never be exported by a live generator),
+        /// so it falls back to the same escape state the seed path
+        /// uses rather than producing a degenerate stream.
+        #[inline]
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return SmallRng {
+                    s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3],
+                };
+            }
+            SmallRng { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {
@@ -240,6 +264,24 @@ mod tests {
         }
         let mut c = SmallRng::seed_from_u64(43);
         assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_stream_exactly() {
+        let mut a = SmallRng::seed_from_u64(42);
+        for _ in 0..37 {
+            a.gen::<u64>(); // advance to a mid-stream position
+        }
+        let state = a.get_state();
+        let mut b = SmallRng::from_state(state);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        assert_eq!(a.get_state(), b.get_state());
+        // The all-zero state (unreachable from a live stream) maps to
+        // the same escape state the seed path uses, never a stuck RNG.
+        let mut z = SmallRng::from_state([0; 4]);
+        assert_ne!(z.gen::<u64>(), z.gen::<u64>());
     }
 
     #[test]

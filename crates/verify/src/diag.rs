@@ -82,6 +82,17 @@ pub enum RuleId {
     /// current fault view: a cached path crosses a link the routing
     /// layer already knows is dead, or the selection holds duplicates.
     RtSelection,
+    /// A simulator snapshot did not round-trip: restoring it and
+    /// re-serializing produced different bytes, or the restored state
+    /// disagreed with the original (stats, conservation ledger).
+    SnapRoundtrip,
+    /// A corrupted, truncated, or version-mismatched snapshot was *not*
+    /// rejected with the expected typed error — the integrity envelope
+    /// (magic, version, length, checksum) failed to catch it.
+    SnapReject,
+    /// Resume equivalence broke: a run snapshotted mid-flight and
+    /// restored diverged from the uninterrupted run by the horizon.
+    SnapResume,
 }
 
 impl RuleId {
@@ -103,6 +114,9 @@ impl RuleId {
             RuleId::RtDuplicate => "RT-DUP",
             RuleId::RtProgress => "RT-PROGRESS",
             RuleId::RtSelection => "RT-SELECT",
+            RuleId::SnapRoundtrip => "SNAP-ROUNDTRIP",
+            RuleId::SnapReject => "SNAP-REJECT",
+            RuleId::SnapResume => "SNAP-RESUME",
         }
     }
 }
