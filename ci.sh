@@ -54,4 +54,78 @@ timeout 120 bash -c '
     echo "resumed document is not byte-identical to the golden" >&2; exit 1; }
 '
 
+echo "==> ctld SIGKILL-and-restart smoke (epoch-fenced controller, 120 s budget)"
+# Reference run: an uninterrupted daemon drains a scripted Poisson fault
+# schedule and reports its routing-state digest. Crash run: the same
+# daemon (same state dir semantics, fresh dir) is SIGKILLed mid-
+# reconvergence — an artificial per-epoch certification delay keeps the
+# window open — restarted against the same state directory, re-driven
+# through the same ticks, and must land on the byte-identical digest.
+# Also exercises chaos-injected certificate failure: the daemon must
+# report degraded mode while serving the last-good epoch, then recover
+# once the injected fault clears.
+cargo build -q --release -p lmpr-ctld --bins
+timeout 120 bash -c '
+  set -euo pipefail
+  dir=$(mktemp -d)
+  trap "rm -rf \"$dir\"" EXIT
+  CTLD=./target/release/ctld
+  CTLC=./target/release/ctlc
+  SCHED=poisson:0.0005:500:3000:9
+
+  # --- Reference: uninterrupted run. ---
+  "$CTLD" --topo 8port2tree --kind disjoint:4 --state-dir "$dir/a" \
+          --socket "$dir/a.sock" --schedule "$SCHED" 2> /dev/null &
+  apid=$!
+  for _ in $(seq 100); do [ -S "$dir/a.sock" ] && break; sleep 0.1; done
+  for t in 500 1000 1500 2000 2500 3000; do
+    "$CTLC" --socket "$dir/a.sock" tick "$t" > /dev/null
+  done
+  ref=$("$CTLC" --socket "$dir/a.sock" digest)
+  "$CTLC" --socket "$dir/a.sock" shutdown > /dev/null
+  wait "$apid"
+
+  # --- Crash run: SIGKILL mid-reconvergence, restart, re-drive. ---
+  "$CTLD" --topo 8port2tree --kind disjoint:4 --state-dir "$dir/b" \
+          --socket "$dir/b.sock" --schedule "$SCHED" \
+          --reconverge-delay-ms 400 2> /dev/null &
+  bpid=$!
+  for _ in $(seq 100); do [ -S "$dir/b.sock" ] && break; sleep 0.1; done
+  "$CTLC" --socket "$dir/b.sock" tick 500 > /dev/null
+  # This tick dies with the daemon; its failure is the point.
+  "$CTLC" --socket "$dir/b.sock" tick 1500 > /dev/null 2>&1 &
+  sleep 0.15   # land inside the artificially slowed reconvergence
+  kill -KILL "$bpid" 2> /dev/null || true
+  wait "$bpid" 2> /dev/null || true
+  rm -f "$dir/b.sock"   # stale socket from the killed process
+  ls "$dir/b"/epoch-*.snap > /dev/null || {
+    echo "no checkpoint survived the kill" >&2; exit 1; }
+
+  "$CTLD" --topo 8port2tree --kind disjoint:4 --state-dir "$dir/b" \
+          --socket "$dir/b.sock" --schedule "$SCHED" 2> /dev/null &
+  bpid=$!
+  for _ in $(seq 100); do [ -S "$dir/b.sock" ] && break; sleep 0.1; done
+  for t in 500 1000 1500 2000 2500 3000; do
+    "$CTLC" --socket "$dir/b.sock" tick "$t" > /dev/null
+  done
+  got=$("$CTLC" --socket "$dir/b.sock" digest)
+  [ "$got" = "$ref" ] || {
+    echo "post-crash digest diverged from the uninterrupted run" >&2
+    echo "  ref: $ref" >&2; echo "  got: $got" >&2; exit 1; }
+
+  # --- Degraded mode: injected cert failure, then recovery. ---
+  "$CTLC" --socket "$dir/b.sock" chaos on > /dev/null
+  "$CTLC" --socket "$dir/b.sock" fault 1 link-down:3 > /dev/null
+  "$CTLC" --socket "$dir/b.sock" status | grep -q "\"mode\": \"degraded\"" || {
+    echo "injected certificate failure did not degrade the daemon" >&2; exit 1; }
+  "$CTLC" --socket "$dir/b.sock" paths 0:5 > /dev/null || {
+    echo "degraded daemon stopped serving the last-good epoch" >&2; exit 1; }
+  "$CTLC" --socket "$dir/b.sock" chaos off > /dev/null
+  "$CTLC" --socket "$dir/b.sock" tick 2000000 > /dev/null
+  "$CTLC" --socket "$dir/b.sock" status | grep -q "\"mode\": \"serving\"" || {
+    echo "daemon did not recover after the injected fault cleared" >&2; exit 1; }
+  "$CTLC" --socket "$dir/b.sock" shutdown > /dev/null
+  wait "$bpid"
+'
+
 echo "CI green."

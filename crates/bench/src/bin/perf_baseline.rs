@@ -111,7 +111,16 @@ fn flitsim_baseline(quick: bool) -> Result<String, Box<Failure>> {
     sim.run().map_err(fail)?;
     let plain_cps = cycles / t0.elapsed().as_secs_f64();
 
-    let schedule = FaultSchedule::poisson(&topo, 5e-5, 1_500.0, cfg.horizon(), 7);
+    // The churn run measures the selection cache, so it must be long
+    // enough to leave the cold-start regime: uniform traffic over
+    // 16 256 SD pairs needs tens of thousands of cycles before repeat
+    // queries (the thing a cache can serve) outnumber first-time
+    // queries (which no cache policy can).
+    let churn_cfg = SimConfig {
+        measure_cycles: if quick { 4_000 } else { 60_000 },
+        ..cfg
+    };
+    let schedule = FaultSchedule::poisson(&topo, 5e-5, 1_500.0, churn_cfg.horizon(), 7);
     let res = ResilienceConfig {
         detect_cycles: 50,
         reconverge_cycles: 150,
@@ -120,7 +129,7 @@ fn flitsim_baseline(quick: bool) -> Result<String, Box<Failure>> {
     let mut sim = FlitSim::with_schedule(
         &topo,
         Disjoint::new(4),
-        cfg,
+        churn_cfg,
         TrafficMode::Uniform,
         schedule,
         FaultPolicy::Drop,
@@ -129,7 +138,7 @@ fn flitsim_baseline(quick: bool) -> Result<String, Box<Failure>> {
     .map_err(fail)?;
     let t0 = Instant::now();
     sim.run().map_err(fail)?;
-    let resilient_cps = cycles / t0.elapsed().as_secs_f64();
+    let resilient_cps = churn_cfg.horizon() as f64 / t0.elapsed().as_secs_f64();
     let hit_rate = sim.selection_stats().hit_rate();
 
     let sweep_cfg = SimConfig {

@@ -29,7 +29,8 @@ pub enum Value {
 }
 
 impl Value {
-    /// Member of an object by key (first occurrence).
+    /// Member of an object by key. The parser rejects duplicate keys, so
+    /// within a parsed document the match is unique.
     pub fn get(&self, key: &str) -> Option<&Value> {
         match self {
             Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
@@ -109,6 +110,18 @@ pub fn parse(text: &str) -> Result<Value, ParseError> {
         return Err(p.err("trailing characters after the document"));
     }
     Ok(v)
+}
+
+/// Parse a complete JSON document from raw bytes, as read off a socket
+/// frame or a journal file. Non-UTF-8 input is a typed [`ParseError`]
+/// at the first invalid byte, never a panic — this is the entry point
+/// the routing-controller wire protocol uses on untrusted payloads.
+pub fn parse_bytes(bytes: &[u8]) -> Result<Value, ParseError> {
+    let text = std::str::from_utf8(bytes).map_err(|e| ParseError {
+        offset: e.valid_up_to(),
+        message: "invalid utf-8 in document",
+    })?;
+    parse(text)
 }
 
 /// Nesting depth bound — the journal is ~4 levels deep; anything past
@@ -206,6 +219,9 @@ impl<'a> Parser<'a> {
         loop {
             self.skip_ws();
             let key = self.string()?;
+            if members.iter().any(|(k, _)| k == &key) {
+                return Err(self.err("duplicate object key"));
+            }
             self.skip_ws();
             self.expect(b':', "expected ':' after member key")?;
             self.skip_ws();
@@ -447,5 +463,36 @@ mod tests {
         let e = parse("[1, @]").expect_err("must fail");
         assert_eq!(e.offset, 4);
         assert!(e.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn duplicate_object_keys_are_rejected() {
+        let e = parse(r#"{"a": 1, "b": 2, "a": 3}"#).expect_err("duplicate key");
+        assert_eq!(e.message, "duplicate object key");
+        // Nested objects get their own key namespace.
+        parse(r#"{"a": {"a": 1}, "b": {"a": 2}}"#).expect("distinct scopes are fine");
+    }
+
+    #[test]
+    fn parse_bytes_rejects_non_utf8_with_the_offset() {
+        let mut doc = br#"{"s": ""#.to_vec();
+        doc.push(0xFF);
+        doc.extend_from_slice(b"\"}");
+        let e = parse_bytes(&doc).expect_err("invalid utf-8");
+        assert_eq!(e.message, "invalid utf-8 in document");
+        assert_eq!(e.offset, 7);
+        assert_eq!(
+            parse_bytes(br#"{"ok": true}"#).expect("valid").get("ok"),
+            Some(&Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn depth_bomb_nesting_is_a_typed_error() {
+        let deep = "[".repeat(1000);
+        let e = parse(&deep).expect_err("depth bomb");
+        assert_eq!(e.message, "nesting too deep");
+        let mixed = "{\"k\": ".repeat(500) + "1" + &"}".repeat(500);
+        assert!(parse(&mixed).is_err());
     }
 }

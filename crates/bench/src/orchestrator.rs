@@ -82,6 +82,34 @@ impl OrchestratorOptions {
             max_cells: None,
         }
     }
+
+    /// The delay before the next attempt of `cell`, after `attempt`
+    /// failures (1-based): capped exponential on `backoff_base`, then
+    /// deterministic seeded jitter scaling it into `[50%, 100%]`. The
+    /// jitter is a pure function of `(cell, attempt)`, so a resumed
+    /// sweep replays the same delays — but distinct cells that fail
+    /// simultaneously (say, a shared deadline misconfiguration) spread
+    /// their retries out instead of herding.
+    pub fn retry_delay(&self, cell: &str, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(16);
+        let base = self
+            .backoff_base
+            .saturating_mul(1u32 << exp)
+            .min(self.backoff_cap);
+        // FNV-1a over the cell id folded with the attempt, then a
+        // splitmix-style finalizer so low-entropy ids still yield
+        // uniform high bits.
+        let mut h = 0xcbf2_9ce4_8422_2325_u64;
+        for &b in cell.as_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut z = (h ^ attempt as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let frac = (z >> 11) as f64 / (1u64 << 53) as f64;
+        base.mul_f64(0.5 + 0.5 * frac)
+    }
 }
 
 /// Why a cell attempt (or the whole cell) was abandoned.
@@ -329,12 +357,9 @@ impl SweepOrchestrator {
                 return Ok(());
             }
             self.persist_journal()?;
-            let exp = self.cells[i].attempts.saturating_sub(1).min(16);
             let delay = self
                 .opts
-                .backoff_base
-                .saturating_mul(1u32 << exp)
-                .min(self.opts.backoff_cap);
+                .retry_delay(&self.cells[i].id, self.cells[i].attempts);
             std::thread::sleep(delay);
         }
     }
@@ -975,11 +1000,58 @@ mod tests {
     #[test]
     fn backoff_is_capped() {
         let opts = OrchestratorOptions::new("/tmp/unused", true);
-        let exp = 30u32.saturating_sub(1).min(16);
-        let delay = opts
-            .backoff_base
-            .saturating_mul(1u32 << exp)
-            .min(opts.backoff_cap);
-        assert_eq!(delay, opts.backoff_cap);
+        // Past the cap the jittered delay lives in [cap/2, cap].
+        for attempt in [7u32, 16, 30, u32::MAX] {
+            let d = opts.retry_delay("sweep-r0-s0", attempt);
+            assert!(d <= opts.backoff_cap, "attempt {attempt}: {d:?} over cap");
+            assert!(
+                d >= opts.backoff_cap / 2,
+                "attempt {attempt}: {d:?} under half-cap"
+            );
+        }
+    }
+
+    #[test]
+    fn retry_delays_are_deterministic_jittered_and_spread() {
+        let opts = OrchestratorOptions::new("/tmp/unused", true);
+
+        // Deterministic: the same (cell, attempt) always waits the same.
+        for attempt in 1..=6 {
+            assert_eq!(
+                opts.retry_delay("sweep-r1-s2", attempt),
+                opts.retry_delay("sweep-r1-s2", attempt),
+            );
+        }
+
+        // Bounded: attempt n sits in [base·2ⁿ⁻¹/2, base·2ⁿ⁻¹] ∩ [0, cap].
+        for attempt in 1..=6 {
+            let base = opts
+                .backoff_base
+                .saturating_mul(1u32 << (attempt - 1))
+                .min(opts.backoff_cap);
+            let d = opts.retry_delay("scripted", attempt);
+            assert!(d <= base, "attempt {attempt}: {d:?} > {base:?}");
+            assert!(d >= base / 2, "attempt {attempt}: {d:?} < {:?}", base / 2);
+        }
+
+        // Anti-herding: simultaneous first retries of different cells
+        // must not collapse onto one instant. With ≥50 ms of jitter
+        // range, requiring ≥3 distinct delays among 6 cells is safe for
+        // any non-degenerate hash.
+        let cells = [
+            "sweep-r0-s0",
+            "sweep-r0-s1",
+            "sweep-r1-s0",
+            "sweep-r1-s1",
+            "sweep-r2-s0",
+            "scripted",
+        ];
+        let mut delays: Vec<Duration> = cells.iter().map(|c| opts.retry_delay(c, 1)).collect();
+        delays.sort();
+        delays.dedup();
+        assert!(
+            delays.len() >= 3,
+            "first-retry delays herd together: {delays:?}"
+        );
     }
 }

@@ -18,20 +18,56 @@
 //!
 //! * a **down** event flushes exactly the entries whose selection
 //!   crosses a newly dead link (the blast radius);
-//! * an **up** event flushes the entries that were previously degraded
-//!   (they may improve or reconnect; pristine entries cannot).
+//! * an **up** event flushes exactly the *degraded* entries whose
+//!   canonical path space touches a recovered link — a degraded
+//!   selection is a pure function of the survival bits of the pair's
+//!   canonical enumeration, so if no canonical path crosses a recovered
+//!   link the selection cannot change (and pristine entries cannot
+//!   improve at all).
 //!
 //! Everything else keeps its selection, so reconvergence cost scales
 //! with the damage, not with the pair count.
 
 use crate::{degrade_selection, RouteError, Router};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use xgft::{FaultChange, FaultSet, PathId, PnId, Topology};
 
 /// Dense SD-pair key for the selection cache.
 pub fn route_key(s: PnId, d: PnId) -> u64 {
     ((s.0 as u64) << 32) | d.0 as u64
 }
+
+/// Multiply–xorshift hasher for [`route_key`]s.
+///
+/// The cache's keys are already uniformly spread 64-bit integers, so the
+/// default SipHash (keyed, DoS-resistant) buys nothing here and costs a
+/// full keyed permutation per probe. One Fibonacci multiply plus a fold
+/// of the high bits mixes every key bit into the table index and keeps
+/// iteration order deterministic across runs (the map is only ever
+/// *iterated* through [`SelectionEngine::cached_keys`], which sorts).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RouteKeyHasher(u64);
+
+impl Hasher for RouteKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic path (unused by u64 keys): FNV-1a fallback.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, key: u64) {
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+type RouteKeyMap = HashMap<u64, CachedSelection, BuildHasherDefault<RouteKeyHasher>>;
 
 /// Invert [`route_key`].
 pub fn route_key_pair(key: u64) -> (PnId, PnId) {
@@ -88,7 +124,7 @@ impl SelectionStats {
 pub struct SelectionEngine<R> {
     router: R,
     view: FaultSet,
-    cache: Option<HashMap<u64, CachedSelection>>,
+    cache: Option<RouteKeyMap>,
     stats: SelectionStats,
 }
 
@@ -121,7 +157,7 @@ impl<R: Router> SelectionEngine<R> {
         SelectionEngine {
             router,
             view,
-            cache: Some(HashMap::new()),
+            cache: Some(RouteKeyMap::default()),
             stats: SelectionStats::default(),
         }
     }
@@ -218,19 +254,50 @@ impl<R: Router> SelectionEngine<R> {
     }
 
     /// Apply a batch of fault changes to the view and flush exactly the
-    /// cached selections the batch invalidates: entries crossing a newly
-    /// dead link (down events) and previously degraded entries (up
-    /// events — they may improve or reconnect; pristine ones cannot).
+    /// cached selections the batch invalidates: entries whose *selected*
+    /// paths cross a newly dead link (down events) and degraded entries
+    /// whose *canonical* path space touches a recovered link (up events
+    /// — the selection is a pure function of the survival bits of the
+    /// pair's canonical enumeration, so recoveries outside that space
+    /// cannot change it, and pristine entries cannot improve at all).
     /// Returns the number of entries flushed.
     pub fn apply_changes(&mut self, topo: &Topology, changes: &[FaultChange]) -> u64 {
+        self.apply_changes_inner(topo, changes, None)
+    }
+
+    /// [`SelectionEngine::apply_changes`], additionally appending the
+    /// [`route_key`] of every flushed entry to `flushed` — the batch's
+    /// observed blast radius. Consumers that must re-certify exactly
+    /// the selections a change batch may have altered (the routing
+    /// controller's per-epoch certificate) scope their audit to these
+    /// keys instead of re-proving every pair.
+    pub fn apply_changes_collect(
+        &mut self,
+        topo: &Topology,
+        changes: &[FaultChange],
+        flushed: &mut Vec<u64>,
+    ) -> u64 {
+        self.apply_changes_inner(topo, changes, Some(flushed))
+    }
+
+    fn apply_changes_inner(
+        &mut self,
+        topo: &Topology,
+        changes: &[FaultChange],
+        mut flushed_keys: Option<&mut Vec<u64>>,
+    ) -> u64 {
         let mut newly_down = FaultSet::new();
-        let mut any_up = false;
+        let mut newly_up = FaultSet::new();
         for &change in changes {
             match change {
                 FaultChange::LinkDown(_) | FaultChange::SwitchDown(_) => {
                     change.apply(topo, &mut newly_down);
                 }
-                FaultChange::LinkUp(_) | FaultChange::SwitchUp(_) => any_up = true,
+                // Recovered elements, expressed as a FaultSet so "does a
+                // canonical path cross a recovered link" is the same
+                // walk as path survival.
+                FaultChange::LinkUp(l) => newly_up.fail_link(l),
+                FaultChange::SwitchUp(n) => newly_up.fail_switch(topo, n),
             }
             change.apply(topo, &mut self.view);
         }
@@ -238,16 +305,29 @@ impl<R: Router> SelectionEngine<R> {
             return 0;
         };
         let before = cache.len();
-        if !newly_down.is_empty() {
+        if !newly_down.is_empty() || !newly_up.is_empty() {
             cache.retain(|&key, sel| {
                 let (s, d) = route_key_pair(key);
-                sel.paths
-                    .iter()
-                    .all(|&p| newly_down.path_survives(topo, s, d, p))
+                let dead = !newly_down.is_empty()
+                    && !sel
+                        .paths
+                        .iter()
+                        .all(|&p| newly_down.path_survives(topo, s, d, p));
+                // Degraded (including cached-disconnected) entries are
+                // re-examined only when a recovery touches the pair's
+                // canonical path space.
+                let improvable = sel.degraded
+                    && !newly_up.is_empty()
+                    && (0..topo.num_paths(s, d))
+                        .any(|p| !newly_up.path_survives(topo, s, d, PathId(p)));
+                if dead || improvable {
+                    if let Some(keys) = flushed_keys.as_deref_mut() {
+                        keys.push(key);
+                    }
+                    return false;
+                }
+                true
             });
-        }
-        if any_up {
-            cache.retain(|_, sel| !sel.degraded);
         }
         let flushed = (before - cache.len()) as u64;
         self.stats.invalidated += flushed;
@@ -503,6 +583,116 @@ mod tests {
         let flushed = engine.apply_changes(&topo, &[FaultChange::LinkUp(link)]);
         assert_eq!(flushed, 1, "recovery flushes exactly the degraded entry");
         assert_eq!(engine.stats().invalidated, 2);
+    }
+
+    #[test]
+    fn up_events_spare_degraded_entries_outside_the_recovery_blast_radius() {
+        let topo = fig3();
+        // Two level-2 up-links in different subtrees: (0, 63) can cross
+        // the first, (16, 31) only the second (both pairs NCA at level
+        // 2+ — pick pairs whose canonical spaces are disjoint at the
+        // failed level's subtree).
+        let link_a = topo.up_link(2, 0, 0);
+        let link_b = topo.up_link(2, 7, 1);
+        let mut engine = SelectionEngine::cached(ShiftOne::new(8), FaultSet::new());
+        let mut out = Vec::new();
+        engine.apply_changes(
+            &topo,
+            &[FaultChange::LinkDown(link_a), FaultChange::LinkDown(link_b)],
+        );
+        engine.select(&topo, PnId(0), PnId(63), &mut out); // degraded via link_a
+        engine.select(&topo, PnId(28), PnId(19), &mut out); // degraded via link_b
+        assert_eq!(engine.cache_len(), 2);
+        let degraded = engine
+            .cached_selections()
+            .iter()
+            .filter(|(_, _, sel)| sel.degraded)
+            .count();
+        assert_eq!(degraded, 2, "both entries must be degraded");
+        // Recovering link_a must flush only the pair whose canonical
+        // space contains it — the other degraded entry is untouched.
+        let flushed = engine.apply_changes(&topo, &[FaultChange::LinkUp(link_a)]);
+        assert_eq!(
+            flushed, 1,
+            "recovery must flush only the blast-radius entry"
+        );
+        assert_eq!(engine.cache_len(), 1);
+    }
+
+    /// Regression for the 24 % steady-state hit rate: under uniform
+    /// repeated queries with Poisson fault churn, recoveries used to
+    /// flush *every* degraded entry network-wide, so each repair dumped
+    /// thousands of selections. With recovery invalidation scoped to
+    /// the canonical-path blast radius, steady-state traffic must be
+    /// answered overwhelmingly from the cache.
+    #[test]
+    fn steady_state_churn_traffic_is_mostly_cache_hits() {
+        let topo = fig3();
+        let schedule = FaultSchedule::poisson(&topo, 5e-5, 1_500.0, 10_000, 11);
+        assert!(!schedule.is_empty());
+        let mut engine = SelectionEngine::cached(ShiftOne::new(4), FaultSet::new());
+        let n = topo.num_pns();
+        let mut out = Vec::new();
+        let sweep = |engine: &mut SelectionEngine<ShiftOne>, out: &mut Vec<PathId>| {
+            for s in 0..n {
+                for d in 0..n {
+                    if s != d {
+                        engine.select(&topo, PnId(s), PnId(d), out);
+                    }
+                }
+            }
+        };
+        // Warm sweep, then steady state: traffic requeries every pair
+        // several times between 500-cycle batches of fault events (the
+        // flit-sim regime — traffic is much faster than fault churn).
+        sweep(&mut engine, &mut out);
+        let warm = engine.stats();
+        assert_eq!(warm.misses, (n as u64) * (n as u64 - 1));
+        let mut from = 0u64;
+        for through in (500..=10_000u64).step_by(500) {
+            let changes: Vec<FaultChange> = schedule
+                .events_between(from, through)
+                .iter()
+                .map(|e| e.change)
+                .collect();
+            engine.apply_changes(&topo, &changes);
+            from = through + 1;
+            for _ in 0..4 {
+                sweep(&mut engine, &mut out);
+            }
+        }
+        let stats = engine.stats();
+        let steady_hits = stats.hits;
+        let steady_misses = stats.misses - warm.misses;
+        let rate = steady_hits as f64 / (steady_hits + steady_misses) as f64;
+        assert!(
+            stats.invalidated > 0,
+            "the churn must actually flush entries"
+        );
+        assert!(
+            rate > 0.85,
+            "steady-state uniform traffic must be mostly cache hits, got {rate:.3}"
+        );
+    }
+
+    #[test]
+    fn apply_changes_collect_reports_the_flushed_keys() {
+        let topo = fig3();
+        let link = topo.up_link(2, 0, 0);
+        let mut engine = SelectionEngine::cached(ShiftOne::new(8), FaultSet::new());
+        let mut out = Vec::new();
+        engine.select(&topo, PnId(0), PnId(63), &mut out);
+        engine.select(&topo, PnId(1), PnId(0), &mut out);
+        let mut flushed = Vec::new();
+        let n = engine.apply_changes_collect(&topo, &[FaultChange::LinkDown(link)], &mut flushed);
+        assert_eq!(n, 1);
+        assert_eq!(flushed, vec![route_key(PnId(0), PnId(63))]);
+        // The recovery flushes the same (now degraded) entry.
+        engine.select(&topo, PnId(0), PnId(63), &mut out);
+        flushed.clear();
+        let n = engine.apply_changes_collect(&topo, &[FaultChange::LinkUp(link)], &mut flushed);
+        assert_eq!(n, 1);
+        assert_eq!(flushed, vec![route_key(PnId(0), PnId(63))]);
     }
 
     #[test]

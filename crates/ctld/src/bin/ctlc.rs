@@ -1,0 +1,189 @@
+//! Command-line client for the routing-controller daemon.
+//!
+//! ```text
+//! ctlc --socket /run/ctld.sock status
+//! ctlc --socket S digest
+//! ctlc --socket S tick 5000
+//! ctlc --socket S fault 3 link-down:17 switch-down:2:1
+//! ctlc --socket S paths [--epoch N] [--deadline-ms N] 0:63 12:3
+//! ctlc --socket S chaos on|off
+//! ctlc --socket S shutdown
+//! ```
+//!
+//! Prints the server's JSON reply on stdout. Exit status: 0 for an
+//! `ok` reply, 2 for a typed rejection, 1 for transport or usage
+//! errors. `paths` without `--epoch` first fetches the current epoch
+//! with a `status` round trip (the fenced-read idiom).
+
+use lmpr_ctld::{read_frame, write_frame, ChangeSpec, Request, Response};
+use std::os::unix::net::UnixStream;
+
+fn roundtrip(stream: &mut UnixStream, req: &Request) -> Result<(String, Response), String> {
+    write_frame(stream, req.to_json().as_bytes()).map_err(|e| e.to_string())?;
+    let payload = read_frame(stream).map_err(|e| e.to_string())?;
+    let text = String::from_utf8_lossy(&payload).into_owned();
+    let resp = Response::decode(&payload).map_err(|e| e.to_string())?;
+    Ok((text, resp))
+}
+
+fn parse_change(spec: &str) -> Result<ChangeSpec, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let u32of = |s: &str| {
+        s.parse::<u32>()
+            .map_err(|e| format!("bad id in {spec:?}: {e}"))
+    };
+    let u8of = |s: &str| {
+        s.parse::<u8>()
+            .map_err(|e| format!("bad level in {spec:?}: {e}"))
+    };
+    match parts.as_slice() {
+        ["link-down", l] => Ok(ChangeSpec::LinkDown(u32of(l)?)),
+        ["link-up", l] => Ok(ChangeSpec::LinkUp(u32of(l)?)),
+        ["switch-down", lvl, r] => Ok(ChangeSpec::SwitchDown(u8of(lvl)?, u32of(r)?)),
+        ["switch-up", lvl, r] => Ok(ChangeSpec::SwitchUp(u8of(lvl)?, u32of(r)?)),
+        _ => Err(format!(
+            "bad change {spec:?}; expected link-down:ID, link-up:ID, \
+             switch-down:LEVEL:RANK or switch-up:LEVEL:RANK"
+        )),
+    }
+}
+
+fn parse_pair(spec: &str) -> Result<(u32, u32), String> {
+    match spec.split_once(':') {
+        Some((s, d)) => {
+            let s = s.parse().map_err(|e| format!("bad pair {spec:?}: {e}"))?;
+            let d = d.parse().map_err(|e| format!("bad pair {spec:?}: {e}"))?;
+            Ok((s, d))
+        }
+        None => Err(format!("bad pair {spec:?}; expected SRC:DST")),
+    }
+}
+
+fn run() -> Result<i32, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut socket = String::new();
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        if argv[i] == "--socket" {
+            socket = argv
+                .get(i + 1)
+                .cloned()
+                .ok_or("--socket requires a value")?;
+            i += 2;
+        } else {
+            rest.push(argv[i].clone());
+            i += 1;
+        }
+    }
+    if socket.is_empty() || rest.is_empty() {
+        return Err(
+            "usage: ctlc --socket PATH <status|digest|tick|fault|paths|chaos|shutdown> ..."
+                .to_owned(),
+        );
+    }
+    let mut stream =
+        UnixStream::connect(&socket).map_err(|e| format!("cannot connect to {socket}: {e}"))?;
+
+    let cmd = rest[0].as_str();
+    let tail = &rest[1..];
+    let req = match cmd {
+        "status" => Request::Status,
+        "digest" => Request::Digest,
+        "shutdown" => Request::Shutdown,
+        "tick" => {
+            let to = tail
+                .first()
+                .ok_or("tick requires a target time")?
+                .parse()
+                .map_err(|e| format!("bad tick target: {e}"))?;
+            Request::Tick { to }
+        }
+        "chaos" => {
+            let on = match tail.first().map(String::as_str) {
+                Some("on") => true,
+                Some("off") => false,
+                _ => return Err("chaos requires on|off".to_owned()),
+            };
+            Request::Chaos { fail_certs: on }
+        }
+        "fault" => {
+            let batch_id = tail
+                .first()
+                .ok_or("fault requires a batch id")?
+                .parse()
+                .map_err(|e| format!("bad batch id: {e}"))?;
+            let mut changes = Vec::new();
+            for spec in &tail[1..] {
+                changes.push(parse_change(spec)?);
+            }
+            Request::Fault { batch_id, changes }
+        }
+        "paths" => {
+            let mut epoch: Option<u64> = None;
+            let mut deadline_ms = None;
+            let mut pairs = Vec::new();
+            let mut j = 0;
+            while j < tail.len() {
+                match tail[j].as_str() {
+                    "--epoch" => {
+                        epoch = Some(
+                            tail.get(j + 1)
+                                .ok_or("--epoch requires a value")?
+                                .parse()
+                                .map_err(|e| format!("bad epoch: {e}"))?,
+                        );
+                        j += 2;
+                    }
+                    "--deadline-ms" => {
+                        deadline_ms = Some(
+                            tail.get(j + 1)
+                                .ok_or("--deadline-ms requires a value")?
+                                .parse()
+                                .map_err(|e| format!("bad deadline: {e}"))?,
+                        );
+                        j += 2;
+                    }
+                    spec => {
+                        pairs.push(parse_pair(spec)?);
+                        j += 1;
+                    }
+                }
+            }
+            let epoch = match epoch {
+                Some(e) => e,
+                None => {
+                    // Fenced-read idiom: learn the current epoch first.
+                    let (_, resp) = roundtrip(&mut stream, &Request::Status)?;
+                    match resp {
+                        Response::Status { epoch, .. } => epoch,
+                        other => return Err(format!("unexpected status reply: {other:?}")),
+                    }
+                }
+            };
+            Request::Paths {
+                epoch,
+                deadline_ms,
+                pairs,
+            }
+        }
+        other => return Err(format!("unknown command {other:?}")),
+    };
+
+    let (text, resp) = roundtrip(&mut stream, &req)?;
+    println!("{text}");
+    Ok(match resp {
+        Response::Error { .. } => 2,
+        _ => 0,
+    })
+}
+
+fn main() {
+    match run() {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("ctlc: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,534 @@
+//! The epoch-fenced reconvergence state machine.
+//!
+//! A [`Controller`] owns one routing state at a time — the **committed
+//! epoch** — and moves between exactly two modes:
+//!
+//! ```text
+//!            certificate passes: epoch += 1, checkpoint
+//!   Serving ──────────────────────────────────────────▶ Serving
+//!      │                                                   ▲
+//!      │ certificate fails                                 │ retry passes
+//!      ▼                                                   │
+//!   Degraded { attempts, next_retry_at } ──────────────────┘
+//!      │   ▲
+//!      └───┘ retry fails: attempts += 1, backoff doubles (capped)
+//! ```
+//!
+//! Fault changes (live feed batches or replayed schedule events) are
+//! staged in `pending`; a reconvergence applies them to the selection
+//! engine, computes the blast radius via
+//! [`SelectionEngine::apply_changes_collect`], and asks `lmpr-verify`
+//! for the epoch certificate *before* activation. Only a certified
+//! state is committed: the epoch number advances, the root state is
+//! checkpointed atomically, and the changes leave `pending`. A failed
+//! certificate rolls the engine back to the committed view and keeps
+//! serving it — degraded, but correct.
+//!
+//! All timing is a **logical clock** (`now`, advanced by `tick`), so
+//! the whole machine — epochs, backoff, schedule replay — is a pure
+//! function of the fault feed. That purity is what the kill-and-resume
+//! byte-identity test exploits: crash anywhere, restart from the last
+//! checkpoint, replay the same ticks, and every subsequent answer is
+//! identical to the uninterrupted run's.
+
+use crate::store::{Checkpoint, Store, StoreError};
+use crate::wire::ChangeSpec;
+use lmpr_core::{route_key_pair, Router, RouterKind, SelectionEngine};
+use lmpr_verify::{certify_epoch, EpochScope, Report, RuleId, Severity};
+use std::fmt;
+use std::path::PathBuf;
+use std::time::Instant;
+use xgft::{FaultChange, FaultSchedule, FaultSet, PnId, Topology};
+
+/// Configuration of one controller instance.
+#[derive(Debug, Clone)]
+pub struct CtlConfig {
+    /// Topology name resolved via [`lmpr_bench::topology_by_name`].
+    pub topo_name: String,
+    /// Routing scheme.
+    pub kind: RouterKind,
+    /// Checkpoint directory.
+    pub state_dir: PathBuf,
+    /// Replayed fault timeline (empty when the feed is socket-only).
+    pub schedule: FaultSchedule,
+    /// First degraded-mode retry delay, in logical ticks.
+    pub backoff_base_ticks: u64,
+    /// Upper bound on the retry delay, in logical ticks.
+    pub backoff_cap_ticks: u64,
+    /// Checkpoints retained on disk.
+    pub retain_checkpoints: usize,
+    /// Certify each epoch on the change batch's blast radius (true,
+    /// the default) or re-run the full analysis every time.
+    pub scoped_certs: bool,
+    /// Test hook: sleep this long inside each reconvergence, so a
+    /// SIGKILL can land mid-reconvergence deterministically.
+    pub reconverge_delay_ms: u64,
+}
+
+impl CtlConfig {
+    /// Defaults for a topology/scheme pair: scoped certificates,
+    /// 100-tick → 10 000-tick backoff, 8 retained checkpoints.
+    pub fn new(
+        topo_name: impl Into<String>,
+        kind: RouterKind,
+        state_dir: impl Into<PathBuf>,
+    ) -> Self {
+        CtlConfig {
+            topo_name: topo_name.into(),
+            kind,
+            state_dir: state_dir.into(),
+            schedule: FaultSchedule::new(),
+            backoff_base_ticks: 100,
+            backoff_cap_ticks: 10_000,
+            retain_checkpoints: 8,
+            scoped_certs: true,
+            reconverge_delay_ms: 0,
+        }
+    }
+}
+
+/// The controller's serving mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// The committed epoch is certified and current.
+    Serving,
+    /// The last reconvergence's certificate failed; the last-good epoch
+    /// is still served while retries back off.
+    Degraded {
+        /// Failed certification attempts so far.
+        attempts: u32,
+        /// Logical tick at or after which the next retry runs.
+        next_retry_at: u64,
+    },
+}
+
+impl Mode {
+    /// Stable wire tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Mode::Serving => "serving",
+            Mode::Degraded { .. } => "degraded",
+        }
+    }
+}
+
+/// Errors the controller can surface to its caller.
+#[derive(Debug)]
+pub enum CtlError {
+    /// The configured topology name is unknown.
+    UnknownTopology(String),
+    /// Checkpoint store failure.
+    Store(StoreError),
+    /// The genesis (epoch 0) state failed full verification — there is
+    /// no last-good epoch to degrade to, so startup is refused.
+    GenesisCertificate(String),
+    /// A query batch carried a stale or future epoch.
+    EpochFenced {
+        /// The epoch the client sent.
+        client: u64,
+        /// The server's current epoch.
+        server: u64,
+    },
+    /// A fault batch skipped ahead of the feed cursor.
+    FeedGap {
+        /// The id the batch carried.
+        got: u64,
+        /// The id the controller expected next.
+        expected: u64,
+    },
+    /// A queried processing-node id is out of range.
+    BadPair(u32, u32),
+}
+
+impl fmt::Display for CtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtlError::UnknownTopology(name) => write!(f, "unknown topology {name:?}"),
+            CtlError::Store(e) => write!(f, "{e}"),
+            CtlError::GenesisCertificate(m) => {
+                write!(f, "genesis state failed verification: {m}")
+            }
+            CtlError::EpochFenced { client, server } => write!(
+                f,
+                "epoch fence: client batch at epoch {client}, server at epoch {server}"
+            ),
+            CtlError::FeedGap { got, expected } => {
+                write!(f, "fault feed gap: got batch {got}, expected {expected}")
+            }
+            CtlError::BadPair(s, d) => write!(f, "pair ({s}, {d}) is out of range"),
+        }
+    }
+}
+
+impl std::error::Error for CtlError {}
+
+impl From<StoreError> for CtlError {
+    fn from(e: StoreError) -> Self {
+        CtlError::Store(e)
+    }
+}
+
+/// Snapshot of the controller's observable state for `status` replies.
+#[derive(Debug, Clone)]
+pub struct StatusInfo {
+    /// Current committed epoch.
+    pub epoch: u64,
+    /// Serving mode.
+    pub mode: Mode,
+    /// Logical clock.
+    pub now: u64,
+    /// Staged, uncommitted fault changes.
+    pub pending: u64,
+    /// Highest committed feed batch id.
+    pub committed_batch_id: u64,
+    /// Committed reconvergences since this process started.
+    pub reconv_count: u64,
+    /// Their total wall-clock latency, microseconds.
+    pub reconv_total_us: u64,
+    /// The single worst latency, microseconds.
+    pub reconv_max_us: u64,
+}
+
+/// The routing-controller state machine. See the module docs for the
+/// epoch/degraded lifecycle.
+pub struct Controller {
+    cfg: CtlConfig,
+    topo: Topology,
+    label: String,
+    engine: SelectionEngine<RouterKind>,
+    /// The committed fault view — what `engine` is rolled back to when
+    /// a certificate fails.
+    committed_view: FaultSet,
+    epoch: u64,
+    now: u64,
+    /// Schedule events at or before this tick are committed state.
+    drained_through: u64,
+    /// In-memory high-water mark of drained schedule events (resets to
+    /// `drained_through` on restart, which is exactly what makes a
+    /// crashed drain re-run).
+    drained_inflight: u64,
+    committed_batch_id: u64,
+    /// In-memory high-water mark of ingested feed batches.
+    highest_ingested: u64,
+    pending: Vec<FaultChange>,
+    mode: Mode,
+    chaos_fail_certs: bool,
+    store: Store,
+    reconv_count: u64,
+    reconv_total_us: u64,
+    reconv_max_us: u64,
+}
+
+impl Controller {
+    /// Start a controller: resume from the newest valid checkpoint in
+    /// `state_dir`, or bootstrap epoch 0 by fully verifying the
+    /// fault-free state and committing the genesis checkpoint.
+    pub fn start(cfg: CtlConfig) -> Result<(Self, Report), CtlError> {
+        let (label, topo) = lmpr_bench::topology_by_name(&cfg.topo_name)
+            .ok_or_else(|| CtlError::UnknownTopology(cfg.topo_name.clone()))?;
+        let store = Store::open(&cfg.state_dir, cfg.retain_checkpoints)?;
+        match store.load_latest() {
+            Ok(cp) => {
+                let view = cp.view(&topo);
+                let engine = SelectionEngine::cached(cfg.kind, view.clone());
+                let ctl = Controller {
+                    topo,
+                    label,
+                    engine,
+                    committed_view: view,
+                    epoch: cp.epoch,
+                    now: cp.now,
+                    drained_through: cp.drained_through,
+                    drained_inflight: cp.drained_through,
+                    committed_batch_id: cp.committed_batch_id,
+                    highest_ingested: cp.committed_batch_id,
+                    pending: Vec::new(),
+                    mode: Mode::Serving,
+                    chaos_fail_certs: false,
+                    store,
+                    reconv_count: 0,
+                    reconv_total_us: 0,
+                    reconv_max_us: 0,
+                    cfg,
+                };
+                // The resumed epoch was certified when it was committed;
+                // the empty report records the clean resume.
+                let report = Report::new(&ctl.label, ctl.cfg.kind.name());
+                Ok((ctl, report))
+            }
+            Err(StoreError::NoCheckpoint) => {
+                // Genesis: epoch 0 is the fault-free state, certified at
+                // full scope (CDG + coverage over every pair). Later
+                // scoped certificates inherit this CDG proof.
+                let faults = FaultSet::new();
+                let report = certify_epoch(&topo, &label, cfg.kind, &faults, EpochScope::Full);
+                if !report.certified() {
+                    let first = report
+                        .findings
+                        .iter()
+                        .find(|d| d.severity == Severity::Error)
+                        .map(|d| d.to_string())
+                        .unwrap_or_else(|| "unknown finding".to_owned());
+                    return Err(CtlError::GenesisCertificate(first));
+                }
+                let engine = SelectionEngine::cached(cfg.kind, faults.clone());
+                let ctl = Controller {
+                    topo,
+                    label,
+                    engine,
+                    committed_view: faults,
+                    epoch: 0,
+                    now: 0,
+                    drained_through: 0,
+                    drained_inflight: 0,
+                    committed_batch_id: 0,
+                    highest_ingested: 0,
+                    pending: Vec::new(),
+                    mode: Mode::Serving,
+                    chaos_fail_certs: false,
+                    store,
+                    reconv_count: 0,
+                    reconv_total_us: 0,
+                    reconv_max_us: 0,
+                    cfg,
+                };
+                ctl.checkpoint()?;
+                Ok((ctl, report))
+            }
+            Err(e) => Err(CtlError::Store(e)),
+        }
+    }
+
+    /// The topology being routed.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Current committed epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Current serving mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Logical clock.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Toggle injected certificate failure (the chaos hook the degraded
+    /// smoke uses).
+    pub fn set_chaos_fail_certs(&mut self, on: bool) {
+        self.chaos_fail_certs = on;
+    }
+
+    /// Observable state for `status` replies.
+    pub fn status(&self) -> StatusInfo {
+        StatusInfo {
+            epoch: self.epoch,
+            mode: self.mode,
+            now: self.now,
+            pending: self.pending.len() as u64,
+            committed_batch_id: self.committed_batch_id,
+            reconv_count: self.reconv_count,
+            reconv_total_us: self.reconv_total_us,
+            reconv_max_us: self.reconv_max_us,
+        }
+    }
+
+    /// Advance the logical clock to `to` (monotone; earlier targets are
+    /// no-ops): drain schedule events newly visible in
+    /// `(drained_inflight, to]` into the pending set, then reconverge
+    /// if there is staged work — or, in degraded mode, if the backoff
+    /// has elapsed.
+    pub fn tick(&mut self, to: u64) -> Result<(), CtlError> {
+        if to > self.now {
+            self.now = to;
+        }
+        if self.now > self.drained_inflight {
+            let events = self
+                .cfg
+                .schedule
+                .events_between(self.drained_inflight + 1, self.now);
+            self.pending.extend(events.iter().map(|e| e.change));
+            self.drained_inflight = self.now;
+        }
+        let retry_due = match self.mode {
+            Mode::Serving => true,
+            Mode::Degraded { next_retry_at, .. } => self.now >= next_retry_at,
+        };
+        if !self.pending.is_empty() && retry_due {
+            self.try_reconverge()?;
+        }
+        Ok(())
+    }
+
+    /// Ingest a fault-feed batch (at-least-once delivery). Returns
+    /// `Ok(false)` for an already-ingested duplicate, `Ok(true)` when
+    /// the batch was staged (and a reconvergence attempted).
+    pub fn ingest(&mut self, batch_id: u64, changes: &[ChangeSpec]) -> Result<bool, CtlError> {
+        if batch_id <= self.highest_ingested {
+            return Ok(false);
+        }
+        if batch_id != self.highest_ingested + 1 {
+            return Err(CtlError::FeedGap {
+                got: batch_id,
+                expected: self.highest_ingested + 1,
+            });
+        }
+        self.pending.extend(changes.iter().map(|c| c.to_change()));
+        self.highest_ingested = batch_id;
+        // New facts may clear a failing certificate, so degraded mode
+        // retries immediately on ingest rather than waiting out the
+        // backoff (the backoff only paces retries with *no* new
+        // information).
+        self.try_reconverge()?;
+        Ok(true)
+    }
+
+    /// Answer an epoch-fenced query batch. `client_epoch` must equal
+    /// the current epoch — otherwise the batch spans two routing
+    /// generations and is rejected so the reader can refetch.
+    pub fn paths(
+        &mut self,
+        client_epoch: u64,
+        pairs: &[(u32, u32)],
+    ) -> Result<Vec<Vec<u64>>, CtlError> {
+        if client_epoch != self.epoch {
+            return Err(CtlError::EpochFenced {
+                client: client_epoch,
+                server: self.epoch,
+            });
+        }
+        let n = self.topo.num_pns();
+        let mut out = Vec::with_capacity(pairs.len());
+        let mut scratch = Vec::new();
+        for &(s, d) in pairs {
+            if s >= n || d >= n {
+                return Err(CtlError::BadPair(s, d));
+            }
+            // Disconnected pairs answer with an empty list (the typed
+            // signal); `select` leaves scratch empty for them.
+            self.engine
+                .select(&self.topo, PnId(s), PnId(d), &mut scratch);
+            out.push(scratch.iter().map(|p| p.0).collect());
+        }
+        Ok(out)
+    }
+
+    /// Semantic digest of the complete routing state at the current
+    /// epoch: FNV-1a over every ordered pair's selected path ids. Two
+    /// controllers with equal digests answer every query identically —
+    /// the equivalence the kill-and-resume smoke asserts.
+    pub fn digest(&mut self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325_u64;
+        let mut mix = |x: u64| {
+            for b in x.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(self.epoch);
+        let n = self.topo.num_pns();
+        let mut scratch = Vec::new();
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                self.engine
+                    .select(&self.topo, PnId(s), PnId(d), &mut scratch);
+                mix(((s as u64) << 32) | d as u64);
+                mix(scratch.len() as u64);
+                for p in &scratch {
+                    mix(p.0);
+                }
+            }
+        }
+        h
+    }
+
+    /// Attempt to certify and commit the staged changes as a new epoch.
+    fn try_reconverge(&mut self) -> Result<(), CtlError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let started = Instant::now();
+        let mut flushed = Vec::new();
+        self.engine
+            .apply_changes_collect(&self.topo, &self.pending, &mut flushed);
+        if self.cfg.reconverge_delay_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(
+                self.cfg.reconverge_delay_ms,
+            ));
+        }
+        let candidate_view = self.engine.view().clone();
+        let pairs: Vec<(PnId, PnId)> = flushed.iter().map(|&k| route_key_pair(k)).collect();
+        let scope = if self.cfg.scoped_certs {
+            EpochScope::Pairs(&pairs)
+        } else {
+            EpochScope::Full
+        };
+        let mut report = certify_epoch(
+            &self.topo,
+            &self.label,
+            self.cfg.kind,
+            &candidate_view,
+            scope,
+        );
+        if self.chaos_fail_certs {
+            report.findings.push(lmpr_verify::Diagnostic::error(
+                RuleId::CtlCertificate,
+                "injected certificate failure (chaos hook)".to_owned(),
+                lmpr_verify::Witness::None,
+            ));
+        }
+        if report.certified() {
+            self.epoch += 1;
+            self.committed_view = candidate_view;
+            self.drained_through = self.drained_inflight;
+            self.committed_batch_id = self.highest_ingested;
+            self.pending.clear();
+            self.mode = Mode::Serving;
+            self.checkpoint()?;
+            let us = started.elapsed().as_micros() as u64;
+            self.reconv_count += 1;
+            self.reconv_total_us += us;
+            self.reconv_max_us = self.reconv_max_us.max(us);
+        } else {
+            // Roll back to the committed view (cold cache — correctness
+            // over warmth on this rare path) and keep serving it.
+            self.engine = SelectionEngine::cached(self.cfg.kind, self.committed_view.clone());
+            let attempts = match self.mode {
+                Mode::Degraded { attempts, .. } => attempts + 1,
+                Mode::Serving => 1,
+            };
+            let shift = u32::min(attempts.saturating_sub(1), 32);
+            let delay = self
+                .cfg
+                .backoff_base_ticks
+                .saturating_mul(1u64 << shift)
+                .min(self.cfg.backoff_cap_ticks);
+            self.mode = Mode::Degraded {
+                attempts,
+                next_retry_at: self.now.saturating_add(delay),
+            };
+        }
+        Ok(())
+    }
+
+    /// Persist the committed root state.
+    fn checkpoint(&self) -> Result<(), CtlError> {
+        let cp = Checkpoint::from_view(
+            self.epoch,
+            self.now,
+            self.drained_through,
+            self.committed_batch_id,
+            &self.committed_view,
+        );
+        self.store.commit(&cp)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,292 @@
+//! Unix-domain-socket front end: bounded queue, deadlines, typed
+//! rejections.
+//!
+//! One thread — the caller of [`serve`] — owns the [`Controller`] and
+//! drains a bounded work queue. Connection threads only parse frames
+//! and enqueue; when the queue is full they answer the typed
+//! `overload` rejection **themselves**, so backpressure costs the
+//! controller nothing. A request carrying `deadline_ms` that is still
+//! queued when the budget lapses is answered with the typed `deadline`
+//! rejection at dequeue instead of being served late.
+//!
+//! Shutdown is orderly: the `shutdown` op is acknowledged, the queue
+//! is closed, the acceptor is unblocked with a self-connection, and
+//! the socket file is removed.
+
+use crate::controller::{Controller, CtlError, Mode};
+use crate::wire::{read_frame, write_frame, ErrorCode, Request, Response};
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Server tuning.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Path of the Unix domain socket to bind.
+    pub socket_path: PathBuf,
+    /// Bound on queued requests; overflow is rejected as `overload`.
+    pub queue_cap: usize,
+}
+
+impl ServerConfig {
+    /// A server on `socket_path` with a 64-request queue.
+    pub fn new(socket_path: impl Into<PathBuf>) -> Self {
+        ServerConfig {
+            socket_path: socket_path.into(),
+            queue_cap: 64,
+        }
+    }
+}
+
+/// One queued request with its reply channel and enqueue time.
+struct Job {
+    req: Request,
+    enqueued: Instant,
+    reply: SyncSender<Response>,
+}
+
+fn degraded_attempts(mode: Mode) -> u64 {
+    match mode {
+        Mode::Serving => 0,
+        Mode::Degraded { attempts, .. } => attempts as u64,
+    }
+}
+
+/// Map a controller-level rejection onto the wire.
+fn error_response(ctl: &Controller, e: &CtlError) -> Response {
+    let code = match e {
+        CtlError::EpochFenced { .. } => ErrorCode::EpochFenced,
+        CtlError::FeedGap { .. } | CtlError::BadPair(..) => ErrorCode::BadRequest,
+        _ => ErrorCode::BadRequest,
+    };
+    Response::Error {
+        code,
+        epoch: ctl.epoch(),
+        mode: ctl.mode().tag().to_owned(),
+        message: e.to_string(),
+    }
+}
+
+/// Execute one request against the controller. Storage failures are
+/// returned as `Err` to stop the server (a controller that cannot
+/// checkpoint must not keep publishing epochs); everything
+/// client-provoked is a typed in-band response.
+fn dispatch(ctl: &mut Controller, req: &Request) -> Result<Response, CtlError> {
+    let mode = ctl.mode().tag().to_owned();
+    match req {
+        Request::Hello | Request::Status => {
+            let s = ctl.status();
+            Ok(Response::Status {
+                epoch: s.epoch,
+                mode,
+                now: s.now,
+                pending: s.pending,
+                committed_batch_id: s.committed_batch_id,
+                reconv_count: s.reconv_count,
+                reconv_total_us: s.reconv_total_us,
+                reconv_max_us: s.reconv_max_us,
+                degraded_attempts: degraded_attempts(s.mode),
+            })
+        }
+        Request::Digest => {
+            let digest = ctl.digest();
+            Ok(Response::Digest {
+                epoch: ctl.epoch(),
+                mode,
+                digest: format!("{digest:016x}"),
+            })
+        }
+        Request::Paths { epoch, pairs, .. } => match ctl.paths(*epoch, pairs) {
+            Ok(paths) => Ok(Response::Paths {
+                epoch: ctl.epoch(),
+                mode,
+                paths,
+            }),
+            Err(e @ (CtlError::EpochFenced { .. } | CtlError::BadPair(..))) => {
+                Ok(error_response(ctl, &e))
+            }
+            Err(e) => Err(e),
+        },
+        Request::Fault { batch_id, changes } => match ctl.ingest(*batch_id, changes) {
+            Ok(applied) => Ok(Response::Fault {
+                epoch: ctl.epoch(),
+                mode: ctl.mode().tag().to_owned(),
+                batch_id: *batch_id,
+                applied,
+            }),
+            Err(e @ CtlError::FeedGap { .. }) => Ok(error_response(ctl, &e)),
+            Err(e) => Err(e),
+        },
+        Request::Tick { to } => {
+            ctl.tick(*to)?;
+            Ok(Response::Tick {
+                epoch: ctl.epoch(),
+                mode: ctl.mode().tag().to_owned(),
+                now: ctl.now(),
+            })
+        }
+        Request::Chaos { fail_certs } => {
+            ctl.set_chaos_fail_certs(*fail_certs);
+            Ok(Response::Chaos {
+                epoch: ctl.epoch(),
+                mode,
+                fail_certs: *fail_certs,
+            })
+        }
+        Request::Shutdown => Ok(Response::Shutdown {
+            epoch: ctl.epoch(),
+            mode,
+        }),
+    }
+}
+
+/// Handle one connection: read frames, enqueue jobs, relay replies.
+/// Runs until the peer closes, a frame is unreadable, or the server
+/// shuts down. `shutdown_ack` fires once a `shutdown` acknowledgement
+/// has actually been written to the peer, so [`serve`] can let the
+/// process exit without racing the reply onto the wire.
+fn handle_connection(mut stream: UnixStream, queue: SyncSender<Job>, shutdown_ack: SyncSender<()>) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(p) => p,
+            Err(_) => return, // EOF or broken peer; nothing to answer
+        };
+        let req = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                let resp = Response::Error {
+                    code: ErrorCode::BadRequest,
+                    epoch: 0,
+                    mode: "unknown".to_owned(),
+                    message: e.to_string(),
+                };
+                if write_frame(&mut stream, resp.to_json().as_bytes()).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let is_shutdown = matches!(req, Request::Shutdown);
+        let (rtx, rrx) = sync_channel(1);
+        let job = Job {
+            req,
+            enqueued: Instant::now(),
+            reply: rtx,
+        };
+        let resp = match queue.try_send(job) {
+            Ok(()) => match rrx.recv() {
+                Ok(resp) => resp,
+                Err(_) => Response::Error {
+                    code: ErrorCode::Overload,
+                    epoch: 0,
+                    mode: "unknown".to_owned(),
+                    message: "server shutting down".to_owned(),
+                },
+            },
+            Err(TrySendError::Full(_)) => Response::Error {
+                code: ErrorCode::Overload,
+                epoch: 0,
+                mode: "unknown".to_owned(),
+                message: "work queue full; retry later".to_owned(),
+            },
+            Err(TrySendError::Disconnected(_)) => Response::Error {
+                code: ErrorCode::Overload,
+                epoch: 0,
+                mode: "unknown".to_owned(),
+                message: "server shutting down".to_owned(),
+            },
+        };
+        let written = write_frame(&mut stream, resp.to_json().as_bytes()).is_ok();
+        if is_shutdown && !matches!(resp, Response::Error { .. }) {
+            let _ = shutdown_ack.try_send(());
+        }
+        if !written {
+            return;
+        }
+    }
+}
+
+/// Drain the queue against the controller until a `shutdown` request.
+/// Returns `true` when a shutdown was served (as opposed to every
+/// sender dropping).
+fn controller_loop(ctl: &mut Controller, rx: Receiver<Job>) -> Result<bool, CtlError> {
+    while let Ok(job) = rx.recv() {
+        // Deadline check happens at dequeue: a request that waited past
+        // its budget is rejected, not served late.
+        if let Request::Paths {
+            deadline_ms: Some(ms),
+            ..
+        } = &job.req
+        {
+            let elapsed = job.enqueued.elapsed().as_millis() as u64;
+            // A zero budget means "answer only if dequeued instantly"
+            // and is always expired by the time we look.
+            if *ms == 0 || elapsed > *ms {
+                let _ = job.reply.send(Response::Error {
+                    code: ErrorCode::Deadline,
+                    epoch: ctl.epoch(),
+                    mode: ctl.mode().tag().to_owned(),
+                    message: format!("queued past the {ms} ms deadline"),
+                });
+                continue;
+            }
+        }
+        let shutdown = matches!(job.req, Request::Shutdown);
+        let resp = dispatch(ctl, &job.req)?;
+        let _ = job.reply.send(resp);
+        if shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Run the server until a `shutdown` request (or a fatal storage
+/// error). Owns the controller for the duration; the acceptor and
+/// per-connection threads are detached workers feeding the bounded
+/// queue this thread drains.
+pub fn serve(mut ctl: Controller, cfg: ServerConfig) -> Result<(), io::Error> {
+    let _ = std::fs::remove_file(&cfg.socket_path);
+    let listener = UnixListener::bind(&cfg.socket_path)?;
+    let (tx, rx) = sync_channel::<Job>(cfg.queue_cap.max(1));
+    let (ack_tx, ack_rx) = sync_channel::<()>(1);
+    let shutting_down = Arc::new(AtomicBool::new(false));
+
+    let acceptor = {
+        let shutting_down = Arc::clone(&shutting_down);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                let Ok(stream) = stream else { continue };
+                let queue = tx.clone();
+                let ack = ack_tx.clone();
+                std::thread::spawn(move || handle_connection(stream, queue, ack));
+            }
+        })
+    };
+
+    let result = controller_loop(&mut ctl, rx);
+
+    // The shutdown acknowledgement is written by a detached connection
+    // thread; wait for it so a process exit right after this return
+    // cannot cut the reply off mid-frame.
+    if let Ok(true) = result {
+        let _ = ack_rx.recv_timeout(std::time::Duration::from_secs(5));
+    }
+
+    // Unblock the acceptor: flag first, then a throwaway self-connect.
+    shutting_down.store(true, Ordering::SeqCst);
+    let _ = UnixStream::connect(&cfg.socket_path);
+    let _ = acceptor.join();
+    let _ = std::fs::remove_file(&cfg.socket_path);
+
+    result
+        .map(|_| ())
+        .map_err(|e| io::Error::other(e.to_string()))
+}

@@ -1,0 +1,520 @@
+//! Crash-consistent checkpoint store for the controller.
+//!
+//! Each committed epoch is serialized into a checksummed envelope
+//! (magic · version · payload length · FNV-1a-64 · payload, all
+//! little-endian — the same shape as the flit-sim snapshot format) and
+//! written atomically: the bytes go to a temp file in the same
+//! directory, are fsynced, and are renamed over the final
+//! `epoch-<n>.snap` name. A crash therefore leaves either the old
+//! checkpoint set or the new one, never a torn file; a torn *temp* file
+//! is ignored by recovery entirely.
+//!
+//! Recovery scans the directory for the highest-numbered checkpoint
+//! that decodes and passes its checksum and **view digest** (a second
+//! FNV over the semantic fields, catching an envelope that was
+//! swapped in from another state directory). Corrupt or truncated
+//! checkpoints are skipped with a typed reason, falling back to the
+//! next-newest — the daemon degrades to an older committed epoch
+//! rather than refusing to start, unless no checkpoint survives.
+//!
+//! The checkpoint deliberately stores only *root* state: epoch, logical
+//! clock, feed cursor, and the committed fault view. Cached selections
+//! are derived state and are recomputed on demand; this is what makes
+//! the restart-equivalence guarantee a pure function of the fault feed.
+
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use xgft::{DirectedLinkId, FaultSet, NodeId, Topology};
+
+/// Envelope magic; 8 bytes.
+const MAGIC: &[u8; 8] = b"LMPRCTLS";
+/// Envelope version; bump when the payload layout changes.
+const VERSION: u32 = 1;
+/// Sanity bound on a payload (a view can't plausibly exceed this).
+const MAX_PAYLOAD: u64 = 64 << 20;
+
+/// FNV-1a over a byte string.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Bounds-checked little-endian reader over a payload slice.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], StoreError> {
+        let end = self.pos.checked_add(n).ok_or(StoreError::Truncated)?;
+        let slice = self.bytes.get(self.pos..end).ok_or(StoreError::Truncated)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32le(&mut self) -> Result<u32, StoreError> {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64le(&mut self) -> Result<u64, StoreError> {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(b))
+    }
+}
+
+/// Why a checkpoint could not be written or read back.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with the ctld envelope magic.
+    BadMagic,
+    /// The envelope version is from a different build.
+    BadVersion(u32),
+    /// The file ends before the envelope says it should.
+    Truncated,
+    /// The payload bytes do not match the envelope checksum.
+    ChecksumMismatch,
+    /// The payload decoded but its fields are inconsistent.
+    Corrupt(&'static str),
+    /// No checkpoint in the directory survived validation.
+    NoCheckpoint,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            StoreError::BadMagic => write!(f, "not a ctld checkpoint (bad magic)"),
+            StoreError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            StoreError::Truncated => write!(f, "checkpoint truncated"),
+            StoreError::ChecksumMismatch => write!(f, "checkpoint payload checksum mismatch"),
+            StoreError::Corrupt(m) => write!(f, "checkpoint corrupt: {m}"),
+            StoreError::NoCheckpoint => write!(f, "no valid checkpoint found"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// The root state of one committed epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// The committed epoch number.
+    pub epoch: u64,
+    /// Logical clock at commit.
+    pub now: u64,
+    /// Replayed-schedule events at or before this tick are part of the
+    /// committed state; a restart re-drains strictly after it.
+    pub drained_through: u64,
+    /// Highest committed fault-feed batch id.
+    pub committed_batch_id: u64,
+    /// Failed directed links of the committed view, sorted.
+    pub failed_links: Vec<u32>,
+    /// Failed switches of the committed view, sorted by (level, rank).
+    pub failed_switches: Vec<(u8, u32)>,
+}
+
+impl Checkpoint {
+    /// Capture the committed view into checkpoint form.
+    pub fn from_view(
+        epoch: u64,
+        now: u64,
+        drained_through: u64,
+        committed_batch_id: u64,
+        view: &FaultSet,
+    ) -> Self {
+        let mut failed_links: Vec<u32> = view.failed_links().map(|l| l.0).collect();
+        failed_links.sort_unstable();
+        let mut failed_switches: Vec<(u8, u32)> = view
+            .failed_switches()
+            .iter()
+            .map(|n| (n.level, n.rank))
+            .collect();
+        failed_switches.sort_unstable();
+        Checkpoint {
+            epoch,
+            now,
+            drained_through,
+            committed_batch_id,
+            failed_links,
+            failed_switches,
+        }
+    }
+
+    /// Rebuild the committed fault view against a topology.
+    pub fn view(&self, topo: &Topology) -> FaultSet {
+        let mut set = FaultSet::new();
+        for &l in &self.failed_links {
+            set.fail_link(DirectedLinkId(l));
+        }
+        for &(level, rank) in &self.failed_switches {
+            set.fail_switch(topo, NodeId { level, rank });
+        }
+        set
+    }
+
+    /// Digest over the semantic fields — stored in the payload and
+    /// re-verified on load as a self-audit (rule `CTL-RESUME`): a
+    /// checkpoint whose envelope checksum passes but whose recorded
+    /// digest disagrees with its own fields was assembled from mixed
+    /// state and is rejected.
+    pub fn digest(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(64 + 4 * self.failed_links.len());
+        bytes.extend_from_slice(&self.epoch.to_le_bytes());
+        bytes.extend_from_slice(&self.now.to_le_bytes());
+        bytes.extend_from_slice(&self.drained_through.to_le_bytes());
+        bytes.extend_from_slice(&self.committed_batch_id.to_le_bytes());
+        bytes.extend_from_slice(&(self.failed_links.len() as u64).to_le_bytes());
+        for &l in &self.failed_links {
+            bytes.extend_from_slice(&l.to_le_bytes());
+        }
+        bytes.extend_from_slice(&(self.failed_switches.len() as u64).to_le_bytes());
+        for &(level, rank) in &self.failed_switches {
+            bytes.push(level);
+            bytes.extend_from_slice(&rank.to_le_bytes());
+        }
+        fnv1a(&bytes)
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(80 + 4 * self.failed_links.len());
+        p.extend_from_slice(&self.epoch.to_le_bytes());
+        p.extend_from_slice(&self.now.to_le_bytes());
+        p.extend_from_slice(&self.drained_through.to_le_bytes());
+        p.extend_from_slice(&self.committed_batch_id.to_le_bytes());
+        p.extend_from_slice(&self.digest().to_le_bytes());
+        p.extend_from_slice(&(self.failed_links.len() as u32).to_le_bytes());
+        for &l in &self.failed_links {
+            p.extend_from_slice(&l.to_le_bytes());
+        }
+        p.extend_from_slice(&(self.failed_switches.len() as u32).to_le_bytes());
+        for &(level, rank) in &self.failed_switches {
+            p.push(level);
+            p.extend_from_slice(&rank.to_le_bytes());
+        }
+        p
+    }
+
+    fn decode(payload: &[u8]) -> Result<Self, StoreError> {
+        let mut cur = Cursor {
+            bytes: payload,
+            pos: 0,
+        };
+        let epoch = cur.u64le()?;
+        let now = cur.u64le()?;
+        let drained_through = cur.u64le()?;
+        let committed_batch_id = cur.u64le()?;
+        let recorded_digest = cur.u64le()?;
+        let n_links = cur.u32le()? as usize;
+        if n_links > payload.len() {
+            return Err(StoreError::Corrupt("link count exceeds payload"));
+        }
+        let mut failed_links = Vec::with_capacity(n_links);
+        for _ in 0..n_links {
+            failed_links.push(cur.u32le()?);
+        }
+        let n_switches = cur.u32le()? as usize;
+        if n_switches > payload.len() {
+            return Err(StoreError::Corrupt("switch count exceeds payload"));
+        }
+        let mut failed_switches = Vec::with_capacity(n_switches);
+        for _ in 0..n_switches {
+            let level = cur.u8()?;
+            failed_switches.push((level, cur.u32le()?));
+        }
+        if cur.pos != payload.len() {
+            return Err(StoreError::Corrupt("trailing bytes after payload"));
+        }
+        let cp = Checkpoint {
+            epoch,
+            now,
+            drained_through,
+            committed_batch_id,
+            failed_links,
+            failed_switches,
+        };
+        if cp.digest() != recorded_digest {
+            return Err(StoreError::Corrupt("view digest mismatch (CTL-RESUME)"));
+        }
+        Ok(cp)
+    }
+
+    /// Wrap the payload in the checksummed envelope.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload = self.encode();
+        let mut out = Vec::with_capacity(28 + payload.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Validate the envelope and decode the payload.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        if bytes.len() < 28 {
+            return Err(StoreError::Truncated);
+        }
+        if &bytes[..8] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let mut v = [0u8; 4];
+        v.copy_from_slice(&bytes[8..12]);
+        let version = u32::from_le_bytes(v);
+        if version != VERSION {
+            return Err(StoreError::BadVersion(version));
+        }
+        let mut l = [0u8; 8];
+        l.copy_from_slice(&bytes[12..20]);
+        let len = u64::from_le_bytes(l);
+        if len > MAX_PAYLOAD {
+            return Err(StoreError::Corrupt("payload length out of range"));
+        }
+        let mut c = [0u8; 8];
+        c.copy_from_slice(&bytes[20..28]);
+        let checksum = u64::from_le_bytes(c);
+        let payload = bytes
+            .get(28..28 + len as usize)
+            .ok_or(StoreError::Truncated)?;
+        if bytes.len() != 28 + len as usize {
+            return Err(StoreError::Corrupt("trailing bytes after envelope"));
+        }
+        if fnv1a(payload) != checksum {
+            return Err(StoreError::ChecksumMismatch);
+        }
+        Self::decode(payload)
+    }
+}
+
+/// Directory of per-epoch checkpoints with atomic commit and bounded
+/// retention.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    /// Checkpoints retained on disk (newest first); older ones are
+    /// pruned after each commit.
+    retain: usize,
+}
+
+impl Store {
+    /// Open (creating if needed) a checkpoint directory.
+    pub fn open(dir: impl Into<PathBuf>, retain: usize) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Store {
+            dir,
+            retain: retain.max(1),
+        })
+    }
+
+    /// The directory the store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn snap_path(&self, epoch: u64) -> PathBuf {
+        self.dir.join(format!("epoch-{epoch:016}.snap"))
+    }
+
+    /// Atomically commit a checkpoint: write to a temp file, fsync,
+    /// rename to `epoch-<n>.snap`, then prune beyond the retention
+    /// bound. After the rename returns, a crash at any point leaves
+    /// this epoch recoverable.
+    pub fn commit(&self, cp: &Checkpoint) -> Result<(), StoreError> {
+        let tmp = self.dir.join(format!(".epoch-{:016}.tmp", cp.epoch));
+        let bytes = cp.to_bytes();
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.snap_path(cp.epoch))?;
+        self.prune();
+        Ok(())
+    }
+
+    /// Best-effort retention: keep the newest `retain` checkpoints.
+    /// Pruning failures are ignored — retention is hygiene, not
+    /// correctness.
+    fn prune(&self) {
+        let mut epochs = self.list_epochs();
+        if epochs.len() <= self.retain {
+            return;
+        }
+        epochs.sort_unstable();
+        let cut = epochs.len() - self.retain;
+        for &old in &epochs[..cut] {
+            let _ = fs::remove_file(self.snap_path(old));
+        }
+    }
+
+    /// Epoch numbers with a checkpoint file present (unvalidated).
+    pub fn list_epochs(&self) -> Vec<u64> {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut epochs = Vec::new();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(rest) = name.strip_prefix("epoch-") else {
+                continue;
+            };
+            let Some(num) = rest.strip_suffix(".snap") else {
+                continue;
+            };
+            if let Ok(epoch) = num.parse::<u64>() {
+                epochs.push(epoch);
+            }
+        }
+        epochs.sort_unstable();
+        epochs
+    }
+
+    /// Load the newest checkpoint that validates, skipping corrupt or
+    /// truncated ones (each skip is reported on stderr with its typed
+    /// reason). [`StoreError::NoCheckpoint`] when nothing survives.
+    pub fn load_latest(&self) -> Result<Checkpoint, StoreError> {
+        let mut epochs = self.list_epochs();
+        epochs.reverse();
+        if epochs.is_empty() {
+            return Err(StoreError::NoCheckpoint);
+        }
+        for epoch in epochs {
+            let path = self.snap_path(epoch);
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("ctld: skipping {}: {e}", path.display());
+                    continue;
+                }
+            };
+            match Checkpoint::from_bytes(&bytes) {
+                Ok(cp) => return Ok(cp),
+                Err(e) => eprintln!("ctld: skipping {}: {e}", path.display()),
+            }
+        }
+        Err(StoreError::NoCheckpoint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xgft::XgftSpec;
+
+    fn topo() -> Topology {
+        Topology::new(XgftSpec::new(&[4, 4], &[1, 2]).expect("valid spec"))
+    }
+
+    fn sample(epoch: u64) -> Checkpoint {
+        Checkpoint {
+            epoch,
+            now: 500 + epoch,
+            drained_through: 480,
+            committed_batch_id: 3,
+            failed_links: vec![2, 9, 40],
+            failed_switches: vec![(2, 1)],
+        }
+    }
+
+    #[test]
+    fn checkpoints_round_trip_through_the_envelope() {
+        let cp = sample(7);
+        let bytes = cp.to_bytes();
+        assert_eq!(Checkpoint::from_bytes(&bytes).expect("round trip"), cp);
+
+        // The rebuilt view matches a hand-built one.
+        let topo = topo();
+        let view = cp.view(&topo);
+        assert!(view.is_link_failed(DirectedLinkId(9)));
+        assert!(view.is_switch_failed(NodeId { level: 2, rank: 1 }));
+    }
+
+    #[test]
+    fn corruption_is_a_typed_error_never_a_panic() {
+        let cp = sample(1);
+        let good = cp.to_bytes();
+
+        // Truncation at every length.
+        for cut in 0..good.len() {
+            assert!(
+                Checkpoint::from_bytes(&good[..cut]).is_err(),
+                "accepted truncation at {cut}"
+            );
+        }
+        // A flip in any byte must be caught (magic, version, length,
+        // checksum, or payload digest).
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                Checkpoint::from_bytes(&bad).is_err(),
+                "accepted bit flip at byte {i}"
+            );
+        }
+        // Wrong magic and version get their own codes.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Checkpoint::from_bytes(&bad),
+            Err(StoreError::BadMagic)
+        ));
+        let mut bad = good.clone();
+        bad[8] = 99;
+        assert!(matches!(
+            Checkpoint::from_bytes(&bad),
+            Err(StoreError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn store_commits_atomically_and_recovers_the_newest_valid() {
+        let dir = std::env::temp_dir().join(format!("ctld-store-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = Store::open(&dir, 3).expect("open");
+        assert!(matches!(store.load_latest(), Err(StoreError::NoCheckpoint)));
+
+        for epoch in 1..=5 {
+            store.commit(&sample(epoch)).expect("commit");
+        }
+        // Retention kept the last 3.
+        assert_eq!(store.list_epochs(), vec![3, 4, 5]);
+        assert_eq!(store.load_latest().expect("latest").epoch, 5);
+
+        // Corrupt the newest: recovery falls back to epoch 4.
+        let newest = dir.join("epoch-0000000000000005.snap");
+        let mut bytes = fs::read(&newest).expect("read");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&newest, &bytes).expect("write corrupt");
+        assert_eq!(store.load_latest().expect("fallback").epoch, 4);
+
+        // A stray temp file (torn pre-rename write) is invisible.
+        fs::write(dir.join(".epoch-0000000000000009.tmp"), b"torn").expect("write tmp");
+        assert_eq!(store.load_latest().expect("still 4").epoch, 4);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

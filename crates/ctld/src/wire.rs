@@ -1,0 +1,817 @@
+//! The controller's wire protocol: length-prefixed JSON frames.
+//!
+//! Every message is a 4-byte little-endian length followed by exactly
+//! that many bytes of UTF-8 JSON, parsed with the strict
+//! [`lmpr_bench::jsonio`] reader — duplicate keys, non-UTF-8 bytes,
+//! truncations and depth bombs all come back as typed errors, never
+//! panics, because the daemon feeds untrusted socket bytes straight in.
+//!
+//! Requests name an `op`; replies are `{"ok": true, ...}` on success
+//! and `{"ok": false, "error": <code>, ...}` on a typed rejection.
+//! Every successful reply carries the server's current `epoch` and
+//! `mode` so clients can fence their next batch without an extra round
+//! trip.
+
+use lmpr_bench::json_string;
+use lmpr_bench::jsonio::{self, ParseError, Value};
+use std::fmt;
+use std::io::{Read, Write};
+use xgft::{DirectedLinkId, FaultChange, NodeId};
+
+/// Upper bound on one frame's payload; anything larger is rejected
+/// before allocation.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Why a frame could not be read, written, or understood.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed (includes EOF mid-frame).
+    Io(std::io::Error),
+    /// The peer announced a frame larger than [`MAX_FRAME`].
+    FrameTooLarge(u32),
+    /// The payload was not a valid JSON document.
+    Parse(ParseError),
+    /// The document parsed but is not a well-formed message.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::FrameTooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte bound")
+            }
+            WireError::Parse(e) => write!(f, "payload is not valid json: {e}"),
+            WireError::Malformed(m) => write!(f, "malformed message: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<ParseError> for WireError {
+    fn from(e: ParseError) -> Self {
+        WireError::Parse(e)
+    }
+}
+
+/// Read one length-prefixed frame.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(WireError::FrameTooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() as u64 > MAX_FRAME as u64 {
+        return Err(WireError::FrameTooLarge(payload.len() as u32));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// One fault change as it appears on the wire. The split from
+/// [`FaultChange`] keeps the protocol self-describing (`level`/`rank`
+/// for switches, a directed link id for links).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangeSpec {
+    /// Directed link goes down.
+    LinkDown(u32),
+    /// Directed link comes back up.
+    LinkUp(u32),
+    /// Switch `(level, rank)` goes down.
+    SwitchDown(u8, u32),
+    /// Switch `(level, rank)` comes back up.
+    SwitchUp(u8, u32),
+}
+
+impl ChangeSpec {
+    /// The core-library change this spec describes.
+    pub fn to_change(self) -> FaultChange {
+        match self {
+            ChangeSpec::LinkDown(l) => FaultChange::LinkDown(DirectedLinkId(l)),
+            ChangeSpec::LinkUp(l) => FaultChange::LinkUp(DirectedLinkId(l)),
+            ChangeSpec::SwitchDown(level, rank) => FaultChange::SwitchDown(NodeId { level, rank }),
+            ChangeSpec::SwitchUp(level, rank) => FaultChange::SwitchUp(NodeId { level, rank }),
+        }
+    }
+
+    /// The wire spec of a core-library change.
+    pub fn from_change(c: FaultChange) -> Self {
+        match c {
+            FaultChange::LinkDown(l) => ChangeSpec::LinkDown(l.0),
+            FaultChange::LinkUp(l) => ChangeSpec::LinkUp(l.0),
+            FaultChange::SwitchDown(n) => ChangeSpec::SwitchDown(n.level, n.rank),
+            FaultChange::SwitchUp(n) => ChangeSpec::SwitchUp(n.level, n.rank),
+        }
+    }
+
+    fn to_json(self) -> String {
+        match self {
+            ChangeSpec::LinkDown(l) => format!("{{\"kind\": \"link-down\", \"link\": {l}}}"),
+            ChangeSpec::LinkUp(l) => format!("{{\"kind\": \"link-up\", \"link\": {l}}}"),
+            ChangeSpec::SwitchDown(level, rank) => {
+                format!("{{\"kind\": \"switch-down\", \"level\": {level}, \"rank\": {rank}}}")
+            }
+            ChangeSpec::SwitchUp(level, rank) => {
+                format!("{{\"kind\": \"switch-up\", \"level\": {level}, \"rank\": {rank}}}")
+            }
+        }
+    }
+
+    fn from_json(v: &Value) -> Result<Self, WireError> {
+        let kind = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or(WireError::Malformed("change without a kind"))?;
+        let link = || {
+            v.get("link")
+                .and_then(Value::as_u64)
+                .and_then(|l| u32::try_from(l).ok())
+                .ok_or(WireError::Malformed("link change without a link id"))
+        };
+        let switch = || {
+            let level = v
+                .get("level")
+                .and_then(Value::as_u64)
+                .and_then(|l| u8::try_from(l).ok());
+            let rank = v
+                .get("rank")
+                .and_then(Value::as_u64)
+                .and_then(|r| u32::try_from(r).ok());
+            match (level, rank) {
+                (Some(l), Some(r)) => Ok((l, r)),
+                _ => Err(WireError::Malformed("switch change without level/rank")),
+            }
+        };
+        match kind {
+            "link-down" => Ok(ChangeSpec::LinkDown(link()?)),
+            "link-up" => Ok(ChangeSpec::LinkUp(link()?)),
+            "switch-down" => switch().map(|(l, r)| ChangeSpec::SwitchDown(l, r)),
+            "switch-up" => switch().map(|(l, r)| ChangeSpec::SwitchUp(l, r)),
+            _ => Err(WireError::Malformed("unknown change kind")),
+        }
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Handshake / liveness probe; replied to with [`Response::Status`].
+    Hello,
+    /// Controller state summary.
+    Status,
+    /// Semantic digest of the full routing state at the current epoch.
+    Digest,
+    /// Epoch-fenced batch of path queries: `pairs` are `(src, dst)`
+    /// processing-node ids; the batch is answered only if `epoch`
+    /// matches the server's current epoch.
+    Paths {
+        /// The epoch the client believes is current.
+        epoch: u64,
+        /// Optional queue-latency budget in milliseconds; a batch still
+        /// queued past it is rejected with a typed `deadline` error.
+        deadline_ms: Option<u64>,
+        /// The `(src, dst)` pairs to answer, in order.
+        pairs: Vec<(u32, u32)>,
+    },
+    /// A fault event batch from the live feed. Delivery is
+    /// at-least-once: `batch_id` must increase by exactly 1 per new
+    /// batch and duplicates are acknowledged without reapplying.
+    Fault {
+        /// Monotonic feed sequence number.
+        batch_id: u64,
+        /// The state changes, applied in order.
+        changes: Vec<ChangeSpec>,
+    },
+    /// Advance the controller's logical clock to `to`, draining any
+    /// replayed schedule events up to it and retrying a degraded
+    /// reconvergence whose backoff has elapsed.
+    Tick {
+        /// Target logical time.
+        to: u64,
+    },
+    /// Fault-injection toggle: while set, every certificate is failed.
+    Chaos {
+        /// Inject certificate failures when true.
+        fail_certs: bool,
+    },
+    /// Orderly shutdown.
+    Shutdown,
+}
+
+impl Request {
+    /// Serialize to the wire JSON.
+    pub fn to_json(&self) -> String {
+        match self {
+            Request::Hello => "{\"op\": \"hello\"}".to_owned(),
+            Request::Status => "{\"op\": \"status\"}".to_owned(),
+            Request::Digest => "{\"op\": \"digest\"}".to_owned(),
+            Request::Paths {
+                epoch,
+                deadline_ms,
+                pairs,
+            } => {
+                let pairs: Vec<String> = pairs.iter().map(|(s, d)| format!("[{s}, {d}]")).collect();
+                let deadline = match deadline_ms {
+                    Some(ms) => format!(", \"deadline_ms\": {ms}"),
+                    None => String::new(),
+                };
+                format!(
+                    "{{\"op\": \"paths\", \"epoch\": {epoch}{deadline}, \"pairs\": [{}]}}",
+                    pairs.join(", ")
+                )
+            }
+            Request::Fault { batch_id, changes } => {
+                let changes: Vec<String> = changes.iter().map(|c| c.to_json()).collect();
+                format!(
+                    "{{\"op\": \"fault\", \"batch_id\": {batch_id}, \"changes\": [{}]}}",
+                    changes.join(", ")
+                )
+            }
+            Request::Tick { to } => format!("{{\"op\": \"tick\", \"to\": {to}}}"),
+            Request::Chaos { fail_certs } => {
+                format!("{{\"op\": \"chaos\", \"fail_certs\": {fail_certs}}}")
+            }
+            Request::Shutdown => "{\"op\": \"shutdown\"}".to_owned(),
+        }
+    }
+
+    /// Parse a request frame.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let v = jsonio::parse_bytes(payload)?;
+        let op = v
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or(WireError::Malformed("request without an op"))?;
+        match op {
+            "hello" => Ok(Request::Hello),
+            "status" => Ok(Request::Status),
+            "digest" => Ok(Request::Digest),
+            "paths" => {
+                let epoch = v
+                    .get("epoch")
+                    .and_then(Value::as_u64)
+                    .ok_or(WireError::Malformed("paths without an epoch"))?;
+                let deadline_ms = match v.get("deadline_ms") {
+                    None | Some(Value::Null) => None,
+                    Some(d) => Some(
+                        d.as_u64()
+                            .ok_or(WireError::Malformed("non-integer deadline_ms"))?,
+                    ),
+                };
+                let raw = v
+                    .get("pairs")
+                    .and_then(Value::as_arr)
+                    .ok_or(WireError::Malformed("paths without a pairs array"))?;
+                let mut pairs = Vec::with_capacity(raw.len());
+                for item in raw {
+                    let pair = item
+                        .as_arr()
+                        .filter(|a| a.len() == 2)
+                        .ok_or(WireError::Malformed("pair is not a 2-array"))?;
+                    let s = pair
+                        .first()
+                        .and_then(Value::as_u64)
+                        .and_then(|x| u32::try_from(x).ok());
+                    let d = pair
+                        .get(1)
+                        .and_then(Value::as_u64)
+                        .and_then(|x| u32::try_from(x).ok());
+                    match (s, d) {
+                        (Some(s), Some(d)) => pairs.push((s, d)),
+                        _ => return Err(WireError::Malformed("pair ids must be u32 integers")),
+                    }
+                }
+                Ok(Request::Paths {
+                    epoch,
+                    deadline_ms,
+                    pairs,
+                })
+            }
+            "fault" => {
+                let batch_id = v
+                    .get("batch_id")
+                    .and_then(Value::as_u64)
+                    .ok_or(WireError::Malformed("fault without a batch_id"))?;
+                let raw = v
+                    .get("changes")
+                    .and_then(Value::as_arr)
+                    .ok_or(WireError::Malformed("fault without a changes array"))?;
+                let mut changes = Vec::with_capacity(raw.len());
+                for item in raw {
+                    changes.push(ChangeSpec::from_json(item)?);
+                }
+                Ok(Request::Fault { batch_id, changes })
+            }
+            "tick" => {
+                let to = v
+                    .get("to")
+                    .and_then(Value::as_u64)
+                    .ok_or(WireError::Malformed("tick without a target time"))?;
+                Ok(Request::Tick { to })
+            }
+            "chaos" => {
+                let fail_certs = v
+                    .get("fail_certs")
+                    .and_then(Value::as_bool)
+                    .ok_or(WireError::Malformed("chaos without fail_certs"))?;
+                Ok(Request::Chaos { fail_certs })
+            }
+            "shutdown" => Ok(Request::Shutdown),
+            _ => Err(WireError::Malformed("unknown op")),
+        }
+    }
+}
+
+/// Typed rejection codes. Every error a client can provoke has one —
+/// the daemon never closes a connection as its answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The bounded work queue is full; retry later.
+    Overload,
+    /// The batch's epoch is not the server's current epoch.
+    EpochFenced,
+    /// The batch sat in the queue past its deadline.
+    Deadline,
+    /// The request was malformed or violated feed sequencing.
+    BadRequest,
+}
+
+impl ErrorCode {
+    /// Stable wire tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ErrorCode::Overload => "overload",
+            ErrorCode::EpochFenced => "epoch-fenced",
+            ErrorCode::Deadline => "deadline",
+            ErrorCode::BadRequest => "bad-request",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "overload" => Some(ErrorCode::Overload),
+            "epoch-fenced" => Some(ErrorCode::EpochFenced),
+            "deadline" => Some(ErrorCode::Deadline),
+            "bad-request" => Some(ErrorCode::BadRequest),
+            _ => None,
+        }
+    }
+}
+
+/// A server reply. Successful replies carry the server's `epoch` and
+/// `mode` tag (`"serving"` or `"degraded"`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Controller state summary.
+    Status {
+        /// Current epoch.
+        epoch: u64,
+        /// `"serving"` or `"degraded"`.
+        mode: String,
+        /// Logical clock.
+        now: u64,
+        /// Uncommitted fault changes awaiting a passing certificate.
+        pending: u64,
+        /// Highest committed fault-feed batch id.
+        committed_batch_id: u64,
+        /// Reconvergences committed since start.
+        reconv_count: u64,
+        /// Total reconvergence latency in microseconds.
+        reconv_total_us: u64,
+        /// Worst single reconvergence latency in microseconds.
+        reconv_max_us: u64,
+        /// Degraded-mode retry attempts so far (0 while serving).
+        degraded_attempts: u64,
+    },
+    /// Semantic digest of the routing state, as 16 hex digits.
+    Digest {
+        /// Current epoch.
+        epoch: u64,
+        /// Mode tag.
+        mode: String,
+        /// FNV-1a digest over every pair's selection.
+        digest: String,
+    },
+    /// Answers to a [`Request::Paths`] batch, in request order; a
+    /// disconnected pair yields an empty path list.
+    Paths {
+        /// Current epoch.
+        epoch: u64,
+        /// Mode tag.
+        mode: String,
+        /// Selected path ids per queried pair.
+        paths: Vec<Vec<u64>>,
+    },
+    /// Acknowledgement of a fault batch.
+    Fault {
+        /// Current epoch (after any reconvergence the batch caused).
+        epoch: u64,
+        /// Mode tag.
+        mode: String,
+        /// Echoed batch id.
+        batch_id: u64,
+        /// False when the batch was a duplicate of an already-ingested
+        /// id (at-least-once delivery).
+        applied: bool,
+    },
+    /// Acknowledgement of a clock advance.
+    Tick {
+        /// Current epoch.
+        epoch: u64,
+        /// Mode tag.
+        mode: String,
+        /// The clock after the advance.
+        now: u64,
+    },
+    /// Acknowledgement of a chaos toggle.
+    Chaos {
+        /// Current epoch.
+        epoch: u64,
+        /// Mode tag.
+        mode: String,
+        /// The toggle state now in force.
+        fail_certs: bool,
+    },
+    /// Acknowledgement of an orderly shutdown.
+    Shutdown {
+        /// Final epoch.
+        epoch: u64,
+        /// Mode tag.
+        mode: String,
+    },
+    /// A typed rejection.
+    Error {
+        /// Rejection code.
+        code: ErrorCode,
+        /// Server epoch when known (0 before the controller answered).
+        epoch: u64,
+        /// Mode tag (`"unknown"` when the controller was not consulted).
+        mode: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Serialize to the wire JSON.
+    pub fn to_json(&self) -> String {
+        match self {
+            Response::Status {
+                epoch,
+                mode,
+                now,
+                pending,
+                committed_batch_id,
+                reconv_count,
+                reconv_total_us,
+                reconv_max_us,
+                degraded_attempts,
+            } => format!(
+                "{{\"ok\": true, \"reply\": \"status\", \"epoch\": {epoch}, \
+                 \"mode\": {}, \"now\": {now}, \"pending\": {pending}, \
+                 \"committed_batch_id\": {committed_batch_id}, \
+                 \"reconv_count\": {reconv_count}, \
+                 \"reconv_total_us\": {reconv_total_us}, \
+                 \"reconv_max_us\": {reconv_max_us}, \
+                 \"degraded_attempts\": {degraded_attempts}}}",
+                json_string(mode)
+            ),
+            Response::Digest {
+                epoch,
+                mode,
+                digest,
+            } => format!(
+                "{{\"ok\": true, \"reply\": \"digest\", \"epoch\": {epoch}, \
+                 \"mode\": {}, \"digest\": {}}}",
+                json_string(mode),
+                json_string(digest)
+            ),
+            Response::Paths { epoch, mode, paths } => {
+                let lists: Vec<String> = paths
+                    .iter()
+                    .map(|ps| {
+                        let ids: Vec<String> = ps.iter().map(u64::to_string).collect();
+                        format!("[{}]", ids.join(", "))
+                    })
+                    .collect();
+                format!(
+                    "{{\"ok\": true, \"reply\": \"paths\", \"epoch\": {epoch}, \
+                     \"mode\": {}, \"paths\": [{}]}}",
+                    json_string(mode),
+                    lists.join(", ")
+                )
+            }
+            Response::Fault {
+                epoch,
+                mode,
+                batch_id,
+                applied,
+            } => format!(
+                "{{\"ok\": true, \"reply\": \"fault\", \"epoch\": {epoch}, \
+                 \"mode\": {}, \"batch_id\": {batch_id}, \"applied\": {applied}}}",
+                json_string(mode)
+            ),
+            Response::Tick { epoch, mode, now } => format!(
+                "{{\"ok\": true, \"reply\": \"tick\", \"epoch\": {epoch}, \
+                 \"mode\": {}, \"now\": {now}}}",
+                json_string(mode)
+            ),
+            Response::Chaos {
+                epoch,
+                mode,
+                fail_certs,
+            } => format!(
+                "{{\"ok\": true, \"reply\": \"chaos\", \"epoch\": {epoch}, \
+                 \"mode\": {}, \"fail_certs\": {fail_certs}}}",
+                json_string(mode)
+            ),
+            Response::Shutdown { epoch, mode } => format!(
+                "{{\"ok\": true, \"reply\": \"shutdown\", \"epoch\": {epoch}, \"mode\": {}}}",
+                json_string(mode)
+            ),
+            Response::Error {
+                code,
+                epoch,
+                mode,
+                message,
+            } => format!(
+                "{{\"ok\": false, \"error\": {}, \"epoch\": {epoch}, \
+                 \"mode\": {}, \"message\": {}}}",
+                json_string(code.tag()),
+                json_string(mode),
+                json_string(message)
+            ),
+        }
+    }
+
+    /// Parse a reply frame.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let v = jsonio::parse_bytes(payload)?;
+        let ok = v
+            .get("ok")
+            .and_then(Value::as_bool)
+            .ok_or(WireError::Malformed("reply without ok"))?;
+        let epoch = v.get("epoch").and_then(Value::as_u64).unwrap_or(0);
+        let mode = v
+            .get("mode")
+            .and_then(Value::as_str)
+            .unwrap_or("unknown")
+            .to_owned();
+        if !ok {
+            let code = v
+                .get("error")
+                .and_then(Value::as_str)
+                .and_then(ErrorCode::from_tag)
+                .ok_or(WireError::Malformed("error reply without a known code"))?;
+            let message = v
+                .get("message")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_owned();
+            return Ok(Response::Error {
+                code,
+                epoch,
+                mode,
+                message,
+            });
+        }
+        let reply = v
+            .get("reply")
+            .and_then(Value::as_str)
+            .ok_or(WireError::Malformed("ok reply without a reply tag"))?;
+        let field = |name: &'static str, missing: &'static str| {
+            v.get(name).and_then(Value::as_u64).ok_or({
+                // The message names the field generically; `missing`
+                // keeps the borrow 'static for the error type.
+                WireError::Malformed(missing)
+            })
+        };
+        match reply {
+            "status" => Ok(Response::Status {
+                epoch,
+                mode,
+                now: field("now", "status without now")?,
+                pending: field("pending", "status without pending")?,
+                committed_batch_id: field(
+                    "committed_batch_id",
+                    "status without committed_batch_id",
+                )?,
+                reconv_count: field("reconv_count", "status without reconv_count")?,
+                reconv_total_us: field("reconv_total_us", "status without reconv_total_us")?,
+                reconv_max_us: field("reconv_max_us", "status without reconv_max_us")?,
+                degraded_attempts: field("degraded_attempts", "status without degraded_attempts")?,
+            }),
+            "digest" => Ok(Response::Digest {
+                epoch,
+                mode,
+                digest: v
+                    .get("digest")
+                    .and_then(Value::as_str)
+                    .ok_or(WireError::Malformed("digest reply without a digest"))?
+                    .to_owned(),
+            }),
+            "paths" => {
+                let raw = v
+                    .get("paths")
+                    .and_then(Value::as_arr)
+                    .ok_or(WireError::Malformed("paths reply without paths"))?;
+                let mut paths = Vec::with_capacity(raw.len());
+                for list in raw {
+                    let ids = list
+                        .as_arr()
+                        .ok_or(WireError::Malformed("path list is not an array"))?;
+                    let mut out = Vec::with_capacity(ids.len());
+                    for id in ids {
+                        out.push(
+                            id.as_u64()
+                                .ok_or(WireError::Malformed("path id is not an integer"))?,
+                        );
+                    }
+                    paths.push(out);
+                }
+                Ok(Response::Paths { epoch, mode, paths })
+            }
+            "fault" => Ok(Response::Fault {
+                epoch,
+                mode,
+                batch_id: field("batch_id", "fault reply without batch_id")?,
+                applied: v
+                    .get("applied")
+                    .and_then(Value::as_bool)
+                    .ok_or(WireError::Malformed("fault reply without applied"))?,
+            }),
+            "tick" => Ok(Response::Tick {
+                epoch,
+                mode,
+                now: field("now", "tick reply without now")?,
+            }),
+            "chaos" => Ok(Response::Chaos {
+                epoch,
+                mode,
+                fail_certs: v
+                    .get("fail_certs")
+                    .and_then(Value::as_bool)
+                    .ok_or(WireError::Malformed("chaos reply without fail_certs"))?,
+            }),
+            "shutdown" => Ok(Response::Shutdown { epoch, mode }),
+            _ => Err(WireError::Malformed("unknown reply tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Hello,
+            Request::Status,
+            Request::Digest,
+            Request::Paths {
+                epoch: 7,
+                deadline_ms: Some(250),
+                pairs: vec![(0, 63), (12, 3)],
+            },
+            Request::Paths {
+                epoch: 0,
+                deadline_ms: None,
+                pairs: vec![],
+            },
+            Request::Fault {
+                batch_id: 9,
+                changes: vec![
+                    ChangeSpec::LinkDown(5),
+                    ChangeSpec::LinkUp(5),
+                    ChangeSpec::SwitchDown(2, 1),
+                    ChangeSpec::SwitchUp(2, 1),
+                ],
+            },
+            Request::Tick { to: 12345 },
+            Request::Chaos { fail_certs: true },
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let json = req.to_json();
+            let back = Request::decode(json.as_bytes()).expect("round trip");
+            assert_eq!(back, req, "for {json}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Status {
+                epoch: 3,
+                mode: "serving".into(),
+                now: 500,
+                pending: 0,
+                committed_batch_id: 2,
+                reconv_count: 3,
+                reconv_total_us: 1500,
+                reconv_max_us: 900,
+                degraded_attempts: 0,
+            },
+            Response::Digest {
+                epoch: 3,
+                mode: "degraded".into(),
+                digest: "00ff00ff00ff00ff".into(),
+            },
+            Response::Paths {
+                epoch: 1,
+                mode: "serving".into(),
+                paths: vec![vec![0, 4, 9], vec![], vec![2]],
+            },
+            Response::Fault {
+                epoch: 2,
+                mode: "serving".into(),
+                batch_id: 4,
+                applied: false,
+            },
+            Response::Tick {
+                epoch: 2,
+                mode: "serving".into(),
+                now: 777,
+            },
+            Response::Chaos {
+                epoch: 2,
+                mode: "degraded".into(),
+                fail_certs: true,
+            },
+            Response::Shutdown {
+                epoch: 5,
+                mode: "serving".into(),
+            },
+            Response::Error {
+                code: ErrorCode::EpochFenced,
+                epoch: 6,
+                mode: "serving".into(),
+                message: "batch fenced at epoch 5".into(),
+            },
+        ];
+        for resp in resps {
+            let json = resp.to_json();
+            let back = Response::decode(json.as_bytes()).expect("round trip");
+            assert_eq!(back, resp, "for {json}");
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_and_bound_length() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"op\": \"hello\"}").expect("write");
+        let mut cursor = &buf[..];
+        let payload = read_frame(&mut cursor).expect("read");
+        assert_eq!(payload, b"{\"op\": \"hello\"}");
+
+        // An announced length over the bound is rejected before allocation.
+        let huge = (MAX_FRAME + 1).to_le_bytes();
+        let mut cursor = &huge[..];
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WireError::FrameTooLarge(_))
+        ));
+
+        // Truncated payloads surface as io errors, not panics.
+        let mut truncated = 100u32.to_le_bytes().to_vec();
+        truncated.extend_from_slice(b"short");
+        let mut cursor = &truncated[..];
+        assert!(matches!(read_frame(&mut cursor), Err(WireError::Io(_))));
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        for bad in [
+            &b"not json"[..],
+            b"{}",
+            b"{\"op\": \"warp\"}",
+            b"{\"op\": \"paths\"}",
+            b"{\"op\": \"paths\", \"epoch\": 1, \"pairs\": [[1]]}",
+            b"{\"op\": \"paths\", \"epoch\": 1, \"pairs\": [[1, -2]]}",
+            b"{\"op\": \"fault\", \"batch_id\": 1, \"changes\": [{\"kind\": \"nope\"}]}",
+            b"{\"op\": \"tick\"}",
+            b"\xff\xfe",
+        ] {
+            assert!(Request::decode(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

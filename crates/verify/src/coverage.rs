@@ -205,67 +205,131 @@ pub fn check_fault_aware_coverage<R: Router>(
                 continue;
             }
             pairs += 1;
-            let (s, d) = (PnId(s), PnId(d));
-            let surviving = faults.num_surviving(topo, s, d);
-            match engine.try_select(topo, s, d, &mut paths) {
-                Ok(_) => {
-                    if surviving == 0 {
-                        report.findings.push(Diagnostic::error(
-                            RuleId::CoverageDisconnect,
-                            format!(
-                                "pair ({}, {}): no path survives, yet the adapter \
-                                 returned {} paths instead of Disconnected",
-                                s.0,
-                                d.0,
-                                paths.len()
-                            ),
-                            Witness::Pair { src: s, dst: d },
-                        ));
-                        continue;
-                    }
-                    let expected = budget.expected(surviving);
-                    if paths.len() as u64 != expected {
-                        report.findings.push(Diagnostic::error(
-                            RuleId::CoverageCount,
-                            format!(
-                                "pair ({}, {}): degraded selection has {} paths, expected \
-                                 min(K, X_surviving) = {expected} (X_surviving = {surviving})",
-                                s.0,
-                                d.0,
-                                paths.len()
-                            ),
-                            Witness::Pair { src: s, dst: d },
-                        ));
-                    }
-                    check_distinct(s, d, &paths, &mut report.findings);
-                    for &p in &paths {
-                        check_path_shape(topo, s, d, p, Some(&faults), &mut report.findings);
-                    }
-                }
-                Err(RouteError::Disconnected { .. }) => {
-                    if surviving != 0 {
-                        report.findings.push(Diagnostic::error(
-                            RuleId::CoverageDisconnect,
-                            format!(
-                                "pair ({}, {}): adapter reported Disconnected but \
-                                 {surviving} paths survive",
-                                s.0, d.0
-                            ),
-                            Witness::Pair { src: s, dst: d },
-                        ));
-                    }
-                }
-                Err(e) => {
-                    report.findings.push(Diagnostic::error(
-                        RuleId::CoverageCount,
-                        format!("pair ({}, {}): unexpected routing error: {e}", s.0, d.0),
-                        Witness::Pair { src: s, dst: d },
-                    ));
-                }
-            }
+            audit_fault_aware_pair(
+                topo,
+                &mut engine,
+                &faults,
+                budget,
+                PnId(s),
+                PnId(d),
+                &mut paths,
+                &mut report.findings,
+            );
         }
     }
     report.record(RuleId::CoverageDisconnect, pairs, before);
+}
+
+/// Audit the fault-aware selection on an explicit pair subset — the
+/// routing controller's *incremental* per-epoch certificate mode. After
+/// a fault change batch only the pairs in the batch's blast radius (the
+/// keys [`SelectionEngine::apply_changes_collect`] reports, plus
+/// whatever the caller adds) can change their selection, so
+/// re-certifying exactly those pairs keeps reconvergence latency
+/// proportional to the damage while untouched pairs keep their standing
+/// certificate. Self-pairs in `pairs` are skipped, duplicates are
+/// audited twice (harmless — the audit is read-only).
+pub fn check_fault_aware_coverage_scoped<R: Router>(
+    topo: &Topology,
+    adapter: &FaultAware<R>,
+    budget: Budget,
+    pairs: &[(PnId, PnId)],
+    report: &mut Report,
+) {
+    let faults = adapter.faults().clone();
+    let mut engine = SelectionEngine::cached(adapter.inner(), faults.clone());
+    let mut paths = Vec::new();
+    let mut inspected = 0u64;
+    let before = report.findings.len();
+    for &(s, d) in pairs {
+        if s == d {
+            continue;
+        }
+        inspected += 1;
+        audit_fault_aware_pair(
+            topo,
+            &mut engine,
+            &faults,
+            budget,
+            s,
+            d,
+            &mut paths,
+            &mut report.findings,
+        );
+    }
+    report.record(RuleId::CoverageDisconnect, inspected, before);
+}
+
+/// The shared per-pair body of the fault-aware audits: cardinality,
+/// distinctness, shape, failed-link avoidance and typed disconnection.
+#[allow(clippy::too_many_arguments)]
+fn audit_fault_aware_pair<R: Router>(
+    topo: &Topology,
+    engine: &mut SelectionEngine<R>,
+    faults: &FaultSet,
+    budget: Budget,
+    s: PnId,
+    d: PnId,
+    paths: &mut Vec<PathId>,
+    findings: &mut Vec<Diagnostic>,
+) {
+    let surviving = faults.num_surviving(topo, s, d);
+    match engine.try_select(topo, s, d, paths) {
+        Ok(_) => {
+            if surviving == 0 {
+                findings.push(Diagnostic::error(
+                    RuleId::CoverageDisconnect,
+                    format!(
+                        "pair ({}, {}): no path survives, yet the adapter \
+                         returned {} paths instead of Disconnected",
+                        s.0,
+                        d.0,
+                        paths.len()
+                    ),
+                    Witness::Pair { src: s, dst: d },
+                ));
+                return;
+            }
+            let expected = budget.expected(surviving);
+            if paths.len() as u64 != expected {
+                findings.push(Diagnostic::error(
+                    RuleId::CoverageCount,
+                    format!(
+                        "pair ({}, {}): degraded selection has {} paths, expected \
+                         min(K, X_surviving) = {expected} (X_surviving = {surviving})",
+                        s.0,
+                        d.0,
+                        paths.len()
+                    ),
+                    Witness::Pair { src: s, dst: d },
+                ));
+            }
+            check_distinct(s, d, paths, findings);
+            for &p in paths.iter() {
+                check_path_shape(topo, s, d, p, Some(faults), findings);
+            }
+        }
+        Err(RouteError::Disconnected { .. }) => {
+            if surviving != 0 {
+                findings.push(Diagnostic::error(
+                    RuleId::CoverageDisconnect,
+                    format!(
+                        "pair ({}, {}): adapter reported Disconnected but \
+                         {surviving} paths survive",
+                        s.0, d.0
+                    ),
+                    Witness::Pair { src: s, dst: d },
+                ));
+            }
+        }
+        Err(e) => {
+            findings.push(Diagnostic::error(
+                RuleId::CoverageCount,
+                format!("pair ({}, {}): unexpected routing error: {e}", s.0, d.0),
+                Witness::Pair { src: s, dst: d },
+            ));
+        }
+    }
 }
 
 /// Walk the forwarding tables for `(src, dst, slot)` and return the

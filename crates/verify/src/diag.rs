@@ -93,6 +93,19 @@ pub enum RuleId {
     /// Resume equivalence broke: a run snapshotted mid-flight and
     /// restored diverged from the uninterrupted run by the horizon.
     SnapResume,
+    /// A routing-controller epoch failed its activation certificate:
+    /// the reconvergence gate refused to publish the epoch (or an
+    /// injected chaos failure forced the refusal) and the controller
+    /// fell back to serving the last-good epoch in degraded mode.
+    CtlCertificate,
+    /// Controller epoch bookkeeping broke: a published epoch did not
+    /// advance monotonically, or an epoch-fenced query batch was
+    /// answered across two routing generations.
+    CtlEpoch,
+    /// Controller crash recovery failed: a restored checkpoint did not
+    /// reproduce the committed epoch (envelope accepted but the decoded
+    /// state disagrees with its recorded digest).
+    CtlResume,
 }
 
 impl RuleId {
@@ -117,6 +130,9 @@ impl RuleId {
             RuleId::SnapRoundtrip => "SNAP-ROUNDTRIP",
             RuleId::SnapReject => "SNAP-REJECT",
             RuleId::SnapResume => "SNAP-RESUME",
+            RuleId::CtlCertificate => "CTL-CERT",
+            RuleId::CtlEpoch => "CTL-EPOCH",
+            RuleId::CtlResume => "CTL-RESUME",
         }
     }
 }

@@ -45,13 +45,16 @@ mod diag;
 pub mod disjointness;
 
 pub use cdg::Cdg;
-pub use coverage::{check_fault_aware_coverage, check_router_coverage, check_tables, Budget};
+pub use coverage::{
+    check_fault_aware_coverage, check_fault_aware_coverage_scoped, check_router_coverage,
+    check_tables, Budget,
+};
 pub use diag::{CheckRun, Diagnostic, Report, RuleId, Severity, Witness};
 pub use disjointness::{check_disjoint_fork, check_load_bounds};
 
 use lmpr_core::forwarding::{ForwardingTables, SlotOrder};
 use lmpr_core::{Disjoint, FaultAware, Router, RouterKind};
-use xgft::{FaultSet, Topology};
+use xgft::{FaultSet, PnId, Topology};
 
 /// Expected per-pair cardinality for a [`RouterKind`].
 fn budget_of(kind: RouterKind) -> Budget {
@@ -99,6 +102,61 @@ pub fn verify_router_kind(
             }
             report.record(RuleId::CdgCycle, cdg.num_edges(), before);
             check_fault_aware_coverage(topo, &fa, budget, &mut report);
+            report
+        }
+    }
+}
+
+/// How much of the pair space an epoch certificate must re-audit.
+///
+/// The routing controller certifies every epoch before activating it.
+/// Epoch 0 (and any recovery-from-scratch epoch) uses [`EpochScope::Full`]:
+/// the complete degraded-mode analysis, CDG cycle check included. Later
+/// epochs use [`EpochScope::Pairs`] with the blast radius of the fault
+/// change batch — the route keys the [`SelectionEngine`] flushed — which
+/// is sound because degraded selections are always a *subset* of the
+/// pair's canonical up\*/down\* path enumeration: the canonical CDG is
+/// acyclic by level stratification and removing routes cannot introduce
+/// a dependency edge, so the full-scope CDG certificate from epoch 0 is
+/// inherited structurally and only the touched pairs' coverage needs
+/// re-proof.
+///
+/// [`SelectionEngine`]: https://docs.rs/lmpr-core
+#[derive(Debug, Clone, Copy)]
+pub enum EpochScope<'a> {
+    /// Re-audit everything: CDG acyclicity plus coverage on all pairs.
+    Full,
+    /// Re-audit coverage on exactly these SD pairs, inheriting the CDG
+    /// certificate from the last full-scope epoch.
+    Pairs(&'a [(PnId, PnId)]),
+}
+
+/// Produce the activation certificate for one controller epoch: the
+/// degraded routing state `(kind, faults)` on `topo`, audited at the
+/// given [`EpochScope`]. A certified report is the precondition for the
+/// controller to publish the epoch; an uncertified one flips the
+/// controller into degraded mode.
+///
+/// Full scope is exactly [`verify_router_kind`] with the fault set;
+/// scoped mode runs [`check_fault_aware_coverage_scoped`] on the blast
+/// radius and records a `CTL-CERT` check run documenting the inherited
+/// CDG certificate (inspected = number of scoped pairs).
+pub fn certify_epoch(
+    topo: &Topology,
+    topology_label: &str,
+    kind: RouterKind,
+    faults: &FaultSet,
+    scope: EpochScope<'_>,
+) -> Report {
+    match scope {
+        EpochScope::Full => verify_router_kind(topo, topology_label, kind, Some(faults)),
+        EpochScope::Pairs(pairs) => {
+            let budget = budget_of(kind);
+            let fa = FaultAware::new(kind, faults.clone());
+            let mut report = Report::new(topology_label, fa.name());
+            let before = report.findings.len();
+            check_fault_aware_coverage_scoped(topo, &fa, budget, pairs, &mut report);
+            report.record(RuleId::CtlCertificate, pairs.len() as u64, before);
             report
         }
     }
@@ -180,6 +238,72 @@ mod tests {
         let report = verify_router_kind(&topo, "fig3", RouterKind::Disjoint(4), Some(&faults));
         assert!(report.certified(), "{:?}", report.findings);
         assert!(report.scheme.contains("+faults"));
+    }
+
+    #[test]
+    fn scoped_epoch_certificate_matches_full_on_the_blast_radius() {
+        let topo = fig3();
+        let mut faults = FaultSet::new();
+        faults.fail_switch(&topo, NodeId { level: 3, rank: 1 });
+
+        let full = certify_epoch(
+            &topo,
+            "fig3",
+            RouterKind::Disjoint(4),
+            &faults,
+            EpochScope::Full,
+        );
+        assert!(full.certified(), "{:?}", full.findings);
+
+        // Scope to a handful of pairs (including a self-pair, which must
+        // be skipped, and a duplicate, which must be harmless).
+        let pairs = [
+            (PnId(0), PnId(63)),
+            (PnId(5), PnId(5)),
+            (PnId(0), PnId(63)),
+            (PnId(17), PnId(2)),
+        ];
+        let scoped = certify_epoch(
+            &topo,
+            "fig3",
+            RouterKind::Disjoint(4),
+            &faults,
+            EpochScope::Pairs(&pairs),
+        );
+        assert!(scoped.certified(), "{:?}", scoped.findings);
+        let ctl = scoped
+            .checks
+            .iter()
+            .find(|c| c.rule == RuleId::CtlCertificate)
+            .expect("scoped certificate records a CTL-CERT check run");
+        assert_eq!(ctl.inspected, pairs.len() as u64);
+        assert_eq!(ctl.findings, 0);
+    }
+
+    #[test]
+    fn scoped_epoch_certificate_flags_a_broken_adapter() {
+        // A router that silently drops paths: coverage on the scoped
+        // pairs must refute the certificate.
+        struct HalfBudget;
+        impl Router for HalfBudget {
+            fn fill_paths(&self, topo: &Topology, s: PnId, d: PnId, out: &mut Vec<xgft::PathId>) {
+                RouterKind::Disjoint(4).fill_paths(topo, s, d, out);
+                out.truncate(out.len() / 2);
+            }
+            fn name(&self) -> String {
+                "half-budget".to_owned()
+            }
+        }
+        let topo = fig3();
+        let fa = FaultAware::new(HalfBudget, FaultSet::new());
+        let mut report = Report::new("fig3", "half-budget");
+        let pairs = [(PnId(0), PnId(63))];
+        check_fault_aware_coverage_scoped(&topo, &fa, Budget::Limited(4), &pairs, &mut report);
+        assert!(!report.certified());
+        assert!(report
+            .findings
+            .iter()
+            .any(|d| d.rule == RuleId::CoverageCount));
     }
 
     #[test]

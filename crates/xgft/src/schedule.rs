@@ -166,6 +166,21 @@ impl FaultSchedule {
         self.events.last().map(|e| e.at)
     }
 
+    /// The events with `from <= at <= through`, as a slice of the sorted
+    /// timeline (both bounds inclusive; an inverted window is empty).
+    ///
+    /// This is the export surface for incremental consumers that feed
+    /// change *batches* elsewhere instead of replaying onto a local
+    /// [`FaultSet`]: a controller that already committed every event
+    /// through cycle `t0` fetches `events_between(t0 + 1, t1)` and hands
+    /// the batch to its selection engine, reproducing
+    /// [`FaultSchedule::apply_through`] window by window.
+    pub fn events_between(&self, from: u64, through: u64) -> &[FaultEvent] {
+        let lo = self.events.partition_point(|e| e.at < from);
+        let hi = self.events.partition_point(|e| e.at <= through);
+        &self.events[lo..hi.max(lo)]
+    }
+
     /// The fault state at cycle `t`: every event with `at <= t` replayed
     /// onto an empty set, in timeline order.
     pub fn state_at(&self, topo: &Topology, t: u64) -> FaultSet {
@@ -322,6 +337,32 @@ mod tests {
             }
             assert_eq!(cursor, s.events().len(), "all events consumed at the end");
         }
+    }
+
+    #[test]
+    fn events_between_windows_tile_the_timeline() {
+        let t = fig3();
+        let s = FaultSchedule::poisson(&t, 1e-3, 200.0, 5_000, 9);
+        assert!(!s.is_empty());
+        // Consecutive inclusive windows concatenate to the full prefix.
+        let mut seen = 0usize;
+        let mut from = 0u64;
+        for through in (0..6_000).step_by(250) {
+            let w = s.events_between(from, through);
+            for e in w {
+                assert!(e.at >= from && e.at <= through);
+                assert_eq!(*e, s.events()[seen], "window order == timeline order");
+                seen += 1;
+            }
+            from = through + 1;
+        }
+        assert_eq!(seen, s.events().len(), "windows must tile every event");
+        // Boundary inclusivity: a window ending exactly on an event's
+        // cycle contains it; the next window does not repeat it.
+        let at = s.events()[0].at;
+        assert!(s.events_between(at, at).iter().all(|e| e.at == at));
+        assert!(!s.events_between(at, at).is_empty());
+        assert!(s.events_between(at + 1, at).is_empty(), "inverted window");
     }
 
     #[test]

@@ -28,6 +28,7 @@ const LINT_ROOTS: &[&str] = &[
     "crates/flowsim/src",
     "crates/flitsim/src",
     "crates/verify/src",
+    "crates/ctld/src",
     "src",
 ];
 
@@ -35,9 +36,11 @@ const ALLOWLIST: &str = "crates/xtask/lint-allowlist.txt";
 
 /// Directories whose files may never appear in the allowlist: the
 /// modules decomposed out of the old `sim.rs` monolith started
-/// panic-free and must stay that way — a new site there is always a
-/// lint failure, never a vetting candidate.
-const DENY_DIRS: &[&str] = &["crates/flitsim/src"];
+/// panic-free and must stay that way, and the controller daemon — a
+/// long-running service whose whole point is surviving faults — was
+/// born under the same rule. A new site in either is always a lint
+/// failure, never a vetting candidate.
+const DENY_DIRS: &[&str] = &["crates/flitsim/src", "crates/ctld/src"];
 
 /// Whether an allowlist entry for `file` is categorically forbidden.
 fn denied(file: &str) -> bool {
@@ -108,8 +111,9 @@ fn lint(update: bool) -> ExitCode {
              # `cargo xtask lint --update` after vetting any change; the lint\n\
              # fails on both increases (new panic paths) and decreases (stale\n\
              # pins), so this file always reflects reality.\n\
-             # Files under crates/flitsim/src can never be pinned here: the\n\
-             # simulator modules are panic-free by construction.\n",
+             # Files under crates/flitsim/src and crates/ctld/src can never be\n\
+             # pinned here: the simulator modules and the controller daemon are\n\
+             # panic-free by construction.\n",
         );
         let mut refused = false;
         for (file, sites) in &counts {
@@ -486,6 +490,8 @@ mod tests {
     fn deny_list_covers_the_simulator_sources_exactly() {
         assert!(denied("crates/flitsim/src/engine.rs"));
         assert!(denied("crates/flitsim/src/sweep.rs"));
+        assert!(denied("crates/ctld/src/controller.rs"));
+        assert!(denied("crates/ctld/src/bin/ctld.rs"));
         assert!(!denied("crates/flitsim/srcx/other.rs"));
         assert!(!denied("crates/core/src/selection.rs"));
         assert!(!denied("crates/flowsim/src/loads.rs"));
