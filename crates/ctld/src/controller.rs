@@ -15,14 +15,20 @@
 //! ```
 //!
 //! Fault changes (live feed batches or replayed schedule events) are
-//! staged in `pending`; a reconvergence applies them to the selection
-//! engine, computes the blast radius via
-//! [`SelectionEngine::apply_changes_collect`], and asks `lmpr-verify`
-//! for the epoch certificate *before* activation. Only a certified
-//! state is committed: the epoch number advances, the root state is
-//! checkpointed atomically, and the changes leave `pending`. A failed
-//! certificate rolls the engine back to the committed view and keeps
-//! serving it — degraded, but correct.
+//! staged in `pending`; a reconvergence derives the certification scope
+//! from the topology ([`lmpr_verify::change_blast_radius`] — every pair
+//! whose canonical path space touches a changed element), applies the
+//! changes to the selection engine, and asks `lmpr-verify` for the
+//! epoch certificate *before* activation. The scope never comes from
+//! cache contents: flushed cache keys under-approximate the blast
+//! radius whenever an affected pair was not cached (cold start,
+//! post-rollback rebuild, never queried), and an under-scoped audit
+//! certifies trivially. Only a certified state is committed: the epoch
+//! number advances, the root state is checkpointed atomically, and the
+//! changes leave `pending`. A failed certificate rolls the engine back
+//! to the committed view and keeps serving it — degraded, but correct;
+//! retries recompute the scope from the same staged changes, so a
+//! failed attempt is re-audited at full strength, never rubber-stamped.
 //!
 //! All timing is a **logical clock** (`now`, advanced by `tick`), so
 //! the whole machine — epochs, backoff, schedule replay — is a pure
@@ -33,8 +39,8 @@
 
 use crate::store::{Checkpoint, Store, StoreError};
 use crate::wire::ChangeSpec;
-use lmpr_core::{route_key_pair, Router, RouterKind, SelectionEngine};
-use lmpr_verify::{certify_epoch, EpochScope, Report, RuleId, Severity};
+use lmpr_core::{Router, RouterKind, SelectionEngine};
+use lmpr_verify::{certify_epoch, change_blast_radius, EpochScope, Report, RuleId, Severity};
 use std::fmt;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -57,8 +63,10 @@ pub struct CtlConfig {
     pub backoff_cap_ticks: u64,
     /// Checkpoints retained on disk.
     pub retain_checkpoints: usize,
-    /// Certify each epoch on the change batch's blast radius (true,
-    /// the default) or re-run the full analysis every time.
+    /// Certify each epoch on the change batch's topology-derived blast
+    /// radius (true, the default) or re-run the full analysis every
+    /// time. An empty blast radius always falls back to the full
+    /// analysis — nothing certifies on zero evidence.
     pub scoped_certs: bool,
     /// Test hook: sleep this long inside each reconvergence, so a
     /// SIGKILL can land mid-reconvergence deterministically.
@@ -217,6 +225,8 @@ pub struct Controller {
     reconv_count: u64,
     reconv_total_us: u64,
     reconv_max_us: u64,
+    /// Ordered pairs audited by the most recent certificate attempt.
+    last_cert_pairs: u64,
 }
 
 impl Controller {
@@ -249,6 +259,7 @@ impl Controller {
                     reconv_count: 0,
                     reconv_total_us: 0,
                     reconv_max_us: 0,
+                    last_cert_pairs: 0,
                     cfg,
                 };
                 // The resumed epoch was certified when it was committed;
@@ -290,6 +301,7 @@ impl Controller {
                     reconv_count: 0,
                     reconv_total_us: 0,
                     reconv_max_us: 0,
+                    last_cert_pairs: 0,
                     cfg,
                 };
                 ctl.checkpoint()?;
@@ -317,6 +329,15 @@ impl Controller {
     /// Logical clock.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// Ordered pairs audited by the most recent epoch-certificate
+    /// attempt: the topology-derived blast radius for a scoped
+    /// certificate, the full `n·(n−1)` pair matrix otherwise. Zero only
+    /// before the first reconvergence attempt — a committed epoch is
+    /// never backed by an empty audit.
+    pub fn last_cert_pairs(&self) -> u64 {
+        self.last_cert_pairs
     }
 
     /// Toggle injected certificate failure (the chaos hook the degraded
@@ -456,20 +477,41 @@ impl Controller {
             return Ok(());
         }
         let started = Instant::now();
-        let mut flushed = Vec::new();
-        self.engine
-            .apply_changes_collect(&self.topo, &self.pending, &mut flushed);
+        // The certification scope is derived from the topology — every
+        // pair whose canonical path space touches a changed element —
+        // never from cache contents. Flushed cache keys under-scope the
+        // audit whenever an affected pair was not cached (cold start,
+        // the engine rebuild after a failed certificate, or simply
+        // never queried), and an empty scope would certify trivially.
+        // `pending` survives a failed attempt untouched, so a degraded
+        // retry recomputes the identical scope.
+        let pairs = if self.cfg.scoped_certs {
+            change_blast_radius(&self.topo, &self.pending)
+        } else {
+            Vec::new()
+        };
+        self.engine.apply_changes(&self.topo, &self.pending);
         if self.cfg.reconverge_delay_ms > 0 {
             std::thread::sleep(std::time::Duration::from_millis(
                 self.cfg.reconverge_delay_ms,
             ));
         }
         let candidate_view = self.engine.view().clone();
-        let pairs: Vec<(PnId, PnId)> = flushed.iter().map(|&k| route_key_pair(k)).collect();
-        let scope = if self.cfg.scoped_certs {
-            EpochScope::Pairs(&pairs)
-        } else {
-            EpochScope::Full
+        let n = self.topo.num_pns() as u64;
+        let full_pairs = n * (n - 1);
+        let scope =
+            if self.cfg.scoped_certs && !pairs.is_empty() && (pairs.len() as u64) < full_pairs {
+                EpochScope::Pairs(&pairs)
+            } else {
+                // Scoping disabled, an empty blast radius (nothing may
+                // certify on zero pairs), or a radius spanning the whole
+                // matrix (the full analysis costs the same and re-proves
+                // CDG acyclicity as well): run the full analysis.
+                EpochScope::Full
+            };
+        self.last_cert_pairs = match scope {
+            EpochScope::Pairs(p) => p.len() as u64,
+            EpochScope::Full => full_pairs,
         };
         let mut report = certify_epoch(
             &self.topo,

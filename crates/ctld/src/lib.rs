@@ -10,8 +10,9 @@
 //!   serves is a monotonically numbered epoch. An epoch is activated
 //!   only after an `lmpr-verify` certificate (CDG acyclicity inherited
 //!   from the full-scope genesis proof, coverage re-proven on the
-//!   change batch's blast radius) passes — see
-//!   [`lmpr_verify::certify_epoch`].
+//!   change batch's topology-derived blast radius) passes — see
+//!   [`lmpr_verify::certify_epoch`] and
+//!   [`lmpr_verify::change_blast_radius`].
 //! * **Crash consistency** ([`store`]): each committed epoch is
 //!   checkpointed with an atomic write-then-rename in a checksummed
 //!   envelope. A SIGKILL at any instant restarts the daemon into the

@@ -14,7 +14,7 @@
 //! the socket file is removed.
 
 use crate::controller::{Controller, CtlError, Mode};
-use crate::wire::{read_frame, write_frame, ErrorCode, Request, Response};
+use crate::wire::{read_frame, write_frame, ErrorCode, Request, Response, MAX_FRAME};
 use std::io;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
@@ -200,7 +200,28 @@ fn handle_connection(mut stream: UnixStream, queue: SyncSender<Job>, shutdown_ac
                 message: "server shutting down".to_owned(),
             },
         };
-        let written = write_frame(&mut stream, resp.to_json().as_bytes()).is_ok();
+        // A legal request can still produce a reply too large for the
+        // frame bound (a big paths batch fans out to several path ids
+        // per pair). Letting `write_frame` trip on it would close the
+        // connection with no reply; the wire contract is that every
+        // client-provoked error is answered in band, so substitute a
+        // typed rejection that tells the client to split the batch.
+        let mut payload = resp.to_json();
+        if payload.len() as u64 > MAX_FRAME as u64 {
+            let (epoch, mode) = resp.epoch_mode();
+            payload = Response::Error {
+                code: ErrorCode::BadRequest,
+                epoch,
+                mode: mode.to_owned(),
+                message: format!(
+                    "reply of {} bytes exceeds the {MAX_FRAME}-byte frame bound; \
+                     split the batch into smaller requests",
+                    payload.len()
+                ),
+            }
+            .to_json();
+        }
+        let written = write_frame(&mut stream, payload.as_bytes()).is_ok();
         if is_shutdown && !matches!(resp, Response::Error { .. }) {
             let _ = shutdown_ack.try_send(());
         }

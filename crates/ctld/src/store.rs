@@ -3,11 +3,13 @@
 //! Each committed epoch is serialized into a checksummed envelope
 //! (magic · version · payload length · FNV-1a-64 · payload, all
 //! little-endian — the same shape as the flit-sim snapshot format) and
-//! written atomically: the bytes go to a temp file in the same
-//! directory, are fsynced, and are renamed over the final
-//! `epoch-<n>.snap` name. A crash therefore leaves either the old
-//! checkpoint set or the new one, never a torn file; a torn *temp* file
-//! is ignored by recovery entirely.
+//! written atomically and durably: the bytes go to a temp file in the
+//! same directory, are fsynced, are renamed over the final
+//! `epoch-<n>.snap` name, and the directory itself is fsynced so the
+//! rename survives power loss, not just process death. A crash
+//! therefore leaves either the old checkpoint set or the new one,
+//! never a torn file; a torn *temp* file is ignored by recovery
+//! entirely.
 //!
 //! Recovery scans the directory for the highest-numbered checkpoint
 //! that decodes and passes its checksum and **view digest** (a second
@@ -338,9 +340,12 @@ impl Store {
     }
 
     /// Atomically commit a checkpoint: write to a temp file, fsync,
-    /// rename to `epoch-<n>.snap`, then prune beyond the retention
-    /// bound. After the rename returns, a crash at any point leaves
-    /// this epoch recoverable.
+    /// rename to `epoch-<n>.snap`, fsync the checkpoint directory, then
+    /// prune beyond the retention bound. Only after the *directory*
+    /// fsync is the rename itself durable — without it a power loss
+    /// can forget the new directory entry even though the file data
+    /// reached disk — so a crash at any point leaves this epoch (or an
+    /// older committed one) recoverable.
     pub fn commit(&self, cp: &Checkpoint) -> Result<(), StoreError> {
         let tmp = self.dir.join(format!(".epoch-{:016}.tmp", cp.epoch));
         let bytes = cp.to_bytes();
@@ -350,6 +355,10 @@ impl Store {
             f.sync_all()?;
         }
         fs::rename(&tmp, self.snap_path(cp.epoch))?;
+        // Make the rename durable before prune may delete predecessors:
+        // pruning first could leave, after power loss, neither the old
+        // checkpoints nor the (forgotten) new one.
+        fs::File::open(&self.dir)?.sync_all()?;
         self.prune();
         Ok(())
     }

@@ -471,6 +471,22 @@ pub enum Response {
 }
 
 impl Response {
+    /// The `(epoch, mode)` stamp every reply variant carries — used by
+    /// the server to build a substitute error that still reports the
+    /// routing generation when the original reply cannot be sent.
+    pub fn epoch_mode(&self) -> (u64, &str) {
+        match self {
+            Response::Status { epoch, mode, .. }
+            | Response::Digest { epoch, mode, .. }
+            | Response::Paths { epoch, mode, .. }
+            | Response::Fault { epoch, mode, .. }
+            | Response::Tick { epoch, mode, .. }
+            | Response::Chaos { epoch, mode, .. }
+            | Response::Shutdown { epoch, mode }
+            | Response::Error { epoch, mode, .. } => (*epoch, mode),
+        }
+    }
+
     /// Serialize to the wire JSON.
     pub fn to_json(&self) -> String {
         match self {

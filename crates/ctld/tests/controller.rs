@@ -81,6 +81,50 @@ fn fault_feed_commits_certified_epochs_and_is_idempotent() {
 }
 
 #[test]
+fn cold_cache_reconvergence_still_audits_the_blast_radius() {
+    // Regression: the certification scope must come from the topology,
+    // not from flushed selection-cache entries. With no queries before
+    // the first fault (cold cache) a cache-derived scope would be empty
+    // and the epoch would certify trivially on zero pairs.
+    let cfg = base_cfg("coldscope");
+    assert!(cfg.scoped_certs, "scoped certificates are the default");
+    let (mut ctl, _) = Controller::start(cfg.clone()).expect("start");
+    assert_eq!(ctl.last_cert_pairs(), 0, "no reconvergence attempted yet");
+
+    // First fault with a stone-cold cache: the commit must be backed by
+    // a non-empty audit.
+    assert!(ctl.ingest(1, &[ChangeSpec::LinkDown(3)]).expect("batch 1"));
+    assert_eq!(ctl.epoch(), 1);
+    let cold_scope = ctl.last_cert_pairs();
+    assert!(
+        cold_scope > 0,
+        "a committed epoch must never be backed by an empty audit"
+    );
+
+    // A failed certificate rebuilds the engine (cold cache again); the
+    // degraded retry must re-audit the same topology-derived scope, not
+    // rubber-stamp the state it just refused.
+    ctl.set_chaos_fail_certs(true);
+    ctl.ingest(2, &[ChangeSpec::LinkDown(9)]).expect("staged");
+    let Mode::Degraded { next_retry_at, .. } = ctl.mode() else {
+        panic!("expected degraded after an injected cert failure");
+    };
+    let failed_scope = ctl.last_cert_pairs();
+    assert!(failed_scope > 0, "failed attempt audited a real scope");
+
+    ctl.set_chaos_fail_certs(false);
+    ctl.tick(next_retry_at).expect("recovery tick");
+    assert_eq!(ctl.mode(), Mode::Serving);
+    assert_eq!(ctl.epoch(), 2);
+    assert_eq!(
+        ctl.last_cert_pairs(),
+        failed_scope,
+        "the retry re-audited the failed attempt's full scope"
+    );
+    cleanup(&cfg);
+}
+
+#[test]
 fn stale_and_future_epochs_are_fenced() {
     let cfg = base_cfg("fence");
     let (mut ctl, _) = Controller::start(cfg.clone()).expect("start");

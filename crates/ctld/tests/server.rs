@@ -200,6 +200,54 @@ fn malformed_frames_get_in_band_bad_request_replies() {
 }
 
 #[test]
+fn oversized_replies_are_typed_errors_not_dropped_connections() {
+    let d = Daemon::start("bigreply", |_, _| {});
+    let mut c = d.connect();
+    let epoch = match roundtrip(&mut c, &Request::Hello) {
+        Response::Status { epoch, .. } => epoch,
+        other => panic!("unexpected hello reply: {other:?}"),
+    };
+
+    // A legal request — it fits the 1 MiB request frame — whose answer
+    // does not: ~90k pairs, each answering with up to four path ids.
+    let pairs: Vec<(u32, u32)> = (0..90_000).map(|i| (0, 1 + (i % 30))).collect();
+    let req = Request::Paths {
+        epoch,
+        deadline_ms: None,
+        pairs,
+    };
+    assert!(
+        (req.to_json().len() as u64) <= lmpr_ctld::MAX_FRAME as u64,
+        "the request itself must be within the frame bound"
+    );
+    match roundtrip(&mut c, &req) {
+        Response::Error {
+            code: ErrorCode::BadRequest,
+            message,
+            ..
+        } => assert!(message.contains("frame bound"), "message: {message}"),
+        other => panic!("oversized reply not rejected in band: {other:?}"),
+    }
+
+    // The connection survives the rejection and keeps serving.
+    match roundtrip(
+        &mut c,
+        &Request::Paths {
+            epoch,
+            deadline_ms: None,
+            pairs: vec![(0, 5)],
+        },
+    ) {
+        Response::Paths { paths, .. } => {
+            assert_eq!(paths.len(), 1);
+            assert!(!paths[0].is_empty());
+        }
+        other => panic!("connection unusable after the rejection: {other:?}"),
+    }
+    d.stop();
+}
+
+#[test]
 fn a_zero_deadline_is_rejected_as_expired() {
     let d = Daemon::start("deadline", |_, _| {});
     let mut c = d.connect();

@@ -222,13 +222,13 @@ pub fn check_fault_aware_coverage<R: Router>(
 
 /// Audit the fault-aware selection on an explicit pair subset — the
 /// routing controller's *incremental* per-epoch certificate mode. After
-/// a fault change batch only the pairs in the batch's blast radius (the
-/// keys [`SelectionEngine::apply_changes_collect`] reports, plus
-/// whatever the caller adds) can change their selection, so
-/// re-certifying exactly those pairs keeps reconvergence latency
-/// proportional to the damage while untouched pairs keep their standing
-/// certificate. Self-pairs in `pairs` are skipped, duplicates are
-/// audited twice (harmless — the audit is read-only).
+/// a fault change batch only the pairs in the batch's topology-derived
+/// blast radius ([`crate::change_blast_radius`]: every pair whose
+/// canonical path space touches a changed element) can change their
+/// selection, so re-certifying exactly those pairs keeps reconvergence
+/// latency proportional to the damage while untouched pairs keep their
+/// standing certificate. Self-pairs in `pairs` are skipped, duplicates
+/// are audited twice (harmless — the audit is read-only).
 pub fn check_fault_aware_coverage_scoped<R: Router>(
     topo: &Topology,
     adapter: &FaultAware<R>,

@@ -54,7 +54,7 @@ pub use disjointness::{check_disjoint_fork, check_load_bounds};
 
 use lmpr_core::forwarding::{ForwardingTables, SlotOrder};
 use lmpr_core::{Disjoint, FaultAware, Router, RouterKind};
-use xgft::{FaultSet, PnId, Topology};
+use xgft::{FaultChange, FaultSet, LinkDir, PnId, Topology, MAX_HEIGHT};
 
 /// Expected per-pair cardinality for a [`RouterKind`].
 fn budget_of(kind: RouterKind) -> Budget {
@@ -112,16 +112,19 @@ pub fn verify_router_kind(
 /// The routing controller certifies every epoch before activating it.
 /// Epoch 0 (and any recovery-from-scratch epoch) uses [`EpochScope::Full`]:
 /// the complete degraded-mode analysis, CDG cycle check included. Later
-/// epochs use [`EpochScope::Pairs`] with the blast radius of the fault
-/// change batch — the route keys the [`SelectionEngine`] flushed — which
-/// is sound because degraded selections are always a *subset* of the
+/// epochs use [`EpochScope::Pairs`] with the **topology-derived blast
+/// radius** of the fault change batch — [`change_blast_radius`], every
+/// pair whose canonical path space touches a changed element — which is
+/// sound because degraded selections are always a *subset* of the
 /// pair's canonical up\*/down\* path enumeration: the canonical CDG is
 /// acyclic by level stratification and removing routes cannot introduce
 /// a dependency edge, so the full-scope CDG certificate from epoch 0 is
 /// inherited structurally and only the touched pairs' coverage needs
-/// re-proof.
-///
-/// [`SelectionEngine`]: https://docs.rs/lmpr-core
+/// re-proof. The scope must come from the topology, never from cache
+/// contents: a selection cache under-approximates the blast radius
+/// whenever an affected pair was not cached (cold start, post-rollback
+/// rebuild, or simply never queried), and an under-scoped — worst case
+/// empty — audit certifies trivially.
 #[derive(Debug, Clone, Copy)]
 pub enum EpochScope<'a> {
     /// Re-audit everything: CDG acyclicity plus coverage on all pairs.
@@ -160,6 +163,86 @@ pub fn certify_epoch(
             report
         }
     }
+}
+
+/// The ordered SD pairs whose canonical up\*/down\* path space touches
+/// any element named by `changes` — the certification scope of one
+/// reconvergence, derived from the topology alone.
+///
+/// For a directed link at level `l` (its lower endpoint `B` is the
+/// level-`l−1` node), the canonical enumeration routes a pair through
+/// it exactly when the pair straddles `B`'s height-`l−1` sub-tree `R`:
+/// `R × ¬R` for up-links, `¬R × R` for down-links. The climb from a
+/// source fixes the label digits at positions `l..h` to the source's —
+/// so it can reach `B` iff the source lies under `B` — and reaches
+/// level `l` at all iff the NCA is at `l` or above, i.e. the
+/// destination is *outside* `R`; the digits below `l` are free port
+/// choices, so every such pair has some canonical path over the link.
+/// Descents are the mirror image. Up and down *events* contribute
+/// identically: a pair's selection is a pure function of the survival
+/// bits of its canonical enumeration, so any pair whose space contains
+/// a changed element may select differently and must be re-audited,
+/// while a pair outside every changed element's region cannot change.
+///
+/// Sub-tree leaf ranges are aligned (size `m_prod(l−1)`, index
+/// `pn / size`) and ranges containing a given PN are nested across
+/// levels, so per PN only the *smallest* touched range per direction
+/// matters; the pair enumeration is then O(n²) with O(1) membership
+/// tests and yields each affected pair exactly once, in lexicographic
+/// order.
+///
+/// Unlike a scope harvested from selection-cache flushes, this set does
+/// not depend on what happened to be cached — a cold cache yields the
+/// same, complete, audit scope. Switch events expand to all incident
+/// links, mirroring [`FaultSet::fail_switch`].
+pub fn change_blast_radius(topo: &Topology, changes: &[FaultChange]) -> Vec<(PnId, PnId)> {
+    let mut touched = FaultSet::new();
+    for change in changes {
+        match *change {
+            FaultChange::LinkDown(l) | FaultChange::LinkUp(l) => touched.fail_link(l),
+            FaultChange::SwitchDown(n) | FaultChange::SwitchUp(n) => touched.fail_switch(topo, n),
+        }
+    }
+    let n = topo.num_pns() as usize;
+    // Per PN and direction, the size of the smallest touched sub-tree
+    // range containing it (alignment makes the size identify the range).
+    const NONE: u32 = u32::MAX;
+    let mut up_size = vec![NONE; n];
+    let mut down_size = vec![NONE; n];
+    let mut digits = [0u32; MAX_HEIGHT];
+    for link in touched.failed_links() {
+        let e = topo.endpoints(link);
+        let (lower, sizes) = match e.dir {
+            LinkDir::Up => (e.from, &mut up_size),
+            LinkDir::Down => (e.to, &mut down_size),
+        };
+        let l = e.level as usize;
+        let size = topo.m_prod(l - 1) as usize;
+        topo.digits_of(lower, &mut digits);
+        let mut base = 0usize;
+        for i in l..=topo.height() {
+            base += digits[i - 1] as usize * topo.m_prod(i - 1) as usize;
+        }
+        for slot in sizes.iter_mut().skip(base).take(size) {
+            *slot = (*slot).min(size as u32);
+        }
+    }
+    let mut pairs = Vec::new();
+    for (s, &up) in up_size.iter().enumerate() {
+        for (d, &down) in down_size.iter().enumerate() {
+            if s == d {
+                continue;
+            }
+            // Affected iff d escapes s's smallest touched source-side
+            // range, or s escapes d's smallest destination-side range.
+            let up_hit = up != NONE && d / up as usize != s / up as usize;
+            let down_hit = down != NONE && s / down as usize != d / down as usize;
+            if up_hit || down_hit {
+                pairs.push((PnId(s as u32), PnId(d as u32)));
+            }
+        }
+    }
+    pairs
 }
 
 /// Run the full analysis for an LFT realization: build the tables for
@@ -304,6 +387,82 @@ mod tests {
             .findings
             .iter()
             .any(|d| d.rule == RuleId::CoverageCount));
+    }
+
+    /// The ground truth `change_blast_radius` must reproduce: a pair is
+    /// affected iff some canonical path crosses a changed element.
+    fn brute_blast_radius(topo: &Topology, changes: &[FaultChange]) -> Vec<(PnId, PnId)> {
+        let mut touched = FaultSet::new();
+        for change in changes {
+            match *change {
+                FaultChange::LinkDown(l) | FaultChange::LinkUp(l) => touched.fail_link(l),
+                FaultChange::SwitchDown(n) | FaultChange::SwitchUp(n) => {
+                    touched.fail_switch(topo, n)
+                }
+            }
+        }
+        let n = topo.num_pns();
+        let mut pairs = Vec::new();
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                let (s, d) = (PnId(s), PnId(d));
+                if topo
+                    .all_paths(s, d)
+                    .any(|p| !touched.path_survives(topo, s, d, p))
+                {
+                    pairs.push((s, d));
+                }
+            }
+        }
+        pairs
+    }
+
+    #[test]
+    fn change_blast_radius_matches_the_canonical_path_definition() {
+        use xgft::DirectedLinkId;
+        let specs = [
+            XgftSpec::new(&[4, 4, 4], &[1, 2, 4]).expect("fig3"),
+            XgftSpec::new(&[4, 8], &[1, 4]).expect("8-port 2-tree"),
+            XgftSpec::new(&[2, 3, 2], &[2, 1, 3]).expect("asymmetric"),
+        ];
+        for spec in specs {
+            let topo = Topology::new(spec);
+            let num_links = topo.num_links();
+            // One link per level and direction (first and last id of
+            // each kind), every switch level, and a mixed batch.
+            let mut cases: Vec<Vec<FaultChange>> = vec![Vec::new()];
+            for id in [0, num_links / 3, num_links / 2, num_links - 1] {
+                cases.push(vec![FaultChange::LinkDown(DirectedLinkId(id))]);
+                cases.push(vec![FaultChange::LinkUp(DirectedLinkId(id))]);
+            }
+            for level in 1..=topo.height() {
+                let node = NodeId {
+                    level: level as u8,
+                    rank: 0,
+                };
+                cases.push(vec![FaultChange::SwitchDown(node)]);
+                cases.push(vec![FaultChange::SwitchUp(node)]);
+            }
+            cases.push(vec![
+                FaultChange::LinkDown(DirectedLinkId(0)),
+                FaultChange::SwitchDown(NodeId {
+                    level: topo.height() as u8,
+                    rank: 0,
+                }),
+                FaultChange::LinkUp(DirectedLinkId(num_links - 1)),
+            ]);
+            for changes in &cases {
+                assert_eq!(
+                    change_blast_radius(&topo, changes),
+                    brute_blast_radius(&topo, changes),
+                    "scope mismatch for {changes:?} on {:?}",
+                    topo.spec()
+                );
+            }
+        }
     }
 
     #[test]
