@@ -10,6 +10,9 @@ cargo fmt --check
 echo "==> cargo xtask lint"
 cargo xtask lint
 
+echo "==> cargo xtask analyze --ci"
+cargo xtask analyze --ci
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -15,6 +15,8 @@
 //! produces a document byte-identical to an uninterrupted run. The
 //! document is only written/printed once every cell completed.
 
+#![forbid(unsafe_code)]
+
 use lmpr_bench::orchestrator::{OrchestratorOptions, SweepOrchestrator};
 use lmpr_bench::{chaos, document_to_json, write_document, CommonArgs};
 use std::time::Duration;

@@ -6,6 +6,8 @@
 //! Usage: `faults [--quick] [--json PATH]`
 //! (without `--json` the document is printed as JSON after the table).
 
+#![forbid(unsafe_code)]
+
 use lmpr_bench::{document_to_json, faults, write_document, CommonArgs};
 
 fn main() {

@@ -11,6 +11,8 @@
 //! Usage: `fig4 [a|b|c|d ...] [--quick] [--ablation] [--json PATH]`
 //! (no panel argument runs all four).
 
+#![forbid(unsafe_code)]
+
 use lmpr_bench::{heuristics_at, k_ladder, topology_by_name, write_json, CommonArgs, Record};
 use lmpr_core::{Router, RouterKind};
 use lmpr_flowsim::{average_over_seeds, PermutationStudy, StudyConfig};

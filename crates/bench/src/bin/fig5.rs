@@ -6,6 +6,8 @@
 //!
 //! Usage: `fig5 [--quick] [--json PATH]`
 
+#![forbid(unsafe_code)]
+
 use lmpr_bench::{write_json, CommonArgs, Record};
 use lmpr_core::{Router, RouterKind};
 use lmpr_flitsim::sweep::run_sweep;

@@ -10,6 +10,8 @@
 //!
 //! Usage: `levels [--quick] [--json PATH] [k]` (default K = 4).
 
+#![forbid(unsafe_code)]
+
 use lmpr_bench::{write_json, CommonArgs, Record};
 use lmpr_core::{Router, RouterKind};
 use lmpr_flowsim::{level_breakdown, LinkLoads};

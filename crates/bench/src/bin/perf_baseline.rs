@@ -21,6 +21,8 @@
 //!
 //! Usage: `perf_baseline [--quick] [DIR]`
 
+#![forbid(unsafe_code)]
+
 use lmpr_bench::{failure_to_json, json_f64, json_string, CommonArgs, Failure};
 use lmpr_core::{Disjoint, RouterKind, SelectionEngine};
 use lmpr_flitsim::{

@@ -9,6 +9,8 @@
 //! (`policy` runs the path-selection-policy ablation instead of the
 //! main table).
 
+#![forbid(unsafe_code)]
+
 use lmpr_bench::{write_json, CommonArgs, Record};
 use lmpr_core::{RandomK, Router, RouterKind};
 use lmpr_flitsim::sweep::{load_grid, run_sweep};

@@ -10,6 +10,8 @@
 //!
 //! Usage: `theorems [--json PATH]`
 
+#![forbid(unsafe_code)]
+
 use lmpr_bench::{write_json, CommonArgs, Record};
 use lmpr_core::{lid, DModK, Router, Umulti};
 use lmpr_flowsim::{ml_lower_bound, performance_ratio, LinkLoads};

@@ -27,6 +27,8 @@
 //! `--demo-cycle` feeds the analyzer a deliberately cyclic (valley
 //! routed) dependency fixture and shows the minimal counterexample.
 
+#![forbid(unsafe_code)]
+
 use lmpr_bench::topology_by_name;
 use lmpr_core::forwarding::SlotOrder;
 use lmpr_core::RouterKind;

@@ -15,6 +15,8 @@
 //! Each binary prints a human-readable table and, with `--json PATH`,
 //! writes machine-readable results used by EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 use lmpr_core::RouterKind;
 use lmpr_flitsim::SimError;
 use xgft::{Topology, XgftSpec};

@@ -306,7 +306,15 @@ impl<R: Router> SelectionEngine<R> {
         };
         let before = cache.len();
         if !newly_down.is_empty() || !newly_up.is_empty() {
-            cache.retain(|&key, sel| {
+            // The flush predicate runs over the key set in sorted order,
+            // never in hash-iteration order: the flushed-key list is an
+            // observable output (the batch's recorded blast radius), and
+            // every observable sequence in this workspace must be a pure
+            // function of the inputs.
+            let mut keys: Vec<u64> = cache.keys().copied().collect();
+            keys.sort_unstable();
+            for key in keys {
+                let Some(sel) = cache.get(&key) else { continue };
                 let (s, d) = route_key_pair(key);
                 let dead = !newly_down.is_empty()
                     && !sel
@@ -321,13 +329,12 @@ impl<R: Router> SelectionEngine<R> {
                     && (0..topo.num_paths(s, d))
                         .any(|p| !newly_up.path_survives(topo, s, d, PathId(p)));
                 if dead || improvable {
-                    if let Some(keys) = flushed_keys.as_deref_mut() {
-                        keys.push(key);
+                    cache.remove(&key);
+                    if let Some(out) = flushed_keys.as_deref_mut() {
+                        out.push(key);
                     }
-                    return false;
                 }
-                true
-            });
+            }
         }
         let flushed = (before - cache.len()) as u64;
         self.stats.invalidated += flushed;

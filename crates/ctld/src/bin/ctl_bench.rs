@@ -14,6 +14,8 @@
 //! document records genesis-certificate cost, committed epochs,
 //! reconvergence latency and end-to-end query throughput.
 
+#![forbid(unsafe_code)]
+
 use lmpr_bench::{json_f64, json_string};
 use lmpr_core::{Router, RouterKind};
 use lmpr_ctld::{read_frame, write_frame, Controller, CtlConfig, Request, Response, ServerConfig};

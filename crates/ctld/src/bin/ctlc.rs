@@ -15,6 +15,8 @@
 //! errors. `paths` without `--epoch` first fetches the current epoch
 //! with a `status` round trip (the fenced-read idiom).
 
+#![forbid(unsafe_code)]
+
 use lmpr_ctld::{read_frame, write_frame, ChangeSpec, Request, Response};
 use std::os::unix::net::UnixStream;
 

@@ -11,6 +11,8 @@
 //! state directory (or bootstraps and fully verifies epoch 0), then
 //! serves the wire protocol on the socket until a `shutdown` request.
 
+#![forbid(unsafe_code)]
+
 use lmpr_core::{Router, RouterKind};
 use lmpr_ctld::{serve, Controller, CtlConfig, ServerConfig};
 use xgft::FaultSchedule;

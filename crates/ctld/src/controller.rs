@@ -43,8 +43,14 @@ use lmpr_core::{Router, RouterKind, SelectionEngine};
 use lmpr_verify::{certify_epoch, change_blast_radius, EpochScope, Report, RuleId, Severity};
 use std::fmt;
 use std::path::PathBuf;
-use std::time::Instant;
 use xgft::{FaultChange, FaultSchedule, FaultSet, PnId, Topology};
+
+/// Monotonic microsecond clock injected by the hosting front end. The
+/// controller's own logic runs entirely on the feed's logical ticks;
+/// wall time exists only to report reconvergence latency stats, and
+/// only the server front end (the approved wall-clock module) may
+/// supply it.
+pub type MicrosClock = Box<dyn FnMut() -> u64 + Send>;
 
 /// Configuration of one controller instance.
 #[derive(Debug, Clone)]
@@ -227,6 +233,9 @@ pub struct Controller {
     reconv_max_us: u64,
     /// Ordered pairs audited by the most recent certificate attempt.
     last_cert_pairs: u64,
+    /// Latency clock injected via [`Controller::set_micros_clock`];
+    /// without one the reconvergence latency stats stay zero.
+    clock: Option<MicrosClock>,
 }
 
 impl Controller {
@@ -260,6 +269,7 @@ impl Controller {
                     reconv_total_us: 0,
                     reconv_max_us: 0,
                     last_cert_pairs: 0,
+                    clock: None,
                     cfg,
                 };
                 // The resumed epoch was certified when it was committed;
@@ -302,6 +312,7 @@ impl Controller {
                     reconv_total_us: 0,
                     reconv_max_us: 0,
                     last_cert_pairs: 0,
+                    clock: None,
                     cfg,
                 };
                 ctl.checkpoint()?;
@@ -314,6 +325,15 @@ impl Controller {
     /// The topology being routed.
     pub fn topology(&self) -> &Topology {
         &self.topo
+    }
+
+    /// Install the monotonic microsecond clock behind the reconvergence
+    /// latency stats. The server front end calls this once before the
+    /// controller loop; a controller without a clock is fully
+    /// functional and simply reports zero latencies, which keeps every
+    /// other embedding (tests, replay) a pure function of the feed.
+    pub fn set_micros_clock(&mut self, clock: MicrosClock) {
+        self.clock = Some(clock);
     }
 
     /// Current committed epoch.
@@ -476,7 +496,7 @@ impl Controller {
         if self.pending.is_empty() {
             return Ok(());
         }
-        let started = Instant::now();
+        let started = self.clock.as_mut().map(|c| c());
         // The certification scope is derived from the topology — every
         // pair whose canonical path space touches a changed element —
         // never from cache contents. Flushed cache keys under-scope the
@@ -535,10 +555,12 @@ impl Controller {
             self.pending.clear();
             self.mode = Mode::Serving;
             self.checkpoint()?;
-            let us = started.elapsed().as_micros() as u64;
             self.reconv_count += 1;
-            self.reconv_total_us += us;
-            self.reconv_max_us = self.reconv_max_us.max(us);
+            if let (Some(c), Some(t0)) = (self.clock.as_mut(), started) {
+                let us = c().saturating_sub(t0);
+                self.reconv_total_us += us;
+                self.reconv_max_us = self.reconv_max_us.max(us);
+            }
         } else {
             // Roll back to the committed view (cold cache — correctness
             // over warmth on this rare path) and keep serving it.

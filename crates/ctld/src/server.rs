@@ -271,6 +271,13 @@ fn controller_loop(ctl: &mut Controller, rx: Receiver<Job>) -> Result<bool, CtlE
 /// per-connection threads are detached workers feeding the bounded
 /// queue this thread drains.
 pub fn serve(mut ctl: Controller, cfg: ServerConfig) -> Result<(), io::Error> {
+    // The controller itself runs on logical ticks only (DET-TIME); the
+    // server is the approved wall-clock module and injects the
+    // monotonic clock behind the reconvergence latency stats.
+    let clock_zero = Instant::now();
+    ctl.set_micros_clock(Box::new(move || {
+        u64::try_from(clock_zero.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }));
     let _ = std::fs::remove_file(&cfg.socket_path);
     let listener = UnixListener::bind(&cfg.socket_path)?;
     let (tx, rx) = sync_channel::<Job>(cfg.queue_cap.max(1));

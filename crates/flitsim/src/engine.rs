@@ -13,6 +13,7 @@ use crate::packet::{Flit, Message, Packet, NO_XFER};
 use crate::resilience::{backoff_deadline, DropCause, Transfer, XferState};
 use crate::sim::FlitSim;
 use crate::traffic_mode::TrafficMode;
+use crate::util::{ix, route_port, small_u32};
 use lmpr_core::Router;
 use std::cmp::Reverse;
 use xgft::PnId;
@@ -111,12 +112,12 @@ impl<R: Router> FlitSim<R> {
             self.path_buf = paths;
             return;
         }
-        let choice = self.sources[src as usize].pick_message_path(paths.len());
+        let choice = self.sources[ix(src)].pick_message_path(paths.len());
         let route: Box<[u16]> = self
             .topo
             .path_output_ports(PnId(src), dst, paths[choice])
             .into_iter()
-            .map(|p| p as u16)
+            .map(route_port)
             .collect();
         if route.is_empty() {
             debug_assert!(false, "a transfer can never be a self-pair");
@@ -124,7 +125,7 @@ impl<R: Router> FlitSim<R> {
             self.path_buf = paths;
             return;
         }
-        let first_port = route[0] as usize;
+        let first_port = usize::from(route[0]);
         let pkt = self.packets.insert(Packet {
             msg,
             len: self.cfg.packet_flits,
@@ -139,8 +140,7 @@ impl<R: Router> FlitSim<R> {
             t.ever_sent = true;
             t.live_copies += 1;
         }
-        self.sources[src as usize].queues[first_port]
-            .push_back(StreamingPacket { pkt, next_seq: 0 });
+        self.sources[ix(src)].queues[first_port].push_back(StreamingPacket { pkt, next_seq: 0 });
         self.arm_timeout(xfer, sends);
         self.path_buf = paths;
     }
@@ -160,7 +160,7 @@ impl<R: Router> FlitSim<R> {
             msg,
             sends: 1,
             ever_sent: queued,
-            live_copies: queued as u32,
+            live_copies: u32::from(queued),
             state: XferState::InFlight,
         })
     }
@@ -197,14 +197,14 @@ impl<R: Router> FlitSim<R> {
     pub(crate) fn eject(&mut self) {
         for pn in 0..self.graph.num_pns() {
             for port in self.graph.ports_of(pn) {
-                let Some(&f) = self.arb.in_buf[port as usize][0].front() else {
+                let Some(&f) = self.arb.in_buf[ix(port)][0].front() else {
                     continue;
                 };
                 if f.entered >= self.now {
                     continue; // arrived this cycle; consumable next cycle
                 }
-                self.arb.in_buf[port as usize][0].pop_front();
-                self.arb.credits[self.graph.peer(port) as usize] += 1;
+                self.arb.in_buf[ix(port)][0].pop_front();
+                self.arb.credits[ix(self.graph.peer(port))] += 1;
                 self.deliver(pn, f);
             }
         }
@@ -216,7 +216,11 @@ impl<R: Router> FlitSim<R> {
             return;
         };
         debug_assert_eq!(pkt.dst, PnId(pn), "flit ejected at the wrong PN");
-        debug_assert_eq!(f.hop as usize, pkt.route.len(), "flit ejected mid-route");
+        debug_assert_eq!(
+            usize::from(f.hop),
+            pkt.route.len(),
+            "flit ejected mid-route"
+        );
         let (msg_key, is_tail, len, xfer) = (pkt.msg, pkt.is_tail(f.seq), pkt.len, pkt.xfer);
         self.progress = true;
         if xfer != NO_XFER {
@@ -279,7 +283,7 @@ impl<R: Router> FlitSim<R> {
                 debug_assert!(false, "transfer references a vacant message record");
                 return;
             };
-            msg.remaining_flits = msg.remaining_flits.saturating_sub(len as u32);
+            msg.remaining_flits = msg.remaining_flits.saturating_sub(u32::from(len));
             if msg.remaining_flits == 0 {
                 self.complete_message(msg_key);
             }
@@ -303,15 +307,15 @@ impl<R: Router> FlitSim<R> {
     // Stage 2: crossbar traversal at switches (input → output buffers).
     // ------------------------------------------------------------------
     pub(crate) fn crossbar(&mut self) {
-        let cap = self.cfg.buffer_flits();
+        let cap = ix(self.cfg.buffer_flits());
         for node in self.graph.num_pns()..self.graph.num_nodes() {
             let ports = self.graph.ports_of(node);
-            let n_ports = (ports.end - ports.start) as usize;
+            let n_ports = ix(ports.end - ports.start);
             for out in ports.clone() {
-                let out_local = (out - ports.start) as usize;
-                if let Some((in_gid, pkt_key)) = self.arb.grant[out as usize] {
+                let out_local = ix(out - ports.start);
+                if let Some((in_gid, pkt_key)) = self.arb.grant[ix(out)] {
                     // A packet holds this output until its tail passes.
-                    let Some(&f) = self.arb.in_buf[in_gid as usize][out_local].front() else {
+                    let Some(&f) = self.arb.in_buf[ix(in_gid)][out_local].front() else {
                         continue;
                     };
                     if f.entered >= self.now {
@@ -321,7 +325,7 @@ impl<R: Router> FlitSim<R> {
                         f.pkt, pkt_key,
                         "foreign packet at VOQ head while output is granted"
                     );
-                    if self.arb.out_buf[out as usize].len() as u32 == cap {
+                    if self.arb.out_buf[ix(out)].len() == cap {
                         continue; // output staging full; packet waits at the input
                     }
                     self.move_through_crossbar(in_gid, out_local, out);
@@ -329,7 +333,7 @@ impl<R: Router> FlitSim<R> {
                     // impossible way; releasing the grant keeps the port
                     // usable either way.
                     if self.packets.get(f.pkt).is_none_or(|p| p.is_tail(f.seq)) {
-                        self.arb.grant[out as usize] = None;
+                        self.arb.grant[ix(out)] = None;
                     }
                     continue;
                 }
@@ -340,14 +344,14 @@ impl<R: Router> FlitSim<R> {
                 // *link* (downstream input buffer); within the switch a
                 // blocked packet may straddle the input and output
                 // buffers, as in real combined-queue VCT switches.
-                if self.arb.out_buf[out as usize].len() as u32 == cap {
+                if self.arb.out_buf[ix(out)].len() == cap {
                     continue;
                 }
-                let start = self.arb.rr_ptr[out as usize] as usize;
+                let start = ix(self.arb.rr_ptr[ix(out)]);
                 for k in 0..n_ports {
                     let local_in = (start + k) % n_ports;
-                    let in_gid = ports.start + local_in as u32;
-                    let Some(&f) = self.arb.in_buf[in_gid as usize][out_local].front() else {
+                    let in_gid = ports.start + small_u32(local_in);
+                    let Some(&f) = self.arb.in_buf[ix(in_gid)][out_local].front() else {
                         continue;
                     };
                     if f.entered >= self.now {
@@ -360,14 +364,14 @@ impl<R: Router> FlitSim<R> {
                     };
                     let len = pkt.len;
                     debug_assert_eq!(
-                        pkt.route.get(f.hop as usize).map(|&p| p as usize),
+                        pkt.route.get(usize::from(f.hop)).map(|&p| usize::from(p)),
                         Some(out_local)
                     );
                     self.move_through_crossbar(in_gid, out_local, out);
                     if len > 1 {
-                        self.arb.grant[out as usize] = Some((in_gid, f.pkt));
+                        self.arb.grant[ix(out)] = Some((in_gid, f.pkt));
                     }
-                    self.arb.rr_ptr[out as usize] = (local_in as u32 + 1) % n_ports as u32;
+                    self.arb.rr_ptr[ix(out)] = (small_u32(local_in) + 1) % small_u32(n_ports);
                     break;
                 }
             }
@@ -375,13 +379,13 @@ impl<R: Router> FlitSim<R> {
     }
 
     fn move_through_crossbar(&mut self, in_gid: u32, voq: usize, out_gid: u32) {
-        let Some(mut f) = self.arb.in_buf[in_gid as usize][voq].pop_front() else {
+        let Some(mut f) = self.arb.in_buf[ix(in_gid)][voq].pop_front() else {
             debug_assert!(false, "VOQ head vanished between inspection and move");
             return;
         };
-        self.arb.credits[self.graph.peer(in_gid) as usize] += 1;
+        self.arb.credits[ix(self.graph.peer(in_gid))] += 1;
         f.entered = self.now;
-        self.arb.out_buf[out_gid as usize].push_back(f);
+        self.arb.out_buf[ix(out_gid)].push_back(f);
         self.progress = true;
     }
 
@@ -390,7 +394,7 @@ impl<R: Router> FlitSim<R> {
     // ------------------------------------------------------------------
     pub(crate) fn link_transfer(&mut self) {
         for out in 0..self.graph.num_ports() {
-            let o = out as usize;
+            let o = ix(out);
             let Some(&f) = self.arb.out_buf[o].front() else {
                 continue;
             };
@@ -425,7 +429,7 @@ impl<R: Router> FlitSim<R> {
                 }
             }
             let need = if f.is_head() {
-                self.packets.get(f.pkt).map_or(1, |p| p.len as u32)
+                self.packets.get(f.pkt).map_or(1, |p| u32::from(p.len))
             } else {
                 debug_assert!(
                     self.arb.credits[o] >= 1,
@@ -454,7 +458,7 @@ impl<R: Router> FlitSim<R> {
             f.entered = self.now;
             let dst_in = self.graph.peer(out);
             let voq = self.voq_of(dst_in, &f);
-            self.arb.in_buf[dst_in as usize][voq].push_back(f);
+            self.arb.in_buf[ix(dst_in)][voq].push_back(f);
         }
     }
 
@@ -504,7 +508,7 @@ impl<R: Router> FlitSim<R> {
             debug_assert!(
                 self.packets
                     .get(f.pkt)
-                    .is_some_and(|p| f.hop as usize == p.route.len()),
+                    .is_some_and(|p| usize::from(f.hop) == p.route.len()),
                 "a flit reaching a PN must be at its final hop"
             );
             0
@@ -512,13 +516,13 @@ impl<R: Router> FlitSim<R> {
             debug_assert!(
                 self.packets
                     .get(f.pkt)
-                    .is_some_and(|p| (f.hop as usize) < p.route.len()),
+                    .is_some_and(|p| usize::from(f.hop) < p.route.len()),
                 "a flit at a switch must have a next hop"
             );
             self.packets
                 .get(f.pkt)
-                .and_then(|p| p.route.get(f.hop as usize))
-                .map_or(0, |&p| p as usize)
+                .and_then(|p| p.route.get(usize::from(f.hop)))
+                .map_or(0, |&p| usize::from(p))
         }
     }
 
@@ -529,7 +533,7 @@ impl<R: Router> FlitSim<R> {
         let rate = self.cfg.message_rate();
         let num_pns = self.graph.num_pns();
         for pn in 0..num_pns {
-            while self.sources[pn as usize].poll_arrival(self.now, rate) {
+            while self.sources[ix(pn)].poll_arrival(self.now, rate) {
                 self.create_message(pn);
             }
             self.stream_source_flits(pn);
@@ -539,8 +543,7 @@ impl<R: Router> FlitSim<R> {
     fn create_message(&mut self, pn: u32) {
         let src = PnId(pn);
         let traffic = std::mem::replace(&mut self.traffic, TrafficMode::Uniform);
-        let picked =
-            self.sources[pn as usize].pick_destination_mode(&traffic, pn, self.graph.num_pns());
+        let picked = self.sources[ix(pn)].pick_destination_mode(&traffic, pn, self.graph.num_pns());
         self.traffic = traffic;
         let Some(dst) = picked else {
             return; // self-mapped permutation entry: this source is silent
@@ -586,9 +589,9 @@ impl<R: Router> FlitSim<R> {
             remaining_flits: self.cfg.message_flits(),
             measured,
         });
-        let per_message_choice = self.sources[pn as usize].pick_message_path(paths.len());
+        let per_message_choice = self.sources[ix(pn)].pick_message_path(paths.len());
         for _ in 0..self.cfg.packets_per_message {
-            let choice = self.sources[pn as usize].pick_path(
+            let choice = self.sources[ix(pn)].pick_path(
                 self.cfg.path_policy,
                 paths.len(),
                 per_message_choice,
@@ -597,7 +600,7 @@ impl<R: Router> FlitSim<R> {
                 .topo
                 .path_output_ports(src, dst, paths[choice])
                 .into_iter()
-                .map(|p| p as u16)
+                .map(route_port)
                 .collect();
             debug_assert!(!route.is_empty(), "traffic modes never self-address");
             let xfer = if retx.is_some() {
@@ -607,7 +610,7 @@ impl<R: Router> FlitSim<R> {
             } else {
                 NO_XFER
             };
-            let first_port = route[0] as usize;
+            let first_port = usize::from(route[0]);
             let pkt = self.packets.insert(Packet {
                 msg,
                 len: self.cfg.packet_flits,
@@ -615,26 +618,25 @@ impl<R: Router> FlitSim<R> {
                 dst,
                 xfer,
             });
-            self.sources[pn as usize].queues[first_port]
-                .push_back(StreamingPacket { pkt, next_seq: 0 });
+            self.sources[ix(pn)].queues[first_port].push_back(StreamingPacket { pkt, next_seq: 0 });
         }
         self.path_buf = paths;
     }
 
     fn stream_source_flits(&mut self, pn: u32) {
-        let cap = self.cfg.buffer_flits();
-        let n_ports = self.sources[pn as usize].queues.len();
+        let cap = ix(self.cfg.buffer_flits());
+        let n_ports = self.sources[ix(pn)].queues.len();
         for local in 0..n_ports {
-            let Some(&sp) = self.sources[pn as usize].queues[local].front() else {
+            let Some(&sp) = self.sources[ix(pn)].queues[local].front() else {
                 continue;
             };
             let Some(len) = self.packets.get(sp.pkt).map(|p| p.len) else {
                 debug_assert!(false, "queued packet references a vacant record");
-                self.sources[pn as usize].queues[local].pop_front();
+                self.sources[ix(pn)].queues[local].pop_front();
                 continue;
             };
-            let out = self.graph.port_gid(pn, local as u32) as usize;
-            if cap == self.arb.out_buf[out].len() as u32 {
+            let out = ix(self.graph.port_gid(pn, small_u32(local)));
+            if cap == self.arb.out_buf[out].len() {
                 continue; // NIC staging buffer full
             }
             self.arb.out_buf[out].push_back(Flit {
@@ -648,7 +650,7 @@ impl<R: Router> FlitSim<R> {
             if self.in_window() {
                 self.w_injected += 1;
             }
-            let q = &mut self.sources[pn as usize].queues[local];
+            let q = &mut self.sources[ix(pn)].queues[local];
             if let Some(head) = q.front_mut() {
                 head.next_seq += 1;
                 if head.next_seq == len {

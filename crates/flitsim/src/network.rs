@@ -1,5 +1,6 @@
 //! Explicit port graph derived from the implicit XGFT topology.
 
+use crate::util::{ix, small_u32, small_u8};
 use xgft::{NodeId, Topology};
 
 /// Flattened node/port indexing for the simulator.
@@ -30,7 +31,7 @@ impl PortGraph {
         for l in 0..=h {
             node_level_base[l + 1] = node_level_base[l] + topo.nodes_at_level(l);
         }
-        let num_nodes = node_level_base[h + 1] as usize;
+        let num_nodes = ix(node_level_base[h + 1]);
         let mut nodes = Vec::with_capacity(num_nodes);
         let mut port_base = Vec::with_capacity(num_nodes + 1);
         let mut node_of_port = Vec::new();
@@ -39,11 +40,11 @@ impl PortGraph {
             let ports = topo.ports_at_level(l);
             for rank in 0..topo.nodes_at_level(l) {
                 nodes.push(NodeId {
-                    level: l as u8,
+                    level: small_u8(l),
                     rank,
                 });
                 port_base.push(next_port);
-                let gid = nodes.len() as u32 - 1;
+                let gid = small_u32(nodes.len() - 1);
                 for _ in 0..ports {
                     node_of_port.push(gid);
                 }
@@ -55,7 +56,7 @@ impl PortGraph {
             node_level_base,
             port_base,
             node_of_port,
-            peer: vec![u32::MAX; next_port as usize],
+            peer: vec![u32::MAX; ix(next_port)],
             nodes,
             num_pns: topo.num_pns(),
         };
@@ -68,8 +69,8 @@ impl PortGraph {
                     let e = topo.endpoints(link);
                     let a = graph.port_gid(graph.node_gid(e.from), e.from_port);
                     let b = graph.port_gid(graph.node_gid(e.to), e.to_port);
-                    graph.peer[a as usize] = b;
-                    graph.peer[b as usize] = a;
+                    graph.peer[ix(a)] = b;
+                    graph.peer[ix(b)] = a;
                 }
             }
         }
@@ -79,17 +80,17 @@ impl PortGraph {
 
     /// Global node id of a topology node.
     pub fn node_gid(&self, node: NodeId) -> u32 {
-        self.node_level_base[node.level as usize] + node.rank
+        self.node_level_base[usize::from(node.level)] + node.rank
     }
 
     /// Topology node behind a global node id.
     pub fn node(&self, gid: u32) -> NodeId {
-        self.nodes[gid as usize]
+        self.nodes[ix(gid)]
     }
 
     /// Total number of nodes (PNs + switches).
     pub fn num_nodes(&self) -> u32 {
-        self.nodes.len() as u32
+        small_u32(self.nodes.len())
     }
 
     /// Number of processing nodes.
@@ -109,30 +110,28 @@ impl PortGraph {
 
     /// Global port id of a node's local port.
     pub fn port_gid(&self, node_gid: u32, local_port: u32) -> u32 {
-        debug_assert!(
-            self.port_base[node_gid as usize] + local_port < self.port_base[node_gid as usize + 1]
-        );
-        self.port_base[node_gid as usize] + local_port
+        debug_assert!(self.port_base[ix(node_gid)] + local_port < self.port_base[ix(node_gid) + 1]);
+        self.port_base[ix(node_gid)] + local_port
     }
 
     /// Node gid owning a port.
     pub fn port_owner(&self, port_gid: u32) -> u32 {
-        self.node_of_port[port_gid as usize]
+        self.node_of_port[ix(port_gid)]
     }
 
     /// The node's local port index of a global port id.
     pub fn local_port(&self, port_gid: u32) -> u32 {
-        port_gid - self.port_base[self.port_owner(port_gid) as usize]
+        port_gid - self.port_base[ix(self.port_owner(port_gid))]
     }
 
     /// The port at the other end of the cable.
     pub fn peer(&self, port_gid: u32) -> u32 {
-        self.peer[port_gid as usize]
+        self.peer[ix(port_gid)]
     }
 
     /// The range of port gids of a node.
     pub fn ports_of(&self, node_gid: u32) -> std::ops::Range<u32> {
-        self.port_base[node_gid as usize]..self.port_base[node_gid as usize + 1]
+        self.port_base[ix(node_gid)]..self.port_base[ix(node_gid) + 1]
     }
 }
 

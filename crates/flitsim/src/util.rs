@@ -1,4 +1,49 @@
-//! Small utilities: a free-list slab for packet and message records.
+//! Small utilities: index-width conversion helpers and a free-list
+//! slab for packet and message records.
+
+// ---------------------------------------------------------------------
+// Index-width helpers.
+//
+// flitsim identifies nodes, ports, PNs and slab records with `u32`
+// keys and stores their state in `Vec`s, so u32 -> usize index
+// conversions are pervasive. They are lossless on every supported
+// target:
+const _: () = assert!(
+    usize::BITS >= 32,
+    "flitsim indexes Vecs with u32 ids; a 16-bit usize cannot hold them"
+);
+
+/// Index a `Vec` with a `u32` entity id (lossless; see the width
+/// assertion above).
+#[inline]
+pub(crate) const fn ix(v: u32) -> usize {
+    v as usize
+}
+
+/// Narrow a `usize` bounded by a `u32`-keyed collection back to `u32`.
+/// Ids are issued as `u32` in the first place, so the bound holds by
+/// construction; debug builds re-check it.
+#[inline]
+pub(crate) fn small_u32(v: usize) -> u32 {
+    debug_assert!(u32::try_from(v).is_ok(), "collection outgrew u32 ids");
+    v as u32
+}
+
+/// Narrow a local output-port id to the `u16` stored in packed routes.
+/// Switch radixes sit far below `u16::MAX`; debug builds re-check it.
+#[inline]
+pub(crate) fn route_port(v: u32) -> u16 {
+    debug_assert!(u16::try_from(v).is_ok(), "port index outgrew u16 routes");
+    v as u16
+}
+
+/// Narrow a tree level to the `u8` carried in `NodeId`. XGFT heights
+/// are single digits; debug builds re-check it.
+#[inline]
+pub(crate) fn small_u8(v: usize) -> u8 {
+    debug_assert!(u8::try_from(v).is_ok(), "tree height outgrew u8 levels");
+    v as u8
+}
 
 /// A minimal slab allocator: O(1) insert/remove with stable `u32` keys,
 /// reusing freed slots so long simulations do not grow memory with the
@@ -35,12 +80,12 @@ impl<T> Slab<T> {
     pub fn insert(&mut self, value: T) -> u32 {
         self.len += 1;
         if let Some(key) = self.free.pop() {
-            debug_assert!(self.slots[key as usize].is_none());
-            self.slots[key as usize] = Some(value);
+            debug_assert!(self.slots[ix(key)].is_none());
+            self.slots[ix(key)] = Some(value);
             key
         } else {
             self.slots.push(Some(value));
-            (self.slots.len() - 1) as u32
+            small_u32(self.slots.len() - 1)
         }
     }
 
@@ -48,7 +93,7 @@ impl<T> Slab<T> {
     /// vacant or the key was never issued (a double-free is a simulator
     /// bug the caller surfaces).
     pub fn remove(&mut self, key: u32) -> Option<T> {
-        let v = self.slots.get_mut(key as usize)?.take()?;
+        let v = self.slots.get_mut(ix(key))?.take()?;
         self.free.push(key);
         self.len -= 1;
         Some(v)
@@ -56,12 +101,12 @@ impl<T> Slab<T> {
 
     /// Shared access to a live slot (`None` if vacant).
     pub fn get(&self, key: u32) -> Option<&T> {
-        self.slots.get(key as usize)?.as_ref()
+        self.slots.get(ix(key))?.as_ref()
     }
 
     /// Mutable access to a live slot (`None` if vacant).
     pub fn get_mut(&mut self, key: u32) -> Option<&mut T> {
-        self.slots.get_mut(key as usize)?.as_mut()
+        self.slots.get_mut(ix(key))?.as_mut()
     }
 
     /// Iterate over live entries as `(key, &value)`, in key order.
@@ -69,7 +114,7 @@ impl<T> Slab<T> {
         self.slots
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|v| (i as u32, v)))
+            .filter_map(|(i, s)| s.as_ref().map(|v| (small_u32(i), v)))
     }
 
     /// Number of live entries.
@@ -107,8 +152,8 @@ impl<T> Slab<T> {
         }
         let mut seen = vec![false; slots.len()];
         for &key in &free {
-            let slot = slots.get(key as usize)?;
-            if slot.is_some() || std::mem::replace(&mut seen[key as usize], true) {
+            let slot = slots.get(ix(key))?;
+            if slot.is_some() || std::mem::replace(&mut seen[ix(key)], true) {
                 return None;
             }
         }

@@ -18,7 +18,7 @@
 use crate::{Diagnostic, Report, RuleId, Witness};
 use lmpr_core::forwarding::{shift_vectors, ForwardingTables, SlotOrder};
 use lmpr_core::{FaultAware, RouteError, Router, SelectionEngine};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use xgft::{DirectedLinkId, FaultSet, LinkDir, NodeId, PathId, PnId, Topology, MAX_HEIGHT};
 
 /// How many paths a scheme is expected to select per pair.
@@ -435,7 +435,10 @@ pub fn check_tables(topo: &Topology, ft: &ForwardingTables, order: SlotOrder, re
     let before = report.findings.len();
     let mut biject_findings: Vec<Diagnostic> = Vec::new();
     let mut slot0_findings: Vec<Diagnostic> = Vec::new();
-    let mut counts: HashMap<u64, u64> = HashMap::new();
+    // BTreeMap, not HashMap: the multiplicity summary below is embedded
+    // verbatim in diagnostic messages, and every serialized surface must
+    // iterate in a deterministic order.
+    let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
     for s in 0..n {
         for d in 0..n {
             if s == d {

@@ -1,0 +1,332 @@
+//! The masked lexer every xtask source scan is built on.
+//!
+//! Both `cargo xtask lint` (the panic ratchet) and `cargo xtask
+//! analyze` (the determinism / cast / concurrency analyzer) work on a
+//! *masked* copy of each source file: comment bodies, string and char
+//! literal contents are blanked to spaces (line structure preserved, so
+//! reported line numbers stay true), and `#[cfg(test)]`-attributed
+//! items are blanked wholesale. A pattern match on the masked text is
+//! therefore a match on *code*, never on docs, messages or tests.
+//!
+//! Handled literal forms: line and (nested) block comments, ordinary
+//! strings with escapes, raw strings `r"…"`/`r#"…"#`, byte strings
+//! `b"…"`, raw byte strings `br#"…"#`, char and byte-char literals,
+//! and lifetimes (which must *not* be mistaken for unterminated chars).
+
+/// Mask comments/strings and then `#[cfg(test)]` items: the standard
+/// preprocessing pipeline for every rule scan.
+pub fn mask(text: &str) -> String {
+    mask_tests(&mask_comments_and_strings(text))
+}
+
+/// Replace comment bodies and string/char contents with spaces,
+/// preserving line structure.
+pub fn mask_comments_and_strings(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        if b == b'/' && next == Some(b'/') {
+            // Line comment (incl. doc comments): blank to end of line.
+            while i < bytes.len() && bytes[i] != b'\n' {
+                out.push(b' ');
+                i += 1;
+            }
+        } else if b == b'/' && next == Some(b'*') {
+            // Block comment, possibly nested.
+            let mut depth = 0usize;
+            while i < bytes.len() {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+        } else if b == b'r'
+            && (next == Some(b'"') || next == Some(b'#'))
+            && raw_string_hashes(bytes, i).is_some()
+        {
+            // Raw string r"…", r#"…"#, … (also reached for the `r#`
+            // tail of a raw *byte* string br#"…"#: the leading `b` is
+            // ordinary output and the raw scan takes over here).
+            let Some(hashes) = raw_string_hashes(bytes, i) else {
+                unreachable!("guarded by the condition above");
+            };
+            out.push(b' '); // 'r'
+            i += 1;
+            out.resize(out.len() + hashes, b' ');
+            i += hashes;
+            out.push(b'"');
+            i += 1; // opening quote
+            loop {
+                if i >= bytes.len() {
+                    break;
+                }
+                if bytes[i] == b'"' && closes_raw_string(bytes, i, hashes) {
+                    out.push(b'"');
+                    i += 1;
+                    out.resize(out.len() + hashes, b' ');
+                    i += hashes;
+                    break;
+                }
+                out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+                i += 1;
+            }
+        } else if b == b'"' {
+            // Ordinary or byte string: blank contents, keep quotes and
+            // newlines. (For b"…" the prefix byte is ordinary output and
+            // this branch starts at the quote.)
+            out.push(b'"');
+            i += 1;
+            while i < bytes.len() {
+                if bytes[i] == b'\\' {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if bytes[i] == b'"' {
+                    out.push(b'"');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+        } else if b == b'\'' {
+            // Char literal or lifetime. A literal closes within a few
+            // bytes ('a', '\n', '\u{1F600}'); a lifetime has no closing
+            // quote before a non-ident byte.
+            if let Some(end) = char_literal_end(bytes, i) {
+                out.push(b'\'');
+                for &byte in &bytes[i + 1..end] {
+                    out.push(if byte == b'\n' { b'\n' } else { b' ' });
+                }
+                out.push(b'\'');
+                i = end + 1;
+            } else {
+                out.push(b'\'');
+                i += 1;
+            }
+        } else {
+            out.push(b);
+            i += 1;
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// If `bytes[i..]` starts a raw string literal, the number of `#`s.
+fn raw_string_hashes(bytes: &[u8], i: usize) -> Option<usize> {
+    debug_assert_eq!(bytes[i], b'r');
+    let mut j = i + 1;
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (bytes.get(j) == Some(&b'"')).then_some(hashes)
+}
+
+/// Whether the quote at `i` closes a raw string with `hashes` hashes.
+fn closes_raw_string(bytes: &[u8], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| bytes.get(i + k) == Some(&b'#'))
+}
+
+/// Byte index of the closing quote of a char literal starting at `i`,
+/// or `None` when `'` starts a lifetime instead.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if bytes.get(j) == Some(&b'\\') {
+        j += 2; // escape head, e.g. \n \u \'
+        while j < bytes.len() && bytes[j] != b'\'' {
+            j += 1;
+        }
+        return (bytes.get(j) == Some(&b'\'')).then_some(j);
+    }
+    // 'x' style: exactly one char (up to 4 UTF-8 bytes) then a quote.
+    for k in 1..=4 {
+        if bytes.get(j + k) == Some(&b'\'') {
+            // Distinguish 'a' (literal) from 'a  (lifetime) — a literal
+            // has its quote immediately after one scalar value. Reject
+            // ident-ish multi-byte sequences like 'static'.
+            if k == 1
+                || !bytes[j..j + k]
+                    .iter()
+                    .all(|b| b.is_ascii_alphanumeric() || *b == b'_')
+            {
+                return Some(j + k);
+            }
+        }
+    }
+    None
+}
+
+/// Blank `#[cfg(test)]`-gated items: from the attribute through the end
+/// of the item's brace-balanced block.
+pub fn mask_tests(masked: &str) -> String {
+    let bytes = masked.as_bytes();
+    let mut out = bytes.to_vec();
+    let needle = b"#[cfg(test)]";
+    let mut i = 0;
+    while i + needle.len() <= bytes.len() {
+        if &bytes[i..i + needle.len()] != needle {
+            i += 1;
+            continue;
+        }
+        // Find the item's opening brace, then blank through its close.
+        let mut j = i + needle.len();
+        while j < bytes.len() && bytes[j] != b'{' && bytes[j] != b';' {
+            j += 1;
+        }
+        if j >= bytes.len() || bytes[j] == b';' {
+            i = j;
+            continue;
+        }
+        let mut depth = 0usize;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for b in &mut out[i..j] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+        i = j;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Whether `bytes[i]` begins an identifier occurrence of `word`:
+/// matched exactly, with non-identifier bytes (or the text boundary) on
+/// both sides.
+pub fn is_word_at(text: &str, i: usize, word: &str) -> bool {
+    let bytes = text.as_bytes();
+    if i + word.len() > bytes.len() || &bytes[i..i + word.len()] != word.as_bytes() {
+        return false;
+    }
+    let before_ok = i == 0 || !is_ident_byte(bytes[i - 1]);
+    let after_ok = i + word.len() == bytes.len() || !is_ident_byte(bytes[i + word.len()]);
+    before_ok && after_ok
+}
+
+/// Whether a byte can appear in a Rust identifier.
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Positions (line, masked?) probe: the pattern survives masking
+    /// exactly when it is code.
+    fn masked_contains(src: &str, pat: &str) -> bool {
+        mask(src).contains(pat)
+    }
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = r#"
+fn f() {
+    // this .unwrap() is a comment
+    /* and panic! here too */
+    let s = "mentions .unwrap() and panic! in a string";
+    let c = '"';
+    g(s, c);
+}
+"#;
+        let m = mask(src);
+        assert!(!m.contains(".unwrap()"));
+        assert!(!m.contains("panic!"));
+        // Line structure intact.
+        assert_eq!(m.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn code_survives_masking() {
+        assert!(masked_contains("fn f() { x.unwrap(); }\n", ".unwrap()"));
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_blanked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() { y.unwrap() }\n";
+        let m = mask(src);
+        assert_eq!(m.matches(".unwrap()").count(), 1);
+        assert!(m.lines().nth(5).is_some_and(|l| l.contains(".unwrap()")));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_the_rest_of_the_file() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nfn g() { h.unwrap() }\n";
+        let m = mask(src);
+        assert!(m.lines().nth(1).is_some_and(|l| l.contains(".unwrap()")));
+    }
+
+    #[test]
+    fn raw_strings_are_masked() {
+        let src = "fn f() { let s = r#\"has .unwrap() inside\"#; g(s) }\n";
+        assert!(!masked_contains(src, ".unwrap()"));
+    }
+
+    #[test]
+    fn byte_strings_are_masked() {
+        let src = "fn f() { let s = b\"has .unwrap() inside\"; g(s) }\n";
+        assert!(!masked_contains(src, ".unwrap()"));
+        let src = "fn f() { let s = br#\"raw byte .unwrap()\"#; g(s) }\n";
+        assert!(!masked_contains(src, ".unwrap()"));
+        let src = "fn f() { let c = b'x'; x.unwrap() }\n";
+        assert!(masked_contains(src, ".unwrap()"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_masked_fully() {
+        let src = "fn f() {\n    /* outer /* inner panic! */ still comment .unwrap() */\n    x.unwrap();\n}\n";
+        let m = mask(src);
+        assert!(!m.contains("panic!"));
+        assert_eq!(m.matches(".unwrap()").count(), 1, "{m}");
+        assert!(m.lines().nth(2).is_some_and(|l| l.contains(".unwrap()")));
+    }
+
+    #[test]
+    fn multiline_strings_are_masked() {
+        let src = "fn f() { let s = \"line one \\\n        .unwrap() continues\"; g(s) }\n";
+        assert!(!masked_contains(src, ".unwrap()"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_terminate_strings() {
+        let src = "fn f() { let s = \"a \\\" b .unwrap() c\"; s.len() }\n";
+        assert!(!masked_contains(src, ".unwrap()"));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        let t = "let counts_map = counts;";
+        let i = t.find("counts;").expect("present");
+        assert!(is_word_at(t, i, "counts"));
+        assert!(!is_word_at(t, 4, "counts")); // inside counts_map
+        assert!(is_word_at("counts", 0, "counts"));
+    }
+}

@@ -1,0 +1,268 @@
+//! `cargo xtask lint`: the panic ratchet.
+//!
+//! A source-level pass that forbids *new* `unwrap()` / `expect()` /
+//! `panic!` sites in library code. Library crates must surface failures
+//! as typed errors (`RouteError`, `SpecError`, `SimError`, …); the
+//! vetted remainder — documented invariant panics such as `K ≥ 1`
+//! constructor guards — is pinned in `crates/xtask/lint-allowlist.txt`
+//! as an exact per-file ratchet: the gate fails when a file gains a
+//! site (fix it or justify it in the allowlist) *and* when a file drops
+//! below its pinned count (tighten the allowlist so the ratchet never
+//! slackens).
+//!
+//! Test code, comments and string literals are ignored via the shared
+//! masked lexer ([`crate::lexer`]); vendored dependency stand-ins
+//! (`rand`, `proptest`, `criterion`), the experiment binaries (`bench`)
+//! and this crate are out of scope.
+
+use crate::lexer;
+use crate::workspace::{collect_rs_files, denied, rel, workspace_root};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Library roots the panic lint applies to, relative to the workspace
+/// root: every crate whose API promises typed errors.
+const LINT_ROOTS: &[&str] = &[
+    "crates/xgft/src",
+    "crates/core/src",
+    "crates/traffic/src",
+    "crates/flowsim/src",
+    "crates/flitsim/src",
+    "crates/verify/src",
+    "crates/ctld/src",
+    "src",
+];
+
+const ALLOWLIST: &str = "crates/xtask/lint-allowlist.txt";
+
+/// The forbidden call forms. `.unwrap()` is matched exactly so
+/// `unwrap_or_else` and friends stay legal; `.expect(` does not match
+/// `.expect_err(`.
+const PATTERNS: &[&str] = &[".unwrap()", ".expect(", "panic!"];
+
+/// One matched forbidden site.
+struct Site {
+    line: usize,
+    pattern: &'static str,
+}
+
+/// Scan one source file for forbidden sites outside test code.
+fn scan(text: &str) -> Vec<Site> {
+    let masked = lexer::mask(text);
+    let mut sites = Vec::new();
+    for (i, line) in masked.lines().enumerate() {
+        for pat in PATTERNS {
+            if line.contains(pat) {
+                sites.push(Site {
+                    line: i + 1,
+                    pattern: pat,
+                });
+            }
+        }
+    }
+    sites
+}
+
+pub fn lint(update: bool) -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    for dir in LINT_ROOTS {
+        collect_rs_files(&root.join(dir), &mut files);
+    }
+    files.sort();
+
+    // Per-file counts of forbidden sites outside test code.
+    let mut counts: Vec<(String, Vec<Site>)> = Vec::new();
+    for file in &files {
+        let Ok(text) = std::fs::read_to_string(file) else {
+            eprintln!("xtask lint: cannot read {}", file.display());
+            return ExitCode::FAILURE;
+        };
+        let sites = scan(&text);
+        if !sites.is_empty() {
+            counts.push((rel(&root, file), sites));
+        }
+    }
+
+    if update {
+        let mut out = String::from(
+            "# Exact per-file counts of vetted unwrap()/expect()/panic! sites in\n\
+             # library code (test modules excluded). Regenerate with\n\
+             # `cargo xtask lint --update` after vetting any change; the lint\n\
+             # fails on both increases (new panic paths) and decreases (stale\n\
+             # pins), so this file always reflects reality.\n\
+             # Files under crates/flitsim/src and crates/ctld/src can never be\n\
+             # pinned here: the simulator modules and the controller daemon are\n\
+             # panic-free by construction.\n",
+        );
+        let mut refused = false;
+        for (file, sites) in &counts {
+            if denied(file) {
+                refused = true;
+                eprintln!(
+                    "xtask lint: {file}: {} site(s) in a deny-listed directory — these \
+                     cannot be vetted; convert them to typed errors:",
+                    sites.len()
+                );
+                for s in sites {
+                    eprintln!("  {file}:{}: {}", s.line, s.pattern);
+                }
+                continue;
+            }
+            let _ = writeln!(out, "{} {}", sites.len(), file);
+        }
+        if refused {
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(root.join(ALLOWLIST), out) {
+            eprintln!("xtask lint: cannot write allowlist: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "xtask lint: allowlist updated ({} files, {} sites)",
+            counts.len(),
+            counts.iter().map(|(_, s)| s.len()).sum::<usize>()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let allowed = match read_allowlist(&root.join(ALLOWLIST)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failed = false;
+    // Deny-listed directories reject their allowlist entries outright,
+    // so a site there can never be vetted away.
+    for (file, budget) in &allowed {
+        if *budget > 0 && denied(file) {
+            failed = true;
+            eprintln!(
+                "xtask lint: {ALLOWLIST} pins {budget} site(s) for {file}, which is in a \
+                 deny-listed directory — the simulator modules must stay panic-free"
+            );
+        }
+    }
+    for (file, sites) in &counts {
+        let budget = if denied(file) {
+            0
+        } else {
+            allowed
+                .iter()
+                .find(|(f, _)| f == file)
+                .map(|&(_, n)| n)
+                .unwrap_or(0)
+        };
+        match sites.len().cmp(&budget) {
+            std::cmp::Ordering::Greater => {
+                failed = true;
+                eprintln!(
+                    "xtask lint: {file}: {} unwrap/expect/panic site(s), allowlist permits \
+                     {budget} — convert the new site(s) to typed errors or vet them in \
+                     {ALLOWLIST}:",
+                    sites.len()
+                );
+                for s in sites {
+                    eprintln!("  {file}:{}: {}", s.line, s.pattern);
+                }
+            }
+            std::cmp::Ordering::Less => {
+                failed = true;
+                eprintln!(
+                    "xtask lint: {file}: {} site(s) but allowlist pins {budget} — the file \
+                     improved; tighten the pin (`cargo xtask lint --update`)",
+                    sites.len()
+                );
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    // Entries for files that now have zero sites (or vanished).
+    for (file, budget) in &allowed {
+        if *budget > 0 && !counts.iter().any(|(f, _)| f == file) {
+            failed = true;
+            eprintln!(
+                "xtask lint: {file}: no sites remain but allowlist pins {budget} — \
+                 remove the stale entry (`cargo xtask lint --update`)"
+            );
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        let total: usize = counts.iter().map(|(_, s)| s.len()).sum();
+        println!(
+            "xtask lint: ok ({} library files scanned, {total} vetted sites)",
+            files.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+fn read_allowlist(path: &Path) -> Result<Vec<(String, usize)>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (count, file) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("{}:{}: expected `<count> <path>`", path.display(), i + 1))?;
+        let count: usize = count
+            .parse()
+            .map_err(|e| format!("{}:{}: bad count: {e}", path.display(), i + 1))?;
+        out.push((file.trim().to_owned(), count));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_do_not_count() {
+        let src = r#"
+fn f() {
+    // this .unwrap() is a comment
+    /* and panic! here too */
+    let s = "mentions .unwrap() and panic! in a string";
+    let c = '"';
+    g(s, c);
+}
+"#;
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn real_sites_count_with_line_numbers() {
+        let src = "fn f() {\n    x.unwrap();\n    y.expect(\"msg\");\n    panic!(\"boom\");\n}\n";
+        let sites = scan(src);
+        assert_eq!(sites.len(), 3);
+        assert_eq!(sites[0].line, 2);
+        assert_eq!(sites[1].line, 3);
+        assert_eq!(sites[2].line, 4);
+    }
+
+    #[test]
+    fn unwrap_variants_are_legal() {
+        let src = "fn f() { x.unwrap_or_else(|| 0); x.unwrap_or(1); r.expect_err(\"e\"); }\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_exempt() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); panic!(); }\n}\nfn lib2() { y.unwrap() }\n";
+        let sites = scan(src);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].line, 7);
+    }
+}

@@ -1,557 +1,53 @@
 //! Workspace automation tasks, invoked as `cargo xtask <task>`.
 //!
-//! The only task today is `lint`: a source-level static-analysis pass
-//! that forbids *new* `unwrap()` / `expect()` / `panic!` sites in
-//! library code. Library crates must surface failures as typed errors
-//! (`RouteError`, `SpecError`, `SimError`, …); the vetted remainder —
-//! documented invariant panics such as `K ≥ 1` constructor guards — is
-//! pinned in `crates/xtask/lint-allowlist.txt` as an exact per-file
-//! ratchet: the gate fails when a file gains a site (fix it or justify
-//! it in the allowlist) *and* when a file drops below its pinned count
-//! (tighten the allowlist so the ratchet never slackens).
+//! * `lint [--update]` — the panic ratchet: no *new* `unwrap()` /
+//!   `expect()` / `panic!` sites in library code ([`lint`]).
+//! * `analyze [--ci|--update]` — the determinism / cast-safety /
+//!   concurrency-discipline analyzer with `lmpr_verify`-style JSON
+//!   certificates ([`analyze`]).
 //!
-//! Test code (`#[cfg(test)]` modules), comments, doc comments and string
-//! literals are ignored; vendored dependency stand-ins (`rand`,
-//! `proptest`, `criterion`), the experiment binaries (`bench`) and this
-//! crate are out of scope.
+//! Both passes share the masked lexer in [`lexer`] and the allowlist
+//! ratchet philosophy: exact per-file pins that fail on increases *and*
+//! decreases, with deny-listed directories that can never be pinned.
 
-use std::fmt::Write as _;
-use std::path::{Path, PathBuf};
+#![forbid(unsafe_code)]
+
+mod analyze;
+mod lexer;
+mod lint;
+mod report;
+mod workspace;
+
 use std::process::ExitCode;
 
-/// Library roots the panic lint applies to, relative to the workspace
-/// root: every crate whose API promises typed errors.
-const LINT_ROOTS: &[&str] = &[
-    "crates/xgft/src",
-    "crates/core/src",
-    "crates/traffic/src",
-    "crates/flowsim/src",
-    "crates/flitsim/src",
-    "crates/verify/src",
-    "crates/ctld/src",
-    "src",
-];
-
-const ALLOWLIST: &str = "crates/xtask/lint-allowlist.txt";
-
-/// Directories whose files may never appear in the allowlist: the
-/// modules decomposed out of the old `sim.rs` monolith started
-/// panic-free and must stay that way, and the controller daemon — a
-/// long-running service whose whole point is surviving faults — was
-/// born under the same rule. A new site in either is always a lint
-/// failure, never a vetting candidate.
-const DENY_DIRS: &[&str] = &["crates/flitsim/src", "crates/ctld/src"];
-
-/// Whether an allowlist entry for `file` is categorically forbidden.
-fn denied(file: &str) -> bool {
-    DENY_DIRS
-        .iter()
-        .any(|d| file.starts_with(&format!("{d}/")) || file == *d)
-}
-
-/// The forbidden call forms. `.unwrap()` is matched exactly so
-/// `unwrap_or_else` and friends stay legal; `.expect(` does not match
-/// `.expect_err(`.
-const PATTERNS: &[&str] = &[".unwrap()", ".expect(", "panic!"];
+const USAGE: &str = "usage: cargo xtask <task>\n\
+    \x20 lint [--update]          panic ratchet over library code\n\
+    \x20 analyze [--ci|--update]  determinism/cast/concurrency analyzer";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => {
             let update = matches!(args.next().as_deref(), Some("--update"));
-            lint(update)
+            lint::lint(update)
         }
+        Some("analyze") => match args.next().as_deref() {
+            Some("--update") => analyze::analyze(true),
+            // `--ci` is the explicit gate spelling; bare `analyze`
+            // behaves identically.
+            Some("--ci") | None => analyze::analyze(false),
+            Some(other) => {
+                eprintln!("unknown analyze flag: {other}\n{USAGE}");
+                ExitCode::from(2)
+            }
+        },
         Some(other) => {
-            eprintln!("unknown task: {other}\nusage: cargo xtask lint [--update]");
+            eprintln!("unknown task: {other}\n{USAGE}");
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo xtask lint [--update]");
+            eprintln!("{USAGE}");
             ExitCode::from(2)
         }
-    }
-}
-
-/// One matched forbidden site.
-struct Site {
-    line: usize,
-    pattern: &'static str,
-}
-
-fn lint(update: bool) -> ExitCode {
-    let root = workspace_root();
-    let mut files = Vec::new();
-    for dir in LINT_ROOTS {
-        collect_rs_files(&root.join(dir), &mut files);
-    }
-    files.sort();
-
-    // Per-file counts of forbidden sites outside test code.
-    let mut counts: Vec<(String, Vec<Site>)> = Vec::new();
-    for file in &files {
-        let Ok(text) = std::fs::read_to_string(file) else {
-            eprintln!("xtask lint: cannot read {}", file.display());
-            return ExitCode::FAILURE;
-        };
-        let sites = scan(&text);
-        let rel = file
-            .strip_prefix(&root)
-            .unwrap_or(file)
-            .to_string_lossy()
-            .into_owned();
-        if !sites.is_empty() {
-            counts.push((rel, sites));
-        }
-    }
-
-    if update {
-        let mut out = String::from(
-            "# Exact per-file counts of vetted unwrap()/expect()/panic! sites in\n\
-             # library code (test modules excluded). Regenerate with\n\
-             # `cargo xtask lint --update` after vetting any change; the lint\n\
-             # fails on both increases (new panic paths) and decreases (stale\n\
-             # pins), so this file always reflects reality.\n\
-             # Files under crates/flitsim/src and crates/ctld/src can never be\n\
-             # pinned here: the simulator modules and the controller daemon are\n\
-             # panic-free by construction.\n",
-        );
-        let mut refused = false;
-        for (file, sites) in &counts {
-            if denied(file) {
-                refused = true;
-                eprintln!(
-                    "xtask lint: {file}: {} site(s) in a deny-listed directory — these \
-                     cannot be vetted; convert them to typed errors:",
-                    sites.len()
-                );
-                for s in sites {
-                    eprintln!("  {file}:{}: {}", s.line, s.pattern);
-                }
-                continue;
-            }
-            let _ = writeln!(out, "{} {}", sites.len(), file);
-        }
-        if refused {
-            return ExitCode::FAILURE;
-        }
-        if let Err(e) = std::fs::write(root.join(ALLOWLIST), out) {
-            eprintln!("xtask lint: cannot write allowlist: {e}");
-            return ExitCode::FAILURE;
-        }
-        println!(
-            "xtask lint: allowlist updated ({} files, {} sites)",
-            counts.len(),
-            counts.iter().map(|(_, s)| s.len()).sum::<usize>()
-        );
-        return ExitCode::SUCCESS;
-    }
-
-    let allowed = match read_allowlist(&root.join(ALLOWLIST)) {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("xtask lint: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-
-    let mut failed = false;
-    // Deny-listed directories reject their allowlist entries outright,
-    // so a site there can never be vetted away.
-    for (file, budget) in &allowed {
-        if *budget > 0 && denied(file) {
-            failed = true;
-            eprintln!(
-                "xtask lint: {ALLOWLIST} pins {budget} site(s) for {file}, which is in a \
-                 deny-listed directory — the simulator modules must stay panic-free"
-            );
-        }
-    }
-    for (file, sites) in &counts {
-        let budget = if denied(file) {
-            0
-        } else {
-            allowed
-                .iter()
-                .find(|(f, _)| f == file)
-                .map(|&(_, n)| n)
-                .unwrap_or(0)
-        };
-        match sites.len().cmp(&budget) {
-            std::cmp::Ordering::Greater => {
-                failed = true;
-                eprintln!(
-                    "xtask lint: {file}: {} unwrap/expect/panic site(s), allowlist permits \
-                     {budget} — convert the new site(s) to typed errors or vet them in \
-                     {ALLOWLIST}:",
-                    sites.len()
-                );
-                for s in sites {
-                    eprintln!("  {file}:{}: {}", s.line, s.pattern);
-                }
-            }
-            std::cmp::Ordering::Less => {
-                failed = true;
-                eprintln!(
-                    "xtask lint: {file}: {} site(s) but allowlist pins {budget} — the file \
-                     improved; tighten the pin (`cargo xtask lint --update`)",
-                    sites.len()
-                );
-            }
-            std::cmp::Ordering::Equal => {}
-        }
-    }
-    // Entries for files that now have zero sites (or vanished).
-    for (file, budget) in &allowed {
-        if *budget > 0 && !counts.iter().any(|(f, _)| f == file) {
-            failed = true;
-            eprintln!(
-                "xtask lint: {file}: no sites remain but allowlist pins {budget} — \
-                 remove the stale entry (`cargo xtask lint --update`)"
-            );
-        }
-    }
-
-    if failed {
-        ExitCode::FAILURE
-    } else {
-        let total: usize = counts.iter().map(|(_, s)| s.len()).sum();
-        println!(
-            "xtask lint: ok ({} library files scanned, {total} vetted sites)",
-            files.len()
-        );
-        ExitCode::SUCCESS
-    }
-}
-
-/// `CARGO_MANIFEST_DIR` is `crates/xtask`; the workspace root is two up.
-fn workspace_root() -> PathBuf {
-    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest
-        .parent()
-        .and_then(Path::parent)
-        .map(Path::to_path_buf)
-        .unwrap_or(manifest)
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            collect_rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-fn read_allowlist(path: &Path) -> Result<Vec<(String, usize)>, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let mut out = Vec::new();
-    for (i, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let (count, file) = line
-            .split_once(' ')
-            .ok_or_else(|| format!("{}:{}: expected `<count> <path>`", path.display(), i + 1))?;
-        let count: usize = count
-            .parse()
-            .map_err(|e| format!("{}:{}: bad count: {e}", path.display(), i + 1))?;
-        out.push((file.trim().to_owned(), count));
-    }
-    Ok(out)
-}
-
-/// Scan one source file for forbidden sites outside test code.
-///
-/// Works on a *masked* copy of the source where comment bodies and
-/// string/char-literal contents are blanked, so matches in docs and
-/// messages don't count; `#[cfg(test)]`-attributed items (and everything
-/// inside their braces) are blanked too.
-fn scan(text: &str) -> Vec<Site> {
-    let masked = mask_tests(&mask_comments_and_strings(text));
-    let mut sites = Vec::new();
-    for (i, line) in masked.lines().enumerate() {
-        for pat in PATTERNS {
-            if line.contains(pat) {
-                sites.push(Site {
-                    line: i + 1,
-                    pattern: pat,
-                });
-            }
-        }
-    }
-    sites
-}
-
-/// Replace comment bodies and string/char contents with spaces,
-/// preserving line structure.
-fn mask_comments_and_strings(text: &str) -> String {
-    let bytes = text.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len());
-    let mut i = 0;
-    while i < bytes.len() {
-        let b = bytes[i];
-        let next = bytes.get(i + 1).copied();
-        if b == b'/' && next == Some(b'/') {
-            // Line comment (incl. doc comments): blank to end of line.
-            while i < bytes.len() && bytes[i] != b'\n' {
-                out.push(b' ');
-                i += 1;
-            }
-        } else if b == b'/' && next == Some(b'*') {
-            // Block comment, possibly nested.
-            let mut depth = 0usize;
-            while i < bytes.len() {
-                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
-                    depth += 1;
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
-                    depth -= 1;
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                    if depth == 0 {
-                        break;
-                    }
-                } else {
-                    out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
-                    i += 1;
-                }
-            }
-        } else if b == b'r'
-            && (next == Some(b'"') || next == Some(b'#'))
-            && raw_string_hashes(bytes, i).is_some()
-        {
-            // Raw string r"…", r#"…"#, …
-            let hashes = raw_string_hashes(bytes, i).expect("checked above");
-            out.push(b' '); // 'r'
-            i += 1;
-            out.resize(out.len() + hashes, b' ');
-            i += hashes;
-            out.push(b'"');
-            i += 1; // opening quote
-            loop {
-                if i >= bytes.len() {
-                    break;
-                }
-                if bytes[i] == b'"' && closes_raw_string(bytes, i, hashes) {
-                    out.push(b'"');
-                    i += 1;
-                    out.resize(out.len() + hashes, b' ');
-                    i += hashes;
-                    break;
-                }
-                out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
-                i += 1;
-            }
-        } else if b == b'"' {
-            // Ordinary string: blank contents, keep quotes and newlines.
-            out.push(b'"');
-            i += 1;
-            while i < bytes.len() {
-                if bytes[i] == b'\\' {
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                } else if bytes[i] == b'"' {
-                    out.push(b'"');
-                    i += 1;
-                    break;
-                } else {
-                    out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
-                    i += 1;
-                }
-            }
-        } else if b == b'\'' {
-            // Char literal or lifetime. A literal closes within a few
-            // bytes ('a', '\n', '\u{1F600}'); a lifetime has no closing
-            // quote before a non-ident byte.
-            if let Some(end) = char_literal_end(bytes, i) {
-                out.push(b'\'');
-                for &byte in &bytes[i + 1..end] {
-                    out.push(if byte == b'\n' { b'\n' } else { b' ' });
-                }
-                out.push(b'\'');
-                i = end + 1;
-            } else {
-                out.push(b'\'');
-                i += 1;
-            }
-        } else {
-            out.push(b);
-            i += 1;
-        }
-    }
-    String::from_utf8_lossy(&out).into_owned()
-}
-
-/// If `bytes[i..]` starts a raw string literal, the number of `#`s.
-fn raw_string_hashes(bytes: &[u8], i: usize) -> Option<usize> {
-    debug_assert_eq!(bytes[i], b'r');
-    let mut j = i + 1;
-    let mut hashes = 0;
-    while bytes.get(j) == Some(&b'#') {
-        hashes += 1;
-        j += 1;
-    }
-    (bytes.get(j) == Some(&b'"')).then_some(hashes)
-}
-
-/// Whether the quote at `i` closes a raw string with `hashes` hashes.
-fn closes_raw_string(bytes: &[u8], i: usize, hashes: usize) -> bool {
-    (1..=hashes).all(|k| bytes.get(i + k) == Some(&b'#'))
-}
-
-/// Byte index of the closing quote of a char literal starting at `i`,
-/// or `None` when `'` starts a lifetime instead.
-fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
-    let mut j = i + 1;
-    if bytes.get(j) == Some(&b'\\') {
-        j += 2; // escape head, e.g. \n \u \'
-        while j < bytes.len() && bytes[j] != b'\'' {
-            j += 1;
-        }
-        return (bytes.get(j) == Some(&b'\'')).then_some(j);
-    }
-    // 'x' style: exactly one char (up to 4 UTF-8 bytes) then a quote.
-    for k in 1..=4 {
-        if bytes.get(j + k) == Some(&b'\'') {
-            // Distinguish 'a' (literal) from 'a  (lifetime) — a literal
-            // has its quote immediately after one scalar value. Reject
-            // ident-ish multi-byte sequences like 'static'.
-            if k == 1
-                || !bytes[j..j + k]
-                    .iter()
-                    .all(|b| b.is_ascii_alphanumeric() || *b == b'_')
-            {
-                return Some(j + k);
-            }
-        }
-    }
-    None
-}
-
-/// Blank `#[cfg(test)]`-gated items: from the attribute through the end
-/// of the item's brace-balanced block.
-fn mask_tests(masked: &str) -> String {
-    let bytes = masked.as_bytes();
-    let mut out = bytes.to_vec();
-    let needle = b"#[cfg(test)]";
-    let mut i = 0;
-    while i + needle.len() <= bytes.len() {
-        if &bytes[i..i + needle.len()] != needle {
-            i += 1;
-            continue;
-        }
-        // Find the item's opening brace, then blank through its close.
-        let mut j = i + needle.len();
-        while j < bytes.len() && bytes[j] != b'{' && bytes[j] != b';' {
-            j += 1;
-        }
-        if j >= bytes.len() || bytes[j] == b';' {
-            i = j;
-            continue;
-        }
-        let mut depth = 0usize;
-        while j < bytes.len() {
-            match bytes[j] {
-                b'{' => depth += 1,
-                b'}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        j += 1;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-        for b in &mut out[i..j] {
-            if *b != b'\n' {
-                *b = b' ';
-            }
-        }
-        i = j;
-    }
-    String::from_utf8_lossy(&out).into_owned()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn deny_list_covers_the_simulator_sources_exactly() {
-        assert!(denied("crates/flitsim/src/engine.rs"));
-        assert!(denied("crates/flitsim/src/sweep.rs"));
-        assert!(denied("crates/ctld/src/controller.rs"));
-        assert!(denied("crates/ctld/src/bin/ctld.rs"));
-        assert!(!denied("crates/flitsim/srcx/other.rs"));
-        assert!(!denied("crates/core/src/selection.rs"));
-        assert!(!denied("crates/flowsim/src/loads.rs"));
-    }
-
-    #[test]
-    fn strings_and_comments_do_not_count() {
-        let src = r#"
-fn f() {
-    // this .unwrap() is a comment
-    /* and panic! here too */
-    let s = "mentions .unwrap() and panic! in a string";
-    let c = '"';
-    g(s, c);
-}
-"#;
-        assert!(scan(src).is_empty());
-    }
-
-    #[test]
-    fn real_sites_count_with_line_numbers() {
-        let src = "fn f() {\n    x.unwrap();\n    y.expect(\"msg\");\n    panic!(\"boom\");\n}\n";
-        let sites = scan(src);
-        assert_eq!(sites.len(), 3);
-        assert_eq!(sites[0].line, 2);
-        assert_eq!(sites[1].line, 3);
-        assert_eq!(sites[2].line, 4);
-    }
-
-    #[test]
-    fn unwrap_variants_are_legal() {
-        let src = "fn f() { x.unwrap_or_else(|| 0); x.unwrap_or(1); r.expect_err(\"e\"); }\n";
-        assert!(scan(src).is_empty());
-    }
-
-    #[test]
-    fn cfg_test_blocks_are_exempt() {
-        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); panic!(); }\n}\nfn lib2() { y.unwrap() }\n";
-        let sites = scan(src);
-        assert_eq!(sites.len(), 1);
-        assert_eq!(sites[0].line, 7);
-    }
-
-    #[test]
-    fn lifetimes_do_not_eat_the_rest_of_the_file() {
-        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nfn g() { h.unwrap() }\n";
-        let sites = scan(src);
-        assert_eq!(sites.len(), 1);
-        assert_eq!(sites[0].line, 2);
-    }
-
-    #[test]
-    fn raw_strings_are_masked() {
-        let src = "fn f() { let s = r#\"has .unwrap() inside\"#; g(s) }\n";
-        assert!(scan(src).is_empty());
-    }
-
-    #[test]
-    fn multiline_strings_are_masked() {
-        let src = "fn f() { let s = \"line one \\\n        .unwrap() continues\"; g(s) }\n";
-        assert!(scan(src).is_empty());
     }
 }

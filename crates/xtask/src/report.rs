@@ -1,0 +1,259 @@
+//! `lmpr_verify`-style diagnostics for the source analyzer.
+//!
+//! The analyzer certifies *code* properties the way `crates/verify`
+//! certifies routing properties, and its output deliberately mirrors
+//! `lmpr_verify::diag`: a [`Report`] whose `findings` list is empty is
+//! the certificate, one [`CheckRun`] per rule records coverage, and
+//! every [`Diagnostic`] carries a machine-readable witness — here a
+//! `{file, line}` source location instead of an SD pair. (xtask stays
+//! dependency-free, so the types are local rather than imported.)
+
+use std::fmt;
+
+/// How bad a finding is. Both kinds fail the gate (the ratchet is
+/// exact); the severity tells the reader whether the tree got worse
+/// (`Error`: a new or denied hazard) or merely drifted from its pins
+/// (`Warning`: an improvement or stale entry needing `--update`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The tree improved past its pins or an entry went stale;
+    /// regenerate the allowlist.
+    Warning,
+    /// A new hazard, or a site that can never be vetted.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The analyzer's rule catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// Unordered `HashMap`/`HashSet` iteration in code feeding
+    /// serialized output: a bit-determinism hazard.
+    DetOrder,
+    /// Wall-clock reads (`Instant::now`, `SystemTime`) outside the
+    /// approved timing modules.
+    DetTime,
+    /// A narrowing `as` cast (ratcheted toward `try_from` or a
+    /// documented invariant helper).
+    CastNarrow,
+    /// Thread spawning, lock construction or channel construction
+    /// outside the approved concurrency modules, or an inconsistent
+    /// lexical lock-acquisition order.
+    ThreadDiscipline,
+    /// A crate root missing `#![forbid(unsafe_code)]`.
+    UnsafeForbid,
+}
+
+/// Every rule, in execution/report order.
+pub const ALL_RULES: &[RuleId] = &[
+    RuleId::DetOrder,
+    RuleId::DetTime,
+    RuleId::CastNarrow,
+    RuleId::ThreadDiscipline,
+    RuleId::UnsafeForbid,
+];
+
+impl RuleId {
+    /// Stable string id used in JSON output and the allowlist file.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::DetOrder => "DET-ORDER",
+            RuleId::DetTime => "DET-TIME",
+            RuleId::CastNarrow => "CAST-NARROW",
+            RuleId::ThreadDiscipline => "THREAD-DISCIPLINE",
+            RuleId::UnsafeForbid => "UNSAFE-FORBID",
+        }
+    }
+
+    /// Parse an allowlist rule column.
+    pub fn parse(s: &str) -> Option<Self> {
+        ALL_RULES.iter().copied().find(|r| r.as_str() == s)
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: a rule violation with its source-location witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// How bad it is.
+    pub severity: Severity,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the offending site (0 = whole file).
+    pub line: usize,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.file, self.rule, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.file, self.line, self.rule, self.message
+            )
+        }
+    }
+}
+
+/// Coverage record for one rule: what ran, over how much ground.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckRun {
+    /// The rule that ran.
+    pub rule: RuleId,
+    /// Units inspected (files — or crate roots for UNSAFE-FORBID).
+    pub inspected: u64,
+    /// Findings the rule produced (before ratchet vetting).
+    pub findings: u64,
+}
+
+/// The analyzer's output: a certificate when every finding is vetted by
+/// the ratchet, a counterexample list otherwise.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Whether the ratchet accepted the run.
+    pub certified: bool,
+    /// Per-rule coverage records, in execution order.
+    pub checks: Vec<CheckRun>,
+    /// Findings that violate the ratchet (new, stale or denied sites).
+    pub findings: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Render as pretty-printed JSON (hand-rolled — no serde in the
+    /// build environment; layout matches `lmpr_verify::diag::Report`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"tool\": \"xtask-analyze\",\n");
+        out.push_str(&format!("  \"certified\": {},\n", self.certified));
+        out.push_str("  \"checks\": [");
+        for (i, c) in self.checks.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{ \"rule\": \"{}\", \"inspected\": {}, \"findings\": {} }}",
+                c.rule, c.inspected, c.findings
+            ));
+        }
+        out.push_str(if self.checks.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"findings\": [");
+        for (i, d) in self.findings.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"rule\": \"{}\",\n", d.rule));
+            out.push_str(&format!("      \"severity\": \"{}\",\n", d.severity));
+            out.push_str(&format!(
+                "      \"message\": {},\n",
+                json_string(&d.message)
+            ));
+            out.push_str(&format!(
+                "      \"witness\": {{ \"file\": {}, \"line\": {} }}\n",
+                json_string(&d.file),
+                d.line
+            ));
+            out.push_str("    }");
+        }
+        out.push_str(if self.findings.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push('}');
+        out
+    }
+}
+
+/// Escape a string for JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_round_trip() {
+        for &r in ALL_RULES {
+            assert_eq!(RuleId::parse(r.as_str()), Some(r));
+        }
+        assert_eq!(RuleId::parse("NO-SUCH-RULE"), None);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let r = Report {
+            certified: false,
+            checks: vec![CheckRun {
+                rule: RuleId::DetOrder,
+                inspected: 12,
+                findings: 1,
+            }],
+            findings: vec![Diagnostic {
+                rule: RuleId::DetOrder,
+                severity: Severity::Error,
+                message: "iterates \"counts\"\nunordered".into(),
+                file: "crates/verify/src/coverage.rs".into(),
+                line: 513,
+            }],
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"rule\": \"DET-ORDER\""));
+        assert!(j.contains("\\\"counts\\\"\\nunordered"));
+        assert!(j.contains("\"line\": 513"));
+        assert!(j.contains("\"certified\": false"));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                j.matches(open).count(),
+                j.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_report_is_compact() {
+        let r = Report {
+            certified: true,
+            ..Report::default()
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"checks\": []"));
+        assert!(j.contains("\"findings\": []"));
+    }
+}

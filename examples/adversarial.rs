@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release --example adversarial`
 
+#![forbid(unsafe_code)]
+
 use lmpr::flowsim::{ml_lower_bound, performance_ratio};
 use lmpr::prelude::*;
 use lmpr::routing::lid;

@@ -3,6 +3,8 @@
 //!
 //! Run with: `cargo run --release --example forwarding_tables`
 
+#![forbid(unsafe_code)]
+
 use lmpr::prelude::*;
 use lmpr::routing::forwarding::{ForwardingTables, SlotOrder};
 use lmpr::routing::lid;

@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release --example permutation_study`
 
+#![forbid(unsafe_code)]
+
 use lmpr::prelude::*;
 
 fn main() {

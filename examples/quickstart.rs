@@ -2,6 +2,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+#![forbid(unsafe_code)]
+
 use lmpr::prelude::*;
 
 fn main() {

@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release --example saturation`
 
+#![forbid(unsafe_code)]
+
 use lmpr::flitsim::saturation_throughput;
 use lmpr::flitsim::sweep::run_sweep;
 use lmpr::prelude::*;

@@ -18,6 +18,8 @@
 //! Traffic: `perm:SEED`, `uniform`, `adversarial`, `shift:K`,
 //! `hotspot:NODE:FRACTION`, `alltoone:NODE`.
 
+#![forbid(unsafe_code)]
+
 use lmpr::flowsim::{
     estimate_oblivious_ratio, level_breakdown, ml_lower_bound, performance_ratio,
     worst_permutation, SearchConfig,
