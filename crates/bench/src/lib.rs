@@ -26,6 +26,7 @@ pub mod faults;
 pub mod jsonio;
 pub mod orchestrator;
 pub mod snapcheck;
+pub mod soak;
 
 /// The evaluation topologies of §5, keyed the way the paper labels them.
 pub fn topology_by_name(name: &str) -> Option<(String, Topology)> {

@@ -1,0 +1,442 @@
+//! Ledger and invariant evaluation for the `ctl_soak` chaos harness.
+//!
+//! The harness (the `ctl_soak` binary in `lmpr-ctld`) runs the routing
+//! daemon under a seeded failpoint plan, records everything it observes
+//! into a [`SoakLedger`], and asks [`SoakLedger::report`] to evaluate
+//! the recovery invariants into an `lmpr-verify` [`Report`] — the same
+//! machine-readable certificate shape every other checker in this repo
+//! emits. The split keeps the invariant logic daemon-agnostic and unit
+//! testable: this module never touches a socket or a thread; it judges
+//! a transcript.
+//!
+//! The invariants, one rule each:
+//!
+//! * **`CTL-SOAK-EPOCH`** — fault-batch acknowledgements carry strictly
+//!   increasing epochs with `epoch == batch_id`: the daemon commits
+//!   exactly one epoch per applied batch, monotonically, across every
+//!   crash and restart.
+//! * **`CTL-SOAK-SERVE`** — no reply ever carried an epoch the daemon
+//!   had not committed (readers can never observe an uncertified or
+//!   regressed epoch).
+//! * **`CTL-SOAK-RECOVER`** — every restart recovered exactly the
+//!   newest checkpoint that validates on disk, and never an epoch below
+//!   the last acknowledged commit (newest-valid-wins, no silent genesis
+//!   bootstrap).
+//! * **`CTL-SOAK-BATCH`** — at-least-once accounting closed out exact:
+//!   every batch sent was committed exactly once, and the daemon's
+//!   final state digest equals an offline replay's (no lost, reordered,
+//!   or double-applied batch).
+
+use lmpr_verify::{Diagnostic, Report, RuleId, Witness};
+
+/// One rung of the escalating failpoint schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoakPhase {
+    /// Human-readable phase tag (stderr progress only).
+    pub name: &'static str,
+    /// Fault batches to drive during this phase.
+    pub batches: u64,
+    /// Storage-fault probability, permille per I/O op.
+    pub storage_permille: u16,
+    /// Wire-fault probability, permille per stream op.
+    pub wire_permille: u16,
+    /// Probability that a faulting storage op escalates to a crash
+    /// kind, permille.
+    pub crash_permille: u16,
+}
+
+/// The default escalation: a calm warm-up, then wire faults, then
+/// survivable storage faults, then crash kinds, then everything at
+/// once. The harness cycles the final rung until its fault and crash
+/// quotas are met.
+pub fn escalation() -> Vec<SoakPhase> {
+    vec![
+        SoakPhase {
+            name: "calm",
+            batches: 3,
+            storage_permille: 0,
+            wire_permille: 0,
+            crash_permille: 0,
+        },
+        SoakPhase {
+            name: "wire",
+            batches: 8,
+            storage_permille: 0,
+            wire_permille: 140,
+            crash_permille: 0,
+        },
+        SoakPhase {
+            name: "storage",
+            batches: 8,
+            storage_permille: 140,
+            wire_permille: 40,
+            crash_permille: 0,
+        },
+        SoakPhase {
+            name: "crash",
+            batches: 10,
+            storage_permille: 220,
+            wire_permille: 60,
+            crash_permille: 500,
+        },
+        SoakPhase {
+            name: "mayhem",
+            batches: 12,
+            storage_permille: 300,
+            wire_permille: 140,
+            crash_permille: 450,
+        },
+    ]
+}
+
+/// Why a daemon incarnation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartCause {
+    /// An injected crash kind (fsync-then-crash, torn rename).
+    InjectedCrash,
+    /// A fatal injected storage fault (ENOSPC, short write, EIO) on
+    /// which the daemon correctly fail-stopped.
+    FatalFault,
+    /// A deliberate, graceful restart at a phase boundary.
+    PhaseChange,
+}
+
+impl RestartCause {
+    /// Stable tag for progress output.
+    pub fn tag(self) -> &'static str {
+        match self {
+            RestartCause::InjectedCrash => "injected-crash",
+            RestartCause::FatalFault => "fatal-fault",
+            RestartCause::PhaseChange => "phase-change",
+        }
+    }
+
+    /// Whether the failpoint layer induced this restart.
+    pub fn induced(self) -> bool {
+        !matches!(self, RestartCause::PhaseChange)
+    }
+}
+
+/// One daemon restart, with what recovery was entitled to and what it
+/// actually produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestartRecord {
+    /// Incarnation number of the daemon that came *up* (1-based; the
+    /// initial boot is incarnation 0 and is not a restart).
+    pub incarnation: u64,
+    /// Why the previous incarnation ended.
+    pub cause: RestartCause,
+    /// Highest epoch acknowledged to the feeder before the restart.
+    pub last_acked_epoch: u64,
+    /// The newest epoch whose checkpoint validated in an independent,
+    /// unfaulted scan of the state directory taken before the restart
+    /// (`None` when nothing on disk validated).
+    pub newest_valid_on_disk: Option<u64>,
+    /// The epoch the restarted daemon reported serving.
+    pub recovered_epoch: u64,
+}
+
+/// One fault-batch acknowledgement as the feeder saw it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchAck {
+    /// The batch id submitted.
+    pub batch_id: u64,
+    /// The epoch the acknowledgement carried.
+    pub epoch: u64,
+    /// False when the daemon deduplicated an at-least-once resend.
+    pub applied: bool,
+}
+
+/// The harness transcript: everything the invariants are judged on.
+/// All fields are driven by the deterministic feeder (or by daemon-side
+/// counters that only the feeder's serial request stream advances), so
+/// the report rendered from a fixed seed is byte-identical across runs.
+#[derive(Debug, Clone, Default)]
+pub struct SoakLedger {
+    /// Fault batches submitted (including ones retried across crashes).
+    pub batches_sent: u64,
+    /// Acknowledgements, in feeder order.
+    pub acks: Vec<BatchAck>,
+    /// Restarts, in order.
+    pub restarts: Vec<RestartRecord>,
+    /// Epoch-rule violations observed by the concurrent query threads
+    /// (an epoch above the submitted watermark, or below one already
+    /// served). Zero on a correct daemon.
+    pub query_epoch_violations: u64,
+    /// Survivable storage faults injected into the daemon.
+    pub storage_faults: u64,
+    /// Crash-kind storage faults injected into the daemon.
+    pub storage_crashes: u64,
+    /// Wire faults injected into the feeder's own connections.
+    pub feeder_wire_faults: u64,
+    /// The daemon's final reported epoch.
+    pub final_epoch: u64,
+    /// The daemon's final committed feed batch id.
+    pub final_committed_batch_id: u64,
+    /// The daemon's final semantic digest (16 hex digits).
+    pub final_digest: String,
+    /// The offline replay's epoch after ingesting the same batches.
+    pub mirror_epoch: u64,
+    /// The offline replay's semantic digest.
+    pub mirror_digest: String,
+}
+
+impl SoakLedger {
+    /// An empty transcript.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total deterministic injected faults (storage + feeder wire).
+    pub fn total_faults(&self) -> u64 {
+        self.storage_faults + self.storage_crashes + self.feeder_wire_faults
+    }
+
+    /// Restarts the failpoint layer induced (crashes and fail-stops).
+    pub fn induced_restarts(&self) -> u64 {
+        self.restarts.iter().filter(|r| r.cause.induced()).count() as u64
+    }
+
+    /// Evaluate the soak invariants into a verify-style certificate.
+    pub fn report(&self, topology: &str, scheme: &str) -> Report {
+        let mut r = Report::new(topology, scheme);
+
+        // CTL-SOAK-EPOCH: acks strictly increase and each batch commits
+        // exactly its own epoch.
+        let before = r.findings.len();
+        let mut prev = 0u64;
+        for a in &self.acks {
+            if a.epoch != a.batch_id {
+                r.findings.push(Diagnostic::error(
+                    RuleId::CtlSoakEpoch,
+                    format!(
+                        "batch {} acknowledged at epoch {} (want exactly one \
+                         committed epoch per batch)",
+                        a.batch_id, a.epoch
+                    ),
+                    Witness::None,
+                ));
+            }
+            if a.epoch <= prev {
+                r.findings.push(Diagnostic::error(
+                    RuleId::CtlSoakEpoch,
+                    format!("ack epoch regressed or stalled: {} after {prev}", a.epoch),
+                    Witness::None,
+                ));
+            }
+            prev = a.epoch;
+        }
+        r.record(RuleId::CtlSoakEpoch, self.acks.len() as u64, before);
+
+        // CTL-SOAK-SERVE: concurrent readers never saw an uncommitted
+        // or regressed epoch.
+        let before = r.findings.len();
+        if self.query_epoch_violations > 0 {
+            r.findings.push(Diagnostic::error(
+                RuleId::CtlSoakServe,
+                format!(
+                    "{} reply(ies) carried an epoch outside the committed set",
+                    self.query_epoch_violations
+                ),
+                Witness::None,
+            ));
+        }
+        r.record(RuleId::CtlSoakServe, self.acks.len() as u64, before);
+
+        // CTL-SOAK-RECOVER: newest-valid-wins, never below an ack.
+        let before = r.findings.len();
+        for rr in &self.restarts {
+            match rr.newest_valid_on_disk {
+                None => r.findings.push(Diagnostic::error(
+                    RuleId::CtlSoakRecover,
+                    format!(
+                        "restart {} ({}): no checkpoint on disk validated — \
+                         the fault sequence destroyed the durable state",
+                        rr.incarnation,
+                        rr.cause.tag()
+                    ),
+                    Witness::None,
+                )),
+                Some(nv) if rr.recovered_epoch != nv => r.findings.push(Diagnostic::error(
+                    RuleId::CtlSoakRecover,
+                    format!(
+                        "restart {} ({}): recovered epoch {} but the newest \
+                         valid checkpoint on disk was {}",
+                        rr.incarnation,
+                        rr.cause.tag(),
+                        rr.recovered_epoch,
+                        nv
+                    ),
+                    Witness::None,
+                )),
+                Some(_) if rr.recovered_epoch < rr.last_acked_epoch => {
+                    r.findings.push(Diagnostic::error(
+                        RuleId::CtlSoakRecover,
+                        format!(
+                            "restart {} ({}): recovered epoch {} below the \
+                             acknowledged commit {}",
+                            rr.incarnation,
+                            rr.cause.tag(),
+                            rr.recovered_epoch,
+                            rr.last_acked_epoch
+                        ),
+                        Witness::None,
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        r.record(RuleId::CtlSoakRecover, self.restarts.len() as u64, before);
+
+        // CTL-SOAK-BATCH: exact at-least-once accounting.
+        let before = r.findings.len();
+        if self.final_committed_batch_id != self.batches_sent {
+            r.findings.push(Diagnostic::error(
+                RuleId::CtlSoakBatch,
+                format!(
+                    "sent {} batches but the daemon committed through {}",
+                    self.batches_sent, self.final_committed_batch_id
+                ),
+                Witness::None,
+            ));
+        }
+        if self.final_epoch != self.mirror_epoch {
+            r.findings.push(Diagnostic::error(
+                RuleId::CtlSoakBatch,
+                format!(
+                    "final epoch {} disagrees with the offline replay's {}",
+                    self.final_epoch, self.mirror_epoch
+                ),
+                Witness::None,
+            ));
+        }
+        if self.final_digest != self.mirror_digest {
+            r.findings.push(Diagnostic::error(
+                RuleId::CtlSoakBatch,
+                format!(
+                    "final digest {} disagrees with the offline replay's {} \
+                     (a batch was lost or double-applied)",
+                    self.final_digest, self.mirror_digest
+                ),
+                Witness::None,
+            ));
+        }
+        r.record(RuleId::CtlSoakBatch, self.batches_sent, before);
+
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_ledger() -> SoakLedger {
+        let mut l = SoakLedger::new();
+        l.batches_sent = 3;
+        l.acks = vec![
+            BatchAck {
+                batch_id: 1,
+                epoch: 1,
+                applied: true,
+            },
+            BatchAck {
+                batch_id: 2,
+                epoch: 2,
+                applied: true,
+            },
+            // An at-least-once resend the daemon deduplicated.
+            BatchAck {
+                batch_id: 3,
+                epoch: 3,
+                applied: false,
+            },
+        ];
+        l.restarts = vec![RestartRecord {
+            incarnation: 1,
+            cause: RestartCause::InjectedCrash,
+            last_acked_epoch: 2,
+            newest_valid_on_disk: Some(3),
+            recovered_epoch: 3,
+        }];
+        l.storage_faults = 5;
+        l.storage_crashes = 1;
+        l.feeder_wire_faults = 2;
+        l.final_epoch = 3;
+        l.final_committed_batch_id = 3;
+        l.final_digest = "00000000deadbeef".to_owned();
+        l.mirror_epoch = 3;
+        l.mirror_digest = "00000000deadbeef".to_owned();
+        l
+    }
+
+    #[test]
+    fn a_clean_transcript_certifies() {
+        let l = clean_ledger();
+        let r = l.report("XGFT(2; 4,4; 1,4)", "disjoint:4");
+        assert!(r.certified(), "findings: {:?}", r.findings);
+        assert_eq!(r.checks.len(), 4);
+        assert_eq!(l.total_faults(), 8);
+        assert_eq!(l.induced_restarts(), 1);
+    }
+
+    #[test]
+    fn each_invariant_violation_is_attributed_to_its_rule() {
+        // Double-applied batch: epoch runs ahead of batch id.
+        let mut l = clean_ledger();
+        l.acks[1].epoch = 3;
+        l.acks[2].epoch = 4;
+        l.final_epoch = 4;
+        let r = l.report("t", "s");
+        assert!(!r.certified());
+        assert!(r
+            .findings
+            .iter()
+            .all(|d| matches!(d.rule, RuleId::CtlSoakEpoch | RuleId::CtlSoakBatch)));
+
+        // Recovery regressed below an acknowledged commit.
+        let mut l = clean_ledger();
+        l.restarts[0].recovered_epoch = 1;
+        l.restarts[0].newest_valid_on_disk = Some(1);
+        let r = l.report("t", "s");
+        assert!(r.findings.iter().any(|d| d.rule == RuleId::CtlSoakRecover));
+
+        // Recovery skipped the newest valid checkpoint.
+        let mut l = clean_ledger();
+        l.restarts[0].recovered_epoch = 2;
+        let r = l.report("t", "s");
+        assert!(r
+            .findings
+            .iter()
+            .any(|d| d.rule == RuleId::CtlSoakRecover && d.message.contains("newest valid")));
+
+        // A reader saw an impossible epoch.
+        let mut l = clean_ledger();
+        l.query_epoch_violations = 2;
+        let r = l.report("t", "s");
+        assert!(r.findings.iter().any(|d| d.rule == RuleId::CtlSoakServe));
+
+        // Lost batch: accounting does not close.
+        let mut l = clean_ledger();
+        l.final_committed_batch_id = 2;
+        l.final_digest = "0000000000000000".to_owned();
+        let r = l.report("t", "s");
+        assert!(r.findings.iter().any(|d| d.rule == RuleId::CtlSoakBatch));
+    }
+
+    #[test]
+    fn the_escalation_schedule_escalates() {
+        let phases = escalation();
+        assert!(phases.len() >= 4);
+        assert_eq!(phases[0].storage_permille, 0);
+        assert_eq!(phases[0].wire_permille, 0);
+        let last = phases.last().expect("non-empty");
+        assert!(last.storage_permille > 0 && last.crash_permille > 0);
+        // Crash kinds only appear after the survivable-fault rungs.
+        let first_crash = phases.iter().position(|p| p.crash_permille > 0);
+        let first_fault = phases
+            .iter()
+            .position(|p| p.storage_permille > 0 || p.wire_permille > 0);
+        assert!(first_fault < first_crash);
+    }
+}

@@ -1,0 +1,611 @@
+//! Seeded chaos soak for the routing-controller daemon.
+//!
+//! ```text
+//! ctl_soak [--seed N] [--out CTL_SOAK.json] [--queries N]
+//!          [--min-faults N] [--min-crashes N] [--max-batches N]
+//! ```
+//!
+//! Runs a real daemon (socket and all) on `8port2tree` with
+//! `disjoint(4)`, its checkpoint store behind a [`FailpointIo`] and its
+//! feeder connections behind client-side `FaultyStream`s, under the
+//! escalating failpoint schedule of [`lmpr_bench::soak::escalation`].
+//! A Poisson fault timeline supplies the batch contents; the feeder
+//! submits one batch per epoch while query threads hammer `paths`.
+//! Every injected crash or fatal storage fault fail-stops the daemon;
+//! the harness then scans the state directory with an *unfaulted*
+//! store, restarts the daemon, and records what recovery was entitled
+//! to against what it produced. The transcript is judged by
+//! [`SoakLedger::report`] into a verify-style certificate
+//! (`CTL-SOAK-EPOCH/SERVE/RECOVER/BATCH`), cross-checked against an
+//! offline replay of the same batches on a fresh controller.
+//!
+//! Everything that reaches the JSON document is a pure function of
+//! `--seed`: storage faults fire on deterministic per-incarnation op
+//! counts, the feeder is the only writer and is strictly serial, and
+//! the wall-clock-dependent query threads report only to stderr (their
+//! sound epoch checks feed a violation counter that is zero on a
+//! correct daemon). Running twice with the same seed must produce
+//! byte-identical output — CI asserts exactly that.
+//!
+//! Exit status: 0 when the certificate is clean *and* the fault/crash
+//! quotas were met; 1 on harness errors; 2 when the run completed but
+//! the certificate has findings or the quotas were missed.
+
+#![forbid(unsafe_code)]
+
+use lmpr_bench::soak::{escalation, BatchAck, RestartCause, RestartRecord, SoakLedger, SoakPhase};
+use lmpr_bench::{json_string, topology_by_name};
+use lmpr_core::{Router, RouterKind};
+use lmpr_ctld::{
+    serve, ChangeSpec, Client, ClientConfig, Controller, CtlConfig, FailPlan, FailpointIo,
+    FaultCounters, OsStoreIo, Response, RetryPolicy, ServerConfig, Store,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use xgft::FaultSchedule;
+
+const TOPO: &str = "8port2tree";
+const KIND: RouterKind = RouterKind::Disjoint(4);
+/// Poisson feed shape: only the *contents* of the fault batches come
+/// from this timeline; the daemon's own schedule stays empty (the feed
+/// arrives over the socket).
+const FAIL_RATE: f64 = 2e-5;
+const MEAN_REPAIR: f64 = 2_000.0;
+const HORIZON: u64 = 200_000;
+const SCHEDULE_SEED: u64 = 11;
+const RETAIN: usize = 8;
+
+struct Args {
+    seed: u64,
+    out: String,
+    queries: usize,
+    min_faults: u64,
+    min_crashes: u64,
+    max_batches: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 42,
+        out: "CTL_SOAK.json".to_owned(),
+        queries: 2,
+        min_faults: 100,
+        min_crashes: 10,
+        max_batches: 400,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |what: &str| it.next().ok_or(format!("{what} requires a value"));
+        match flag.as_str() {
+            "--seed" => {
+                args.seed = val("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?
+            }
+            "--out" => args.out = val("--out")?,
+            "--queries" => {
+                args.queries = val("--queries")?
+                    .parse()
+                    .map_err(|e| format!("bad query count: {e}"))?;
+            }
+            "--min-faults" => {
+                args.min_faults = val("--min-faults")?
+                    .parse()
+                    .map_err(|e| format!("bad fault quota: {e}"))?;
+            }
+            "--min-crashes" => {
+                args.min_crashes = val("--min-crashes")?
+                    .parse()
+                    .map_err(|e| format!("bad crash quota: {e}"))?;
+            }
+            "--max-batches" => {
+                args.max_batches = val("--max-batches")?
+                    .parse()
+                    .map_err(|e| format!("bad batch cap: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Map a dead daemon's stringified exit error onto a restart cause;
+/// `None` means the death was not one we injected — a real bug.
+fn classify(err: &str) -> Option<RestartCause> {
+    if err.contains("injected failpoint crash") {
+        Some(RestartCause::InjectedCrash)
+    } else if err.contains("injected") {
+        Some(RestartCause::FatalFault)
+    } else {
+        None
+    }
+}
+
+/// Whether a feeder-side failure means the daemon itself is going (or
+/// has gone) down, as opposed to the feeder's own injected wire chaos.
+fn daemon_down_signature(err: &str) -> bool {
+    err.contains("shutting down")
+        || err.contains("Connection refused")
+        || err.contains("No such file")
+}
+
+/// One query worker: read-only `paths` batches with client-side wire
+/// faults and a read timeout. Sound epoch checks only — a reply's epoch
+/// must never regress below one this worker has already seen (commits
+/// are serial, and this worker pipelines nothing) and must never exceed
+/// the feeder's submitted watermark (commits only follow submissions).
+/// Returns `(answered, errors)` for stderr accounting.
+fn query_worker(
+    socket: String,
+    plan: FailPlan,
+    stop: Arc<AtomicBool>,
+    batches_sent: Arc<AtomicU64>,
+    violations: Arc<AtomicU64>,
+) -> (u64, u64) {
+    let mut client = Client::with_config(ClientConfig {
+        socket_path: PathBuf::from(socket),
+        retry: RetryPolicy {
+            base_ms: 5,
+            cap_ms: 40,
+            max_attempts: 3,
+        },
+        read_timeout_ms: Some(200),
+        wire_faults: Some(plan),
+    });
+    let pairs = [(0u32, 9u32), (3, 17), (8, 30)];
+    let (mut answered, mut errors) = (0u64, 0u64);
+    let mut newest_seen = 0u64;
+    while !stop.load(Ordering::SeqCst) {
+        match client.paths(&pairs, Some(2_000)) {
+            Ok((epoch, _)) => {
+                answered += 1;
+                let sent = batches_sent.load(Ordering::SeqCst);
+                if epoch < newest_seen || epoch > sent {
+                    violations.fetch_add(1, Ordering::SeqCst);
+                    eprintln!(
+                        "ctl_soak: query epoch {epoch} outside committed set \
+                         (seen {newest_seen}, sent {sent})"
+                    );
+                }
+                newest_seen = newest_seen.max(epoch);
+            }
+            Err(_) => {
+                // Daemon mid-restart or our own chaos; pace and retry.
+                errors += 1;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    (answered, errors)
+}
+
+/// The harness state: the daemon thread, the serial feeder, and the
+/// transcript.
+struct Harness {
+    args: Args,
+    state_dir: PathBuf,
+    socket: PathBuf,
+    feed: Vec<ChangeSpec>,
+    storage_counters: FaultCounters,
+    /// Next daemon incarnation index (0 is the initial boot).
+    incarnations: u64,
+    daemon: Option<JoinHandle<Result<(), String>>>,
+    feeder: Option<Client>,
+    /// Feeder client generation; each gets an independent wire plan.
+    feeder_gen: u64,
+    /// Feeder reconnect/resubmit totals folded in at replacement.
+    feeder_reconnects: u64,
+    feeder_resubmissions: u64,
+    batches_atomic: Arc<AtomicU64>,
+    last_acked: u64,
+    ledger: SoakLedger,
+}
+
+impl Harness {
+    /// Spawn the next daemon incarnation under `phase`'s storage rates.
+    fn spawn(&mut self, phase: &SoakPhase) {
+        let plan = FailPlan::new(
+            self.args.seed,
+            phase.storage_permille,
+            0,
+            phase.crash_permille,
+        )
+        .derive(self.incarnations);
+        self.incarnations += 1;
+        let state_dir = self.state_dir.clone();
+        let socket = self.socket.clone();
+        let counters = self.storage_counters.clone();
+        self.daemon = Some(std::thread::spawn(move || {
+            let cfg = CtlConfig::new(TOPO, KIND, &state_dir);
+            let io = FailpointIo::new(OsStoreIo, plan, counters);
+            let (ctl, report) =
+                Controller::start_with_io(cfg, Box::new(io)).map_err(|e| e.to_string())?;
+            if !report.certified() {
+                return Err("genesis certificate failed".to_owned());
+            }
+            serve(ctl, ServerConfig::new(&socket)).map_err(|e| e.to_string())
+        }));
+    }
+
+    /// Replace the feeder client: fold the old one's fault counters
+    /// into the ledger, then dial a fresh generation under `phase`'s
+    /// wire rate. A fresh client after every restart also guarantees no
+    /// half-dead connection's kernel buffering can shift op counts.
+    fn new_feeder(&mut self, phase: &SoakPhase) {
+        self.retire_feeder();
+        let plan = FailPlan {
+            no_drop: true,
+            ..FailPlan::new(self.args.seed, 0, phase.wire_permille, 0)
+        }
+        .derive(1_000_000 + self.feeder_gen);
+        self.feeder_gen += 1;
+        self.feeder = Some(Client::with_config(ClientConfig {
+            socket_path: self.socket.clone(),
+            retry: RetryPolicy {
+                base_ms: 2,
+                cap_ms: 50,
+                max_attempts: 4,
+            },
+            // No read timeout: the feeder's fault plan never drops or
+            // desynchronizes its own frames (`no_drop`), so every
+            // failure is an in-band error or a visible disconnect.
+            read_timeout_ms: None,
+            wire_faults: Some(plan),
+        }));
+    }
+
+    /// Fold the current feeder's injected-fault and recovery counters
+    /// into the transcript.
+    fn retire_feeder(&mut self) {
+        if let Some(old) = self.feeder.take() {
+            self.ledger.feeder_wire_faults += old.fault_counters().injected_count();
+            let stats = old.stats();
+            self.feeder_reconnects += stats.reconnects;
+            self.feeder_resubmissions += stats.resubmissions;
+        }
+    }
+
+    /// A plain, unfaulted, short-timeout client for control actions
+    /// whose traffic must not perturb the deterministic transcript.
+    fn plain_client(&self) -> Client {
+        Client::with_config(ClientConfig {
+            socket_path: self.socket.clone(),
+            retry: RetryPolicy {
+                base_ms: 5,
+                cap_ms: 20,
+                max_attempts: 2,
+            },
+            read_timeout_ms: Some(2_000),
+            wire_faults: None,
+        })
+    }
+
+    /// Poll until the daemon answers `status`; the serving epoch is the
+    /// recovery result. The daemon dying here is unreachable by design
+    /// (post-genesis startups only read), so it surfaces as a harness
+    /// error rather than another restart.
+    fn wait_up(&mut self) -> Result<u64, String> {
+        for _ in 0..1_000 {
+            if self.daemon.as_ref().is_some_and(JoinHandle::is_finished) {
+                let err = self.join_daemon()?;
+                return Err(format!("daemon died during startup: {err}"));
+            }
+            if let Ok(Response::Status { epoch, .. }) = self.plain_client().status() {
+                return Ok(epoch);
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        Err("daemon did not come up within 10s".to_owned())
+    }
+
+    /// Join the daemon thread, returning its exit error string (`"ok"`
+    /// for a clean shutdown).
+    fn join_daemon(&mut self) -> Result<String, String> {
+        let handle = self.daemon.take().ok_or("no daemon to join")?;
+        match handle.join() {
+            Ok(Ok(())) => Ok("ok".to_owned()),
+            Ok(Err(e)) => Ok(e),
+            Err(_) => Err("daemon thread panicked".to_owned()),
+        }
+    }
+
+    /// The newest checkpoint that validates right now, judged by a
+    /// plain unfaulted store — what recovery is entitled to.
+    fn scan_newest_valid(&self) -> Option<u64> {
+        let mut store = Store::open(&self.state_dir, RETAIN).ok()?;
+        store.load_latest().ok().map(|cp| cp.epoch)
+    }
+
+    /// Restart the (already dead and joined) daemon under `phase` and
+    /// record the recovery against the pre-restart disk scan.
+    fn restart_cycle(&mut self, phase: &SoakPhase, cause: RestartCause) -> Result<(), String> {
+        let newest_valid = self.scan_newest_valid();
+        self.spawn(phase);
+        self.new_feeder(phase);
+        let recovered = self.wait_up()?;
+        let record = RestartRecord {
+            incarnation: self.incarnations - 1,
+            cause,
+            last_acked_epoch: self.last_acked,
+            newest_valid_on_disk: newest_valid,
+            recovered_epoch: recovered,
+        };
+        eprintln!(
+            "ctl_soak: restart #{} ({}) acked={} on-disk={:?} recovered={}",
+            record.incarnation,
+            cause.tag(),
+            record.last_acked_epoch,
+            newest_valid,
+            recovered
+        );
+        self.ledger.restarts.push(record);
+        Ok(())
+    }
+
+    /// Submit the next fault batch, riding out feeder chaos and driving
+    /// the crash/restart cycle whenever the daemon fail-stops under it.
+    fn drive_batch(&mut self, phase: &SoakPhase) -> Result<(), String> {
+        let batch_id = self.ledger.batches_sent + 1;
+        let changes = vec![self.feed[usize::try_from(batch_id - 1).unwrap_or(0) % self.feed.len()]];
+        self.ledger.batches_sent = batch_id;
+        self.batches_atomic.store(batch_id, Ordering::SeqCst);
+        let mut stuck = 0u32;
+        loop {
+            let feeder = self.feeder.as_mut().ok_or("no feeder client")?;
+            match feeder.submit_fault(batch_id, &changes) {
+                Ok(applied) => {
+                    let epoch = feeder.last_epoch();
+                    self.last_acked = self.last_acked.max(epoch);
+                    self.ledger.acks.push(BatchAck {
+                        batch_id,
+                        epoch,
+                        applied,
+                    });
+                    return Ok(());
+                }
+                Err(e) => {
+                    let msg = e.to_string();
+                    let dead = self.daemon.as_ref().is_some_and(JoinHandle::is_finished);
+                    if dead || daemon_down_signature(&msg) {
+                        // join blocks through the server's bounded
+                        // teardown when the death signature raced ahead
+                        // of thread exit.
+                        let err = self.join_daemon()?;
+                        let cause = classify(&err)
+                            .ok_or_else(|| format!("daemon died unexpectedly: {err}"))?;
+                        self.restart_cycle(phase, cause)?;
+                    } else {
+                        // The feeder's own wire chaos outlasted one
+                        // retry budget; the daemon is fine. Try again —
+                        // the daemon's dedup absorbs any duplicate.
+                        stuck += 1;
+                        if stuck > 50 {
+                            return Err(format!("feeder stuck on batch {batch_id}: {msg}"));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Graceful shutdown + respawn at a phase boundary (rates are baked
+    /// into the daemon's failpoint plan at spawn).
+    fn phase_restart(&mut self, next: &SoakPhase) -> Result<(), String> {
+        self.plain_client()
+            .shutdown()
+            .map_err(|e| format!("graceful shutdown failed: {e}"))?;
+        let err = self.join_daemon()?;
+        if err != "ok" {
+            return Err(format!("daemon failed during graceful shutdown: {err}"));
+        }
+        self.restart_cycle(next, RestartCause::PhaseChange)
+    }
+
+    /// Deterministic injected-fault total so far (storage + feeder
+    /// wire; the live feeder's counters are added on top of the folded
+    /// ones).
+    fn faults_so_far(&self) -> u64 {
+        self.storage_counters.injected_count()
+            + self.storage_counters.crash_count()
+            + self.ledger.feeder_wire_faults
+            + self
+                .feeder
+                .as_ref()
+                .map_or(0, |f| f.fault_counters().injected_count())
+    }
+}
+
+fn run() -> Result<i32, String> {
+    let args = parse_args()?;
+    let scratch = std::env::temp_dir().join(format!("ctl-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).map_err(|e| e.to_string())?;
+
+    let (label, topo) = topology_by_name(TOPO).ok_or("soak topology missing")?;
+    let schedule = FaultSchedule::poisson(&topo, FAIL_RATE, MEAN_REPAIR, HORIZON, SCHEDULE_SEED);
+    let feed: Vec<ChangeSpec> = schedule
+        .events()
+        .iter()
+        .map(|e| ChangeSpec::from_change(e.change))
+        .collect();
+    if feed.is_empty() {
+        return Err("empty fault timeline".to_owned());
+    }
+
+    let mut h = Harness {
+        args,
+        state_dir: scratch.join("state"),
+        socket: scratch.join("ctld.sock"),
+        feed,
+        storage_counters: FaultCounters::new(),
+        incarnations: 0,
+        daemon: None,
+        feeder: None,
+        feeder_gen: 0,
+        feeder_reconnects: 0,
+        feeder_resubmissions: 0,
+        batches_atomic: Arc::new(AtomicU64::new(0)),
+        last_acked: 0,
+        ledger: SoakLedger::new(),
+    };
+
+    let phases = escalation();
+    h.spawn(&phases[0]);
+    h.new_feeder(&phases[0]);
+    let genesis_epoch = h.wait_up()?;
+    if genesis_epoch != 0 {
+        return Err(format!(
+            "fresh daemon serving epoch {genesis_epoch}, want 0"
+        ));
+    }
+
+    // Read-only query pressure, reporting to stderr only.
+    let stop = Arc::new(AtomicBool::new(false));
+    let violations = Arc::new(AtomicU64::new(0));
+    let socket_str = h.socket.to_str().ok_or("non-utf8 temp path")?.to_owned();
+    let mut workers = Vec::new();
+    for i in 0..h.args.queries {
+        let socket = socket_str.clone();
+        let plan = FailPlan::new(h.args.seed, 0, 100, 0).derive(10_000 + i as u64);
+        let stop = Arc::clone(&stop);
+        let sent = Arc::clone(&h.batches_atomic);
+        let violations = Arc::clone(&violations);
+        workers.push(std::thread::spawn(move || {
+            query_worker(socket, plan, stop, sent, violations)
+        }));
+    }
+
+    // Walk the escalation, then cycle its last rung until the fault and
+    // crash quotas are met (or the batch cap bounds the run).
+    let mut phase_ix = 0usize;
+    let capped = loop {
+        let phase = &phases[phase_ix];
+        let mut capped = false;
+        for _ in 0..phase.batches {
+            if h.ledger.batches_sent >= h.args.max_batches {
+                capped = true;
+                break;
+            }
+            h.drive_batch(phase)?;
+        }
+        let quotas_met = h.faults_so_far() >= h.args.min_faults
+            && h.ledger.induced_restarts() >= h.args.min_crashes;
+        let last = phases.len() - 1;
+        if capped || (quotas_met && phase_ix == last) {
+            break capped;
+        }
+        let next_ix = (phase_ix + 1).min(last);
+        eprintln!(
+            "ctl_soak: phase {} done: {} batches, {} faults, {} induced restarts",
+            phase.name,
+            h.ledger.batches_sent,
+            h.faults_so_far(),
+            h.ledger.induced_restarts()
+        );
+        let next = phases[next_ix];
+        h.phase_restart(&next)?;
+        phase_ix = next_ix;
+    };
+
+    // Final accounting through a plain client, then orderly shutdown.
+    let mut fin = h.plain_client();
+    let (final_epoch, final_committed) = match fin.status().map_err(|e| e.to_string())? {
+        Response::Status {
+            epoch,
+            committed_batch_id,
+            ..
+        } => (epoch, committed_batch_id),
+        other => return Err(format!("unexpected final status: {other:?}")),
+    };
+    let (_, final_digest) = fin.digest().map_err(|e| e.to_string())?;
+    fin.shutdown().map_err(|e| e.to_string())?;
+    let exit = h.join_daemon()?;
+    if exit != "ok" {
+        return Err(format!("daemon failed during final shutdown: {exit}"));
+    }
+    stop.store(true, Ordering::SeqCst);
+    let (mut answered, mut query_errors) = (0u64, 0u64);
+    for w in workers {
+        let (a, e) = w.join().map_err(|_| "query worker panicked")?;
+        answered += a;
+        query_errors += e;
+    }
+    h.retire_feeder();
+
+    // Offline replay: the same batches on a fresh controller, no
+    // daemon, no faults. Epoch and digest must agree exactly.
+    let mirror_dir = scratch.join("mirror");
+    let (mut mirror, _) =
+        Controller::start(CtlConfig::new(TOPO, KIND, &mirror_dir)).map_err(|e| e.to_string())?;
+    for batch in 1..=h.ledger.batches_sent {
+        let changes = vec![h.feed[usize::try_from(batch - 1).unwrap_or(0) % h.feed.len()]];
+        mirror
+            .ingest(batch, &changes)
+            .map_err(|e| format!("mirror replay of batch {batch}: {e}"))?;
+    }
+
+    h.ledger.storage_faults = h.storage_counters.injected_count();
+    h.ledger.storage_crashes = h.storage_counters.crash_count();
+    h.ledger.query_epoch_violations = violations.load(Ordering::SeqCst);
+    h.ledger.final_epoch = final_epoch;
+    h.ledger.final_committed_batch_id = final_committed;
+    h.ledger.final_digest = final_digest;
+    h.ledger.mirror_epoch = mirror.epoch();
+    h.ledger.mirror_digest = format!("{:016x}", mirror.digest());
+
+    let report = h.ledger.report(&label, &KIND.name());
+    let quotas_met = h.ledger.total_faults() >= h.args.min_faults
+        && h.ledger.induced_restarts() >= h.args.min_crashes;
+    let plan_repr = FailPlan::new(h.args.seed, 0, 0, 0).to_string();
+    let doc = format!(
+        "{{\n  \"experiment\": \"ctl_soak\",\n  \"seed\": {},\n  \"plan\": {},\n  \
+         \"batches\": {},\n  \"faults\": {{\"storage\": {}, \"storage_crashes\": {}, \
+         \"feeder_wire\": {}, \"total\": {}}},\n  \"restarts\": {{\"total\": {}, \
+         \"induced\": {}}},\n  \"quotas_met\": {quotas_met},\n  \"capped\": {capped},\n  \
+         \"certificate\": {}\n}}\n",
+        h.args.seed,
+        json_string(&plan_repr),
+        h.ledger.batches_sent,
+        h.ledger.storage_faults,
+        h.ledger.storage_crashes,
+        h.ledger.feeder_wire_faults,
+        h.ledger.total_faults(),
+        h.ledger.restarts.len(),
+        h.ledger.induced_restarts(),
+        report.to_json(),
+    );
+    std::fs::write(&h.args.out, &doc).map_err(|e| e.to_string())?;
+    print!("{doc}");
+    eprintln!(
+        "ctl_soak: {} batches, {} faults ({} crashes), {} restarts ({} induced), \
+         feeder reconnects {} resubmissions {}, queries answered {answered} \
+         errors {query_errors} -> {}",
+        h.ledger.batches_sent,
+        h.ledger.total_faults(),
+        h.ledger.storage_crashes,
+        h.ledger.restarts.len(),
+        h.ledger.induced_restarts(),
+        h.feeder_reconnects,
+        h.feeder_resubmissions,
+        h.args.out,
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+    Ok(if report.certified() && quotas_met {
+        0
+    } else {
+        2
+    })
+}
+
+fn main() {
+    match run() {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("ctl_soak: {e}");
+            std::process::exit(1);
+        }
+    }
+}

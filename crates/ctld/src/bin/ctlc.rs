@@ -14,19 +14,14 @@
 //! `ok` reply, 2 for a typed rejection, 1 for transport or usage
 //! errors. `paths` without `--epoch` first fetches the current epoch
 //! with a `status` round trip (the fenced-read idiom).
+//!
+//! All socket handling — framing, reconnect, overload backoff — lives
+//! in [`lmpr_ctld::Client`]; this binary only parses arguments and
+//! formats output.
 
 #![forbid(unsafe_code)]
 
-use lmpr_ctld::{read_frame, write_frame, ChangeSpec, Request, Response};
-use std::os::unix::net::UnixStream;
-
-fn roundtrip(stream: &mut UnixStream, req: &Request) -> Result<(String, Response), String> {
-    write_frame(stream, req.to_json().as_bytes()).map_err(|e| e.to_string())?;
-    let payload = read_frame(stream).map_err(|e| e.to_string())?;
-    let text = String::from_utf8_lossy(&payload).into_owned();
-    let resp = Response::decode(&payload).map_err(|e| e.to_string())?;
-    Ok((text, resp))
-}
+use lmpr_ctld::{ChangeSpec, Client, Request, Response};
 
 fn parse_change(spec: &str) -> Result<ChangeSpec, String> {
     let parts: Vec<&str> = spec.split(':').collect();
@@ -84,8 +79,7 @@ fn run() -> Result<i32, String> {
                 .to_owned(),
         );
     }
-    let mut stream =
-        UnixStream::connect(&socket).map_err(|e| format!("cannot connect to {socket}: {e}"))?;
+    let mut client = Client::new(&socket);
 
     let cmd = rest[0].as_str();
     let tail = &rest[1..];
@@ -154,14 +148,8 @@ fn run() -> Result<i32, String> {
             }
             let epoch = match epoch {
                 Some(e) => e,
-                None => {
-                    // Fenced-read idiom: learn the current epoch first.
-                    let (_, resp) = roundtrip(&mut stream, &Request::Status)?;
-                    match resp {
-                        Response::Status { epoch, .. } => epoch,
-                        other => return Err(format!("unexpected status reply: {other:?}")),
-                    }
-                }
+                // Fenced-read idiom: learn the current epoch first.
+                None => client.current_epoch().map_err(|e| e.to_string())?,
             };
             Request::Paths {
                 epoch,
@@ -172,7 +160,7 @@ fn run() -> Result<i32, String> {
         other => return Err(format!("unknown command {other:?}")),
     };
 
-    let (text, resp) = roundtrip(&mut stream, &req)?;
+    let (text, resp) = client.request(&req).map_err(|e| e.to_string())?;
     println!("{text}");
     Ok(match resp {
         Response::Error { .. } => 2,

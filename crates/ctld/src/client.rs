@@ -1,0 +1,470 @@
+//! Reusable client for the routing-controller daemon.
+//!
+//! [`Client`] owns the connection lifecycle that every embedder of the
+//! wire protocol otherwise reimplements:
+//!
+//! * **automatic reconnect** — any transport or framing failure drops
+//!   the connection and redials under capped exponential backoff, so a
+//!   daemon restart (or an injected wire fault) costs the caller one
+//!   retried request, not an error;
+//! * **fence retry** — a `paths` batch rejected with `epoch-fenced`
+//!   is re-issued at the epoch the rejection itself reported (every
+//!   typed error carries the server's current epoch, so no extra
+//!   status round trip is needed);
+//! * **overload backoff** — a typed `overload` rejection is retried
+//!   after a capped exponential delay, because the server sheds load
+//!   by design and the client is expected to pace itself;
+//! * **idempotent fault submission** — [`Client::submit_fault`] keeps
+//!   resubmitting the same `batch_id` across reconnects until the
+//!   daemon acknowledges it; the controller's at-least-once dedup
+//!   turns a duplicate into a harmless `applied: false` ack, so a
+//!   reply lost to a crash can never double-apply a batch.
+//!
+//! Backoff is paced by [`std::thread::sleep`] on attempt counters
+//! alone — the client never reads a clock, keeping it usable from
+//! deterministic harnesses (DET-TIME).
+
+use crate::failpoint::{FailPlan, FaultCounters, FaultyStream};
+use crate::wire::{read_frame, write_frame, ErrorCode, Request, Response, WireError};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Retry pacing: capped exponential backoff on attempt counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Delay before the second attempt, in milliseconds.
+    pub base_ms: u64,
+    /// Upper bound on any single delay, in milliseconds.
+    pub cap_ms: u64,
+    /// Attempts per request (connects, transport retries, overload and
+    /// fence retries all draw from the same budget).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_ms: 10,
+            cap_ms: 1000,
+            max_attempts: 8,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before attempt `attempt` (1-based; attempt 1 is
+    /// immediate).
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        if attempt <= 1 {
+            return 0;
+        }
+        let shift = u32::min(attempt - 2, 32);
+        self.base_ms.saturating_mul(1u64 << shift).min(self.cap_ms)
+    }
+}
+
+/// Client configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// The daemon's Unix socket.
+    pub socket_path: PathBuf,
+    /// Retry pacing.
+    pub retry: RetryPolicy,
+    /// Optional per-connection read timeout in milliseconds — the only
+    /// way a fully dropped reply frame is ever detected.
+    pub read_timeout_ms: Option<u64>,
+    /// When set, every dialed connection is wrapped in a
+    /// [`FaultyStream`] driven by `plan.derive(connection_index)`:
+    /// client-side wire-fault injection for the soak harness and tests.
+    pub wire_faults: Option<FailPlan>,
+}
+
+impl ClientConfig {
+    /// Defaults: [`RetryPolicy::default`], no timeout, no faults.
+    pub fn new(socket_path: impl Into<PathBuf>) -> Self {
+        ClientConfig {
+            socket_path: socket_path.into(),
+            retry: RetryPolicy::default(),
+            read_timeout_ms: None,
+            wire_faults: None,
+        }
+    }
+}
+
+/// Why a client call failed for good (retries exhausted or the server
+/// rejected the request in a way retrying cannot fix).
+#[derive(Debug)]
+pub enum ClientError {
+    /// The retry budget ran out; the payload is the last failure.
+    RetriesExhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// The final attempt's failure, stringified.
+        last: String,
+    },
+    /// A typed server rejection that retrying cannot fix
+    /// (`bad-request`, `deadline`).
+    Rejected {
+        /// The typed error code.
+        code: ErrorCode,
+        /// The server's epoch at rejection.
+        epoch: u64,
+        /// The server's mode tag.
+        mode: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered with a structurally valid but unexpected
+    /// response kind.
+    UnexpectedResponse(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+            ClientError::Rejected { code, message, .. } => {
+                write!(f, "server rejected request ({}): {message}", code.tag())
+            }
+            ClientError::UnexpectedResponse(what) => {
+                write!(f, "unexpected response kind: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Counters for the client's recovery actions, for harness accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Connections dialed (including the first).
+    pub connects: u64,
+    /// Reconnects forced by transport or framing failures.
+    pub reconnects: u64,
+    /// `epoch-fenced` rejections retried at the reported epoch.
+    pub fenced_retries: u64,
+    /// `overload` rejections retried after backoff.
+    pub overload_retries: u64,
+    /// Fault batches resubmitted after a lost or failed exchange.
+    pub resubmissions: u64,
+}
+
+/// Both halves of a stream, boxable.
+trait Duplex: Read + Write + Send {}
+impl<S: Read + Write + Send> Duplex for S {}
+
+/// A reconnecting, retrying connection to one daemon socket.
+pub struct Client {
+    cfg: ClientConfig,
+    conn: Option<Box<dyn Duplex>>,
+    /// Connections dialed so far; feeds [`FailPlan::derive`] so each
+    /// connection's injected fault sequence is reproducible.
+    conn_index: u64,
+    counters: FaultCounters,
+    stats: ClientStats,
+    /// The server epoch most recently seen in any reply.
+    last_epoch: u64,
+}
+
+impl fmt::Debug for Client {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Client")
+            .field("cfg", &self.cfg)
+            .field("connected", &self.conn.is_some())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Client {
+    /// A client for the daemon at `socket_path` with default retries.
+    pub fn new(socket_path: impl Into<PathBuf>) -> Self {
+        Self::with_config(ClientConfig::new(socket_path))
+    }
+
+    /// A client with explicit configuration.
+    pub fn with_config(cfg: ClientConfig) -> Self {
+        Client {
+            cfg,
+            conn: None,
+            conn_index: 0,
+            counters: FaultCounters::new(),
+            stats: ClientStats::default(),
+            last_epoch: 0,
+        }
+    }
+
+    /// Recovery-action counters so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Counters for faults injected by this client's own
+    /// `wire_faults` plan (zero without one).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.counters.clone()
+    }
+
+    /// The server epoch most recently seen in any reply.
+    pub fn last_epoch(&self) -> u64 {
+        self.last_epoch
+    }
+
+    fn backoff(&self, attempt: u32) {
+        let ms = self.cfg.retry.delay_ms(attempt);
+        if ms > 0 {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+    }
+
+    fn dial(&mut self) -> io::Result<()> {
+        let stream = UnixStream::connect(&self.cfg.socket_path)?;
+        if let Some(ms) = self.cfg.read_timeout_ms {
+            stream.set_read_timeout(Some(Duration::from_millis(ms.max(1))))?;
+        }
+        let index = self.conn_index;
+        self.conn_index += 1;
+        self.stats.connects += 1;
+        self.conn = Some(match self.cfg.wire_faults {
+            Some(plan) if plan.armed() => Box::new(FaultyStream::new(
+                stream,
+                plan.derive(index),
+                self.counters.clone(),
+            )),
+            _ => Box::new(stream),
+        });
+        Ok(())
+    }
+
+    /// One write/read exchange on the current connection (dialing if
+    /// needed). Any failure leaves the connection dropped.
+    fn exchange(&mut self, req: &Request) -> Result<(String, Response), WireError> {
+        if self.conn.is_none() {
+            self.dial().map_err(WireError::Io)?;
+        }
+        let Some(conn) = self.conn.as_mut() else {
+            // Unreachable: dial() either errored above or set `conn`.
+            return Err(WireError::Io(io::Error::other("no connection after dial")));
+        };
+        let result = (|| {
+            write_frame(conn, req.to_json().as_bytes())?;
+            let payload = read_frame(conn)?;
+            let text = String::from_utf8_lossy(&payload).into_owned();
+            let resp = Response::decode(&payload)?;
+            Ok((text, resp))
+        })();
+        if result.is_err() {
+            self.conn = None;
+        }
+        if let Ok((_, resp)) = &result {
+            self.last_epoch = resp.epoch_mode().0;
+        }
+        result
+    }
+
+    /// Issue `req`, retrying transport failures (with reconnect) and
+    /// `overload` rejections under the configured backoff. Typed
+    /// rejections other than `overload` are returned to the caller as
+    /// the `Response::Error` they are — [`Client::paths`] and
+    /// [`Client::submit_fault`] layer their own semantics on top.
+    pub fn request(&mut self, req: &Request) -> Result<(String, Response), ClientError> {
+        let max = self.cfg.retry.max_attempts.max(1);
+        let mut last = String::new();
+        for attempt in 1..=max {
+            self.backoff(attempt);
+            match self.exchange(req) {
+                Ok((text, resp)) => {
+                    if let Response::Error {
+                        code: ErrorCode::Overload,
+                        message,
+                        ..
+                    } = &resp
+                    {
+                        self.stats.overload_retries += 1;
+                        last = format!("overload: {message}");
+                        continue;
+                    }
+                    return Ok((text, resp));
+                }
+                Err(e) => {
+                    self.stats.reconnects += 1;
+                    last = e.to_string();
+                }
+            }
+        }
+        Err(ClientError::RetriesExhausted {
+            attempts: max,
+            last,
+        })
+    }
+
+    /// `status` round trip.
+    pub fn status(&mut self) -> Result<Response, ClientError> {
+        let (_, resp) = self.request(&Request::Status)?;
+        match resp {
+            Response::Status { .. } => Ok(resp),
+            other => Err(reject_or_unexpected(other, "status")),
+        }
+    }
+
+    /// The server's current epoch (one `status` round trip).
+    pub fn current_epoch(&mut self) -> Result<u64, ClientError> {
+        match self.status()? {
+            Response::Status { epoch, .. } => Ok(epoch),
+            other => Err(reject_or_unexpected(other, "status")),
+        }
+    }
+
+    /// `digest` round trip: `(epoch, digest-hex)`.
+    pub fn digest(&mut self) -> Result<(u64, String), ClientError> {
+        let (_, resp) = self.request(&Request::Digest)?;
+        match resp {
+            Response::Digest { epoch, digest, .. } => Ok((epoch, digest)),
+            other => Err(reject_or_unexpected(other, "digest")),
+        }
+    }
+
+    /// Advance the daemon's logical clock to `to`; returns the clock
+    /// after the advance.
+    pub fn tick(&mut self, to: u64) -> Result<u64, ClientError> {
+        let (_, resp) = self.request(&Request::Tick { to })?;
+        match resp {
+            Response::Tick { now, .. } => Ok(now),
+            other => Err(reject_or_unexpected(other, "tick")),
+        }
+    }
+
+    /// Epoch-fenced path query. The batch is first issued at the newest
+    /// epoch this client has seen (or fetched via `status` when it has
+    /// seen none); an `epoch-fenced` rejection is retried at the epoch
+    /// the rejection reported, so a reconvergence between fetch and
+    /// query costs one extra round trip, never an error.
+    pub fn paths(
+        &mut self,
+        pairs: &[(u32, u32)],
+        deadline_ms: Option<u64>,
+    ) -> Result<(u64, Vec<Vec<u64>>), ClientError> {
+        let mut epoch = if self.last_epoch > 0 {
+            self.last_epoch
+        } else {
+            self.current_epoch()?
+        };
+        let max = self.cfg.retry.max_attempts.max(1);
+        for _ in 0..max {
+            let req = Request::Paths {
+                epoch,
+                deadline_ms,
+                pairs: pairs.to_vec(),
+            };
+            let (_, resp) = self.request(&req)?;
+            match resp {
+                Response::Paths { epoch, paths, .. } => return Ok((epoch, paths)),
+                Response::Error {
+                    code: ErrorCode::EpochFenced,
+                    epoch: server_epoch,
+                    ..
+                } => {
+                    self.stats.fenced_retries += 1;
+                    epoch = server_epoch;
+                }
+                other => return Err(reject_or_unexpected(other, "paths")),
+            }
+        }
+        Err(ClientError::RetriesExhausted {
+            attempts: max,
+            last: "epoch-fenced on every attempt".to_owned(),
+        })
+    }
+
+    /// Submit fault batch `batch_id` until the daemon acknowledges it.
+    /// Returns `true` if this submission applied the batch, `false` if
+    /// the daemon had already ingested it (an earlier attempt's ack was
+    /// lost — at-least-once delivery doing its job). Feed-sequencing
+    /// rejections surface as [`ClientError::Rejected`].
+    pub fn submit_fault(
+        &mut self,
+        batch_id: u64,
+        changes: &[crate::wire::ChangeSpec],
+    ) -> Result<bool, ClientError> {
+        let req = Request::Fault {
+            batch_id,
+            changes: changes.to_vec(),
+        };
+        let max = self.cfg.retry.max_attempts.max(1);
+        let mut last = String::new();
+        for attempt in 1..=max {
+            if attempt > 1 {
+                self.stats.resubmissions += 1;
+            }
+            self.backoff(attempt);
+            match self.exchange(&req) {
+                Ok((_, Response::Fault { applied, .. })) => return Ok(applied),
+                Ok((
+                    _,
+                    Response::Error {
+                        code: ErrorCode::Overload,
+                        message,
+                        ..
+                    },
+                )) => {
+                    self.stats.overload_retries += 1;
+                    last = format!("overload: {message}");
+                }
+                Ok((_, other)) => return Err(reject_or_unexpected(other, "fault")),
+                Err(e) => {
+                    // The exchange failed with the ack possibly lost in
+                    // flight; resubmit the same batch_id and let the
+                    // daemon's dedup sort it out.
+                    self.stats.reconnects += 1;
+                    last = e.to_string();
+                }
+            }
+        }
+        Err(ClientError::RetriesExhausted {
+            attempts: max,
+            last,
+        })
+    }
+
+    /// Toggle the daemon's injected-certificate-failure chaos hook.
+    pub fn chaos(&mut self, fail_certs: bool) -> Result<(), ClientError> {
+        let (_, resp) = self.request(&Request::Chaos { fail_certs })?;
+        match resp {
+            Response::Chaos { .. } => Ok(()),
+            other => Err(reject_or_unexpected(other, "chaos")),
+        }
+    }
+
+    /// Orderly daemon shutdown.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let (_, resp) = self.request(&Request::Shutdown)?;
+        match resp {
+            Response::Shutdown { .. } => Ok(()),
+            other => Err(reject_or_unexpected(other, "shutdown")),
+        }
+    }
+}
+
+/// Fold a non-matching response into the right client error.
+fn reject_or_unexpected(resp: Response, expected: &'static str) -> ClientError {
+    match resp {
+        Response::Error {
+            code,
+            epoch,
+            mode,
+            message,
+        } => ClientError::Rejected {
+            code,
+            epoch,
+            mode,
+            message,
+        },
+        _ => ClientError::UnexpectedResponse(expected),
+    }
+}

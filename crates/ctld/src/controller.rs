@@ -37,6 +37,7 @@
 //! checkpoint, replay the same ticks, and every subsequent answer is
 //! identical to the uninterrupted run's.
 
+use crate::failpoint::StoreIo;
 use crate::store::{Checkpoint, Store, StoreError};
 use crate::wire::ChangeSpec;
 use lmpr_core::{Router, RouterKind, SelectionEngine};
@@ -243,9 +244,21 @@ impl Controller {
     /// `state_dir`, or bootstrap epoch 0 by fully verifying the
     /// fault-free state and committing the genesis checkpoint.
     pub fn start(cfg: CtlConfig) -> Result<(Self, Report), CtlError> {
+        let store = Store::open(&cfg.state_dir, cfg.retain_checkpoints)?;
+        Self::start_with_store(cfg, store)
+    }
+
+    /// Start a controller whose checkpoint store runs through an
+    /// injected I/O seam — the failpoint layer, or a test double. The
+    /// lifecycle is identical to [`Controller::start`].
+    pub fn start_with_io(cfg: CtlConfig, io: Box<dyn StoreIo>) -> Result<(Self, Report), CtlError> {
+        let store = Store::open_with_io(&cfg.state_dir, cfg.retain_checkpoints, io)?;
+        Self::start_with_store(cfg, store)
+    }
+
+    fn start_with_store(cfg: CtlConfig, mut store: Store) -> Result<(Self, Report), CtlError> {
         let (label, topo) = lmpr_bench::topology_by_name(&cfg.topo_name)
             .ok_or_else(|| CtlError::UnknownTopology(cfg.topo_name.clone()))?;
-        let store = Store::open(&cfg.state_dir, cfg.retain_checkpoints)?;
         match store.load_latest() {
             Ok(cp) => {
                 let view = cp.view(&topo);
@@ -293,7 +306,7 @@ impl Controller {
                     return Err(CtlError::GenesisCertificate(first));
                 }
                 let engine = SelectionEngine::cached(cfg.kind, faults.clone());
-                let ctl = Controller {
+                let mut ctl = Controller {
                     topo,
                     label,
                     engine,
@@ -584,7 +597,7 @@ impl Controller {
     }
 
     /// Persist the committed root state.
-    fn checkpoint(&self) -> Result<(), CtlError> {
+    fn checkpoint(&mut self) -> Result<(), CtlError> {
         let cp = Checkpoint::from_view(
             self.epoch,
             self.now,

@@ -31,19 +31,41 @@
 //!   bounded, with overflow rejected as a typed `overload` error
 //!   instead of unbounded latency.
 //!
+//! * **Deterministic failure injection** ([`failpoint`]): every
+//!   filesystem call the checkpoint store makes and every stream
+//!   read/write of the wire layer runs behind an injectable seam whose
+//!   fault decisions are a pure function of a seed, so any failure
+//!   interleaving — short writes, ENOSPC, fsync-then-crash, torn
+//!   renames, torn frames, mid-frame disconnects — replays from a
+//!   one-line repro string.
+//! * **A retrying client** ([`client`]): reconnect-on-error, capped
+//!   exponential backoff on `overload`, refetch-and-retry on
+//!   `epoch-fenced`, and idempotent fault-batch resubmission keyed by
+//!   `batch_id` (the controller's at-least-once dedup makes resends
+//!   safe).
+//!
 //! The `ctld` binary runs the daemon, `ctlc` is the matching client,
-//! and `ctl_bench` drives a Poisson fault feed against a 1024-end-host
-//! 3-level XGFT measuring queries/sec and reconvergence latency.
+//! `ctl_bench` drives a Poisson fault feed against a 1024-end-host
+//! 3-level XGFT measuring queries/sec and reconvergence latency, and
+//! `ctl_soak` is the seeded chaos harness that checks the recovery
+//! invariants under an escalating failpoint schedule.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod controller;
+pub mod failpoint;
 pub mod server;
 pub mod store;
 pub mod wire;
 
+pub use client::{Client, ClientConfig, ClientError, ClientStats, RetryPolicy};
 pub use controller::{Controller, CtlConfig, CtlError, Mode, StatusInfo};
+pub use failpoint::{
+    crash_error, is_injected_crash, FailPlan, FailpointIo, FaultCounters, FaultyStream, OsStoreIo,
+    StorageFault, StoreFile, StoreIo, WireFault,
+};
 pub use server::{serve, ServerConfig};
 pub use store::{Checkpoint, Store, StoreError};
 pub use wire::{

@@ -14,8 +14,9 @@
 //! the socket file is removed.
 
 use crate::controller::{Controller, CtlError, Mode};
+use crate::failpoint::{FailPlan, FaultCounters, FaultyStream};
 use crate::wire::{read_frame, write_frame, ErrorCode, Request, Response, MAX_FRAME};
-use std::io;
+use std::io::{self, Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -30,6 +31,11 @@ pub struct ServerConfig {
     pub socket_path: PathBuf,
     /// Bound on queued requests; overflow is rejected as `overload`.
     pub queue_cap: usize,
+    /// When set, every accepted connection is wrapped in a
+    /// [`FaultyStream`] driven by a per-connection child of this plan
+    /// (`plan.derive(connection_index)`), so the server's own read and
+    /// write paths run under injected wire faults.
+    pub wire_faults: Option<FailPlan>,
 }
 
 impl ServerConfig {
@@ -38,6 +44,7 @@ impl ServerConfig {
         ServerConfig {
             socket_path: socket_path.into(),
             queue_cap: 64,
+            wire_faults: None,
         }
     }
 }
@@ -149,7 +156,11 @@ fn dispatch(ctl: &mut Controller, req: &Request) -> Result<Response, CtlError> {
 /// shuts down. `shutdown_ack` fires once a `shutdown` acknowledgement
 /// has actually been written to the peer, so [`serve`] can let the
 /// process exit without racing the reply onto the wire.
-fn handle_connection(mut stream: UnixStream, queue: SyncSender<Job>, shutdown_ack: SyncSender<()>) {
+fn handle_connection<S: Read + Write>(
+    mut stream: S,
+    queue: SyncSender<Job>,
+    shutdown_ack: SyncSender<()>,
+) {
     loop {
         let payload = match read_frame(&mut stream) {
             Ok(p) => p,
@@ -177,15 +188,23 @@ fn handle_connection(mut stream: UnixStream, queue: SyncSender<Job>, shutdown_ac
             enqueued: Instant::now(),
             reply: rtx,
         };
+        // Once the controller is gone the answer below is the last one
+        // this connection can give: close afterwards so the peer's next
+        // attempt fails at the stream layer and redials instead of
+        // conversing with a zombie connection thread forever.
+        let mut dying = false;
         let resp = match queue.try_send(job) {
             Ok(()) => match rrx.recv() {
                 Ok(resp) => resp,
-                Err(_) => Response::Error {
-                    code: ErrorCode::Overload,
-                    epoch: 0,
-                    mode: "unknown".to_owned(),
-                    message: "server shutting down".to_owned(),
-                },
+                Err(_) => {
+                    dying = true;
+                    Response::Error {
+                        code: ErrorCode::Overload,
+                        epoch: 0,
+                        mode: "unknown".to_owned(),
+                        message: "server shutting down".to_owned(),
+                    }
+                }
             },
             Err(TrySendError::Full(_)) => Response::Error {
                 code: ErrorCode::Overload,
@@ -193,12 +212,15 @@ fn handle_connection(mut stream: UnixStream, queue: SyncSender<Job>, shutdown_ac
                 mode: "unknown".to_owned(),
                 message: "work queue full; retry later".to_owned(),
             },
-            Err(TrySendError::Disconnected(_)) => Response::Error {
-                code: ErrorCode::Overload,
-                epoch: 0,
-                mode: "unknown".to_owned(),
-                message: "server shutting down".to_owned(),
-            },
+            Err(TrySendError::Disconnected(_)) => {
+                dying = true;
+                Response::Error {
+                    code: ErrorCode::Overload,
+                    epoch: 0,
+                    mode: "unknown".to_owned(),
+                    message: "server shutting down".to_owned(),
+                }
+            }
         };
         // A legal request can still produce a reply too large for the
         // frame bound (a big paths batch fans out to several path ids
@@ -225,7 +247,7 @@ fn handle_connection(mut stream: UnixStream, queue: SyncSender<Job>, shutdown_ac
         if is_shutdown && !matches!(resp, Response::Error { .. }) {
             let _ = shutdown_ack.try_send(());
         }
-        if !written {
+        if !written || dying {
             return;
         }
     }
@@ -286,7 +308,10 @@ pub fn serve(mut ctl: Controller, cfg: ServerConfig) -> Result<(), io::Error> {
 
     let acceptor = {
         let shutting_down = Arc::clone(&shutting_down);
+        let wire_faults = cfg.wire_faults;
+        let counters = FaultCounters::new();
         std::thread::spawn(move || {
+            let mut conn_index = 0u64;
             for stream in listener.incoming() {
                 if shutting_down.load(Ordering::SeqCst) {
                     return;
@@ -294,7 +319,20 @@ pub fn serve(mut ctl: Controller, cfg: ServerConfig) -> Result<(), io::Error> {
                 let Ok(stream) = stream else { continue };
                 let queue = tx.clone();
                 let ack = ack_tx.clone();
-                std::thread::spawn(move || handle_connection(stream, queue, ack));
+                match wire_faults {
+                    Some(plan) if plan.armed() => {
+                        // Each connection gets its own derived plan so its
+                        // fault sequence depends only on the seed and its
+                        // accept order, not on frame interleaving.
+                        let faulty =
+                            FaultyStream::new(stream, plan.derive(conn_index), counters.clone());
+                        std::thread::spawn(move || handle_connection(faulty, queue, ack));
+                    }
+                    _ => {
+                        std::thread::spawn(move || handle_connection(stream, queue, ack));
+                    }
+                }
+                conn_index += 1;
             }
         })
     };

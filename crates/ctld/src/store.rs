@@ -24,9 +24,9 @@
 //! are derived state and are recomputed on demand; this is what makes
 //! the restart-equivalence guarantee a pure function of the fault feed.
 
+use crate::failpoint::{OsStoreIo, StoreIo};
 use std::fmt;
-use std::fs;
-use std::io::Write;
+use std::io;
 use std::path::{Path, PathBuf};
 use xgft::{DirectedLinkId, FaultSet, NodeId, Topology};
 
@@ -310,23 +310,46 @@ impl Checkpoint {
 }
 
 /// Directory of per-epoch checkpoints with atomic commit and bounded
-/// retention.
-#[derive(Debug)]
+/// retention. All filesystem traffic goes through the injectable
+/// [`StoreIo`] seam, so the failpoint layer can drive any write, sync,
+/// or rename into a seeded fault.
 pub struct Store {
     dir: PathBuf,
     /// Checkpoints retained on disk (newest first); older ones are
     /// pruned after each commit.
     retain: usize,
+    io: Box<dyn StoreIo>,
+}
+
+impl fmt::Debug for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Store")
+            .field("dir", &self.dir)
+            .field("retain", &self.retain)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Store {
-    /// Open (creating if needed) a checkpoint directory.
+    /// Open (creating if needed) a checkpoint directory on the real
+    /// filesystem.
     pub fn open(dir: impl Into<PathBuf>, retain: usize) -> Result<Self, StoreError> {
+        Self::open_with_io(dir, retain, Box::new(OsStoreIo))
+    }
+
+    /// Open a checkpoint directory through an injected I/O seam (the
+    /// failpoint layer, or a test double).
+    pub fn open_with_io(
+        dir: impl Into<PathBuf>,
+        retain: usize,
+        mut io: Box<dyn StoreIo>,
+    ) -> Result<Self, StoreError> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)?;
+        io.create_dir_all(&dir)?;
         Ok(Store {
             dir,
             retain: retain.max(1),
+            io,
         })
     }
 
@@ -346,47 +369,83 @@ impl Store {
     /// can forget the new directory entry even though the file data
     /// reached disk — so a crash at any point leaves this epoch (or an
     /// older committed one) recoverable.
-    pub fn commit(&self, cp: &Checkpoint) -> Result<(), StoreError> {
+    ///
+    /// A single `EINTR` is retried once from scratch (the temp file is
+    /// recreated, so a torn first attempt cannot leak into the retry);
+    /// every other failure propagates.
+    pub fn commit(&mut self, cp: &Checkpoint) -> Result<(), StoreError> {
+        match self.commit_once(cp) {
+            Err(StoreError::Io(e)) if e.kind() == io::ErrorKind::Interrupted => {
+                self.commit_once(cp)
+            }
+            other => other,
+        }
+    }
+
+    fn commit_once(&mut self, cp: &Checkpoint) -> Result<(), StoreError> {
         let tmp = self.dir.join(format!(".epoch-{:016}.tmp", cp.epoch));
+        let snap = self.snap_path(cp.epoch);
         let bytes = cp.to_bytes();
         {
-            let mut f = fs::File::create(&tmp)?;
+            let mut f = self.io.create(&tmp)?;
             f.write_all(&bytes)?;
             f.sync_all()?;
         }
-        fs::rename(&tmp, self.snap_path(cp.epoch))?;
+        self.io.rename(&tmp, &snap)?;
         // Make the rename durable before prune may delete predecessors:
         // pruning first could leave, after power loss, neither the old
         // checkpoints nor the (forgotten) new one.
-        fs::File::open(&self.dir)?.sync_all()?;
+        self.io.sync_dir(&self.dir)?;
         self.prune();
         Ok(())
     }
 
+    /// Whether the checkpoint file for `epoch` decodes and validates.
+    fn validates(&mut self, epoch: u64) -> bool {
+        let path = self.snap_path(epoch);
+        match self.io.read(&path) {
+            Ok(bytes) => Checkpoint::from_bytes(&bytes).is_ok(),
+            Err(_) => false,
+        }
+    }
+
     /// Best-effort retention: keep the newest `retain` checkpoints.
     /// Pruning failures are ignored — retention is hygiene, not
-    /// correctness.
-    fn prune(&self) {
-        let mut epochs = self.list_epochs();
+    /// correctness — but the newest checkpoint that actually
+    /// *validates* is never deleted, even when newer-but-corrupt files
+    /// occupy the whole retention window. Deleting it would leave
+    /// recovery with nothing but garbage.
+    fn prune(&mut self) {
+        let Ok(mut epochs) = self.list_epochs() else {
+            return;
+        };
         if epochs.len() <= self.retain {
             return;
         }
         epochs.sort_unstable();
+        let mut newest_valid = None;
+        for &epoch in epochs.iter().rev() {
+            if self.validates(epoch) {
+                newest_valid = Some(epoch);
+                break;
+            }
+        }
         let cut = epochs.len() - self.retain;
         for &old in &epochs[..cut] {
-            let _ = fs::remove_file(self.snap_path(old));
+            if Some(old) == newest_valid {
+                continue;
+            }
+            let _ = self.io.remove_file(&self.snap_path(old));
         }
     }
 
-    /// Epoch numbers with a checkpoint file present (unvalidated).
-    pub fn list_epochs(&self) -> Vec<u64> {
-        let Ok(entries) = fs::read_dir(&self.dir) else {
-            return Vec::new();
-        };
+    /// Epoch numbers with a checkpoint file present (unvalidated). A
+    /// directory that cannot be listed is an **error**, not an empty
+    /// store — treating it as empty would let a transient I/O failure
+    /// silently bootstrap a fresh genesis over existing state.
+    pub fn list_epochs(&mut self) -> Result<Vec<u64>, StoreError> {
         let mut epochs = Vec::new();
-        for entry in entries.flatten() {
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
+        for name in self.io.list(&self.dir)? {
             let Some(rest) = name.strip_prefix("epoch-") else {
                 continue;
             };
@@ -398,21 +457,24 @@ impl Store {
             }
         }
         epochs.sort_unstable();
-        epochs
+        Ok(epochs)
     }
 
     /// Load the newest checkpoint that validates, skipping corrupt or
     /// truncated ones (each skip is reported on stderr with its typed
-    /// reason). [`StoreError::NoCheckpoint`] when nothing survives.
-    pub fn load_latest(&self) -> Result<Checkpoint, StoreError> {
-        let mut epochs = self.list_epochs();
+    /// reason). [`StoreError::NoCheckpoint`] when nothing survives;
+    /// a directory that cannot even be listed propagates as
+    /// [`StoreError::Io`] so the caller cannot mistake it for a fresh
+    /// state directory.
+    pub fn load_latest(&mut self) -> Result<Checkpoint, StoreError> {
+        let mut epochs = self.list_epochs()?;
         epochs.reverse();
         if epochs.is_empty() {
             return Err(StoreError::NoCheckpoint);
         }
         for epoch in epochs {
             let path = self.snap_path(epoch);
-            let bytes = match fs::read(&path) {
+            let bytes = match self.io.read(&path) {
                 Ok(b) => b,
                 Err(e) => {
                     eprintln!("ctld: skipping {}: {e}", path.display());
@@ -501,29 +563,56 @@ mod tests {
     #[test]
     fn store_commits_atomically_and_recovers_the_newest_valid() {
         let dir = std::env::temp_dir().join(format!("ctld-store-{}", std::process::id()));
-        let _ = fs::remove_dir_all(&dir);
-        let store = Store::open(&dir, 3).expect("open");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = Store::open(&dir, 3).expect("open");
         assert!(matches!(store.load_latest(), Err(StoreError::NoCheckpoint)));
 
         for epoch in 1..=5 {
             store.commit(&sample(epoch)).expect("commit");
         }
         // Retention kept the last 3.
-        assert_eq!(store.list_epochs(), vec![3, 4, 5]);
+        assert_eq!(store.list_epochs().expect("list"), vec![3, 4, 5]);
         assert_eq!(store.load_latest().expect("latest").epoch, 5);
 
         // Corrupt the newest: recovery falls back to epoch 4.
         let newest = dir.join("epoch-0000000000000005.snap");
-        let mut bytes = fs::read(&newest).expect("read");
+        let mut bytes = std::fs::read(&newest).expect("read");
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
-        fs::write(&newest, &bytes).expect("write corrupt");
+        std::fs::write(&newest, &bytes).expect("write corrupt");
         assert_eq!(store.load_latest().expect("fallback").epoch, 4);
 
         // A stray temp file (torn pre-rename write) is invisible.
-        fs::write(dir.join(".epoch-0000000000000009.tmp"), b"torn").expect("write tmp");
+        std::fs::write(dir.join(".epoch-0000000000000009.tmp"), b"torn").expect("write tmp");
         assert_eq!(store.load_latest().expect("still 4").epoch, 4);
 
-        let _ = fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_never_deletes_the_newest_valid_checkpoint() {
+        let dir = std::env::temp_dir().join(format!("ctld-prune-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = Store::open(&dir, 2).expect("open");
+        store.commit(&sample(1)).expect("commit 1");
+
+        // A burst of torn commits left corrupt high-numbered checkpoint
+        // files; the daemon recovered to epoch 1 beneath them and now
+        // commits epoch 2. Count-based retention sorts [1,2,7,8,9] and
+        // deletes everything below the cut — including the *just
+        // committed* epoch 2, the only valid checkpoint on disk.
+        for epoch in [7u64, 8, 9] {
+            std::fs::write(dir.join(format!("epoch-{epoch:016}.snap")), b"garbage")
+                .expect("write corrupt");
+        }
+        store.commit(&sample(2)).expect("commit 2");
+        let epochs = store.list_epochs().expect("list");
+        assert!(
+            epochs.contains(&2),
+            "prune deleted the only valid checkpoint: {epochs:?}"
+        );
+        assert_eq!(store.load_latest().expect("recovery").epoch, 2);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

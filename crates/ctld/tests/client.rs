@@ -1,0 +1,199 @@
+//! Client-library tests against a live daemon: fence retry, reconnect
+//! under injected wire chaos, and idempotent fault-batch resubmission.
+
+use lmpr_core::RouterKind;
+use lmpr_ctld::{
+    serve, ChangeSpec, Client, ClientConfig, Controller, CtlConfig, FailPlan, RetryPolicy,
+    ServerConfig,
+};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+const TOPO: &str = "8port2tree";
+
+struct Daemon {
+    scratch: PathBuf,
+    socket: PathBuf,
+    server: Option<JoinHandle<std::io::Result<()>>>,
+}
+
+impl Daemon {
+    fn start(tag: &str) -> Daemon {
+        let scratch = std::env::temp_dir().join(format!("ctld-cli-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&scratch);
+        std::fs::create_dir_all(&scratch).expect("scratch dir");
+        let socket = scratch.join("ctld.sock");
+        let cfg = CtlConfig::new(TOPO, RouterKind::Disjoint(4), scratch.join("state"));
+        let (ctl, report) = Controller::start(cfg).expect("controller start");
+        assert!(report.certified());
+        let server_cfg = ServerConfig::new(&socket);
+        let server = std::thread::spawn(move || serve(ctl, server_cfg));
+        for _ in 0..500 {
+            if UnixStream::connect(&socket).is_ok() {
+                return Daemon {
+                    scratch,
+                    socket,
+                    server: Some(server),
+                };
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("server did not come up");
+    }
+
+    fn client(&self) -> Client {
+        Client::new(&self.socket)
+    }
+
+    fn stop(mut self) {
+        self.client().shutdown().expect("shutdown");
+        self.server
+            .take()
+            .expect("server handle")
+            .join()
+            .expect("server thread")
+            .expect("server exit");
+        let _ = std::fs::remove_dir_all(&self.scratch);
+    }
+}
+
+#[test]
+fn paths_retries_a_fence_at_the_reported_epoch() {
+    let d = Daemon::start("fence");
+    // A writer commits epoch 1; the reader primes its epoch cache there.
+    // (A cache at genesis epoch 0 is treated as "never fetched" and
+    // refetched, so the fence can only arm against a nonzero epoch.)
+    let mut writer = d.client();
+    assert!(writer
+        .submit_fault(1, &[ChangeSpec::LinkDown(2)])
+        .expect("fault"));
+    let mut reader = d.client();
+    assert_eq!(reader.current_epoch().expect("epoch"), 1);
+
+    // The writer commits another epoch behind the reader's back.
+    assert!(writer
+        .submit_fault(2, &[ChangeSpec::LinkUp(2)])
+        .expect("fault"));
+
+    // The reader's next query is fenced (its cached epoch 1 is stale)
+    // and must transparently retry at the epoch the rejection reported.
+    let (epoch, paths) = reader.paths(&[(0, 5), (3, 12)], None).expect("paths");
+    assert_eq!(epoch, 2);
+    assert_eq!(paths.len(), 2);
+    assert_eq!(reader.stats().fenced_retries, 1);
+    d.stop();
+}
+
+#[test]
+fn the_client_rides_out_injected_wire_chaos() {
+    let d = Daemon::start("chaos");
+    // A hostile connection: ~30% of stream ops fault (partial frames,
+    // disconnects, mid-frame resets; no drops, so no reliance on the
+    // read timeout for progress).
+    let mut client = Client::with_config(ClientConfig {
+        socket_path: d.socket.clone(),
+        retry: RetryPolicy {
+            base_ms: 1,
+            cap_ms: 10,
+            max_attempts: 10,
+        },
+        read_timeout_ms: Some(500),
+        wire_faults: Some(FailPlan {
+            no_drop: true,
+            ..FailPlan::new(99, 0, 300, 0)
+        }),
+    });
+    for i in 0..40 {
+        let epoch = client.current_epoch().unwrap_or_else(|e| {
+            panic!("status {i} failed under wire chaos: {e}");
+        });
+        assert_eq!(epoch, 0);
+    }
+    let stats = client.stats();
+    assert!(
+        stats.reconnects > 0,
+        "a 30% fault plan over 40 round trips must have forced reconnects: {stats:?}"
+    );
+    let injected = client.fault_counters().injected_count();
+    assert!(injected > 0, "the fault plan never fired");
+    d.stop();
+}
+
+#[test]
+fn fault_submission_is_idempotent_across_resends() {
+    let d = Daemon::start("idem");
+    let mut client = d.client();
+
+    // First delivery applies; byte-identical resend (a lost ack, as
+    // at-least-once delivery produces) is deduplicated.
+    assert!(client
+        .submit_fault(1, &[ChangeSpec::LinkDown(3)])
+        .expect("first"));
+    assert!(!client
+        .submit_fault(1, &[ChangeSpec::LinkDown(3)])
+        .expect("resend"));
+
+    // Even from a different client (a restarted feeder).
+    let mut other = d.client();
+    assert!(!other
+        .submit_fault(1, &[ChangeSpec::LinkDown(3)])
+        .expect("resend from elsewhere"));
+
+    // The dedup did not eat the epoch: exactly one commit happened.
+    assert_eq!(client.current_epoch().expect("epoch"), 1);
+
+    // The next batch in sequence still applies normally.
+    assert!(client
+        .submit_fault(2, &[ChangeSpec::LinkUp(3)])
+        .expect("second"));
+    assert_eq!(client.current_epoch().expect("epoch"), 2);
+    d.stop();
+}
+
+#[test]
+fn the_client_reconnects_across_a_daemon_restart() {
+    let first = Daemon::start("restart");
+    let scratch = first.scratch.clone();
+    let socket = first.socket.clone();
+    let mut client = Client::new(&socket);
+    assert!(client
+        .submit_fault(1, &[ChangeSpec::LinkDown(5)])
+        .expect("fault"));
+    assert_eq!(client.current_epoch().expect("epoch"), 1);
+
+    // Stop the daemon (dropping the socket) and bring up a fresh one on
+    // the same state dir: it must recover epoch 1.
+    client.shutdown().expect("shutdown");
+    first
+        .server
+        .expect("server handle")
+        .join()
+        .expect("server thread")
+        .expect("server exit");
+    let cfg = CtlConfig::new(TOPO, RouterKind::Disjoint(4), scratch.join("state"));
+    let (ctl, report) = Controller::start(cfg).expect("controller restart");
+    assert!(report.certified());
+    let server_cfg = ServerConfig::new(&socket);
+    let server = std::thread::spawn(move || serve(ctl, server_cfg));
+
+    // The same client object redials through its retry budget and sees
+    // the recovered epoch.
+    let mut recovered = 0;
+    for _ in 0..100 {
+        match client.current_epoch() {
+            Ok(e) => {
+                recovered = e;
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    assert_eq!(recovered, 1, "client must reach the restarted daemon");
+    assert!(client.stats().connects >= 2);
+
+    client.shutdown().expect("final shutdown");
+    server.join().expect("server thread").expect("server exit");
+    let _ = std::fs::remove_dir_all(&scratch);
+}

@@ -1,0 +1,219 @@
+//! Negative-space tests for the wire protocol: every malformed input —
+//! truncated length prefixes, frames over the size bound, mid-frame
+//! EOF, interleaved garbage — must come back as a typed [`WireError`]
+//! (or a typed in-band rejection from a live server), never a panic and
+//! never a hang.
+
+use lmpr_core::RouterKind;
+use lmpr_ctld::{
+    read_frame, serve, write_frame, Controller, CtlConfig, ErrorCode, Request, Response,
+    ServerConfig, WireError, MAX_FRAME,
+};
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+// -------------------------------------------------------------------
+// Pure framing-layer cases (no socket).
+// -------------------------------------------------------------------
+
+#[test]
+fn a_truncated_length_prefix_is_a_typed_io_error() {
+    // Two bytes where the 4-byte length should be, then EOF.
+    let mut input: &[u8] = &[0x10, 0x00];
+    match read_frame(&mut input) {
+        Err(WireError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof),
+        other => panic!("want typed Io error, got {other:?}"),
+    }
+}
+
+#[test]
+fn a_length_over_the_frame_bound_is_rejected_before_allocation() {
+    let mut input: Vec<u8> = (MAX_FRAME + 1).to_le_bytes().to_vec();
+    // No payload follows; the bound check must fire on the prefix
+    // alone, without trying to read (or allocate) the announced size.
+    match read_frame(&mut input.as_slice()) {
+        Err(WireError::FrameTooLarge(n)) => assert_eq!(n, MAX_FRAME + 1),
+        other => panic!("want FrameTooLarge, got {other:?}"),
+    }
+    // The all-ones prefix a desynchronized peer is most likely to
+    // produce is also just a typed error.
+    input = u32::MAX.to_le_bytes().to_vec();
+    assert!(matches!(
+        read_frame(&mut input.as_slice()),
+        Err(WireError::FrameTooLarge(_))
+    ));
+}
+
+#[test]
+fn eof_mid_frame_is_a_typed_io_error() {
+    let mut input = 100u32.to_le_bytes().to_vec();
+    input.extend_from_slice(&[0xAB; 40]); // 60 bytes short
+    match read_frame(&mut input.as_slice()) {
+        Err(WireError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof),
+        other => panic!("want typed Io error, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_writes_are_refused_without_touching_the_stream() {
+    let payload = vec![b'x'; (MAX_FRAME as usize) + 1];
+    let mut sink = Vec::new();
+    assert!(matches!(
+        write_frame(&mut sink, &payload),
+        Err(WireError::FrameTooLarge(_))
+    ));
+    assert!(sink.is_empty(), "refused frame must not leak bytes");
+}
+
+#[test]
+fn garbage_payloads_decode_to_typed_errors_never_panics() {
+    for payload in [
+        &b"\xFF\xFE\x00garbage"[..],
+        b"{\"op\": \"paths\"", // truncated JSON
+        b"{\"op\": 13}",       // wrong type
+        b"[1, 2, 3]",          // wrong shape
+        b"{\"ok\": \"yes\"}",  // response with non-bool ok
+        b"",                   // empty document
+    ] {
+        assert!(Request::decode(payload).is_err(), "accepted {payload:?}");
+        assert!(Response::decode(payload).is_err(), "accepted {payload:?}");
+    }
+}
+
+// -------------------------------------------------------------------
+// Live-server cases: the daemon must survive hostile peers.
+// -------------------------------------------------------------------
+
+const TOPO: &str = "8port2tree";
+
+struct Daemon {
+    scratch: PathBuf,
+    socket: PathBuf,
+    server: Option<JoinHandle<std::io::Result<()>>>,
+}
+
+impl Daemon {
+    fn start(tag: &str) -> Daemon {
+        let scratch = std::env::temp_dir().join(format!("ctld-neg-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&scratch);
+        std::fs::create_dir_all(&scratch).expect("scratch dir");
+        let socket = scratch.join("ctld.sock");
+        let cfg = CtlConfig::new(TOPO, RouterKind::Disjoint(4), scratch.join("state"));
+        let (ctl, report) = Controller::start(cfg).expect("controller start");
+        assert!(report.certified());
+        let server_cfg = ServerConfig::new(&socket);
+        let server = std::thread::spawn(move || serve(ctl, server_cfg));
+        for _ in 0..500 {
+            if UnixStream::connect(&socket).is_ok() {
+                return Daemon {
+                    scratch,
+                    socket,
+                    server: Some(server),
+                };
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("server did not come up");
+    }
+
+    fn connect(&self) -> UnixStream {
+        let s = UnixStream::connect(&self.socket).expect("connect");
+        // A hang is a failure mode under test: bound every read.
+        s.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        s
+    }
+
+    fn stop(mut self) {
+        let mut stream = self.connect();
+        write_frame(&mut stream, Request::Shutdown.to_json().as_bytes()).expect("write");
+        let payload = read_frame(&mut stream).expect("read");
+        assert!(matches!(
+            Response::decode(&payload).expect("decode"),
+            Response::Shutdown { .. }
+        ));
+        self.server
+            .take()
+            .expect("server handle")
+            .join()
+            .expect("server thread")
+            .expect("server exit");
+        let _ = std::fs::remove_dir_all(&self.scratch);
+    }
+}
+
+/// The server closed on us: either a clean EOF or — when our garbage
+/// was still unread in its receive buffer at close — a reset.
+fn assert_closed(stream: &mut UnixStream, what: &str) {
+    let mut buf = [0u8; 16];
+    match stream.read(&mut buf) {
+        Ok(0) => {}
+        Ok(n) => panic!("server must close {what}, but sent {n} bytes"),
+        Err(e) => assert_eq!(
+            e.kind(),
+            std::io::ErrorKind::ConnectionReset,
+            "want EOF or reset {what}, got {e}"
+        ),
+    }
+}
+
+fn status_works(stream: &mut UnixStream) {
+    write_frame(stream, Request::Status.to_json().as_bytes()).expect("write status");
+    let payload = read_frame(stream).expect("read status");
+    assert!(matches!(
+        Response::decode(&payload).expect("decode status"),
+        Response::Status { .. }
+    ));
+}
+
+#[test]
+fn a_live_server_survives_garbage_and_keeps_serving_others() {
+    let d = Daemon::start("garbage");
+
+    // 1. A peer that opens with a bogus oversized length: the server
+    // must drop the connection (EOF on our side), not crash or hang.
+    let mut hostile = d.connect();
+    hostile.write_all(&[0xFF; 64]).expect("write garbage");
+    assert_closed(&mut hostile, "the desynchronized connection");
+
+    // 2. A peer that interleaves garbage after a valid exchange.
+    let mut sneaky = d.connect();
+    status_works(&mut sneaky);
+    sneaky.write_all(&[0xFF; 8]).expect("write garbage");
+    assert_closed(&mut sneaky, "after mid-stream garbage");
+
+    // 3. A peer announcing a frame just over the bound with no bytes
+    // behind it: rejected from the prefix alone.
+    let mut bomber = d.connect();
+    bomber
+        .write_all(&(MAX_FRAME + 1).to_le_bytes())
+        .expect("write bomb prefix");
+    assert_closed(&mut bomber, "on an oversized announcement");
+
+    // 4. A peer sending a well-framed but non-JSON payload gets a typed
+    // in-band rejection and the connection stays usable.
+    let mut mumbler = d.connect();
+    write_frame(&mut mumbler, b"\xFF\xFEnot json").expect("write junk frame");
+    let payload = read_frame(&mut mumbler).expect("read junk reply");
+    match Response::decode(&payload).expect("decode junk reply") {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("want typed bad-request, got {other:?}"),
+    }
+    status_works(&mut mumbler);
+
+    // 5. A peer disconnecting mid-frame (length written, payload
+    // withheld) must not wedge the server.
+    {
+        let mut tease = d.connect();
+        tease.write_all(&100u32.to_le_bytes()).expect("write tease");
+        tease.write_all(&[0x7B; 10]).expect("write partial payload");
+    } // dropped here: mid-frame EOF on the server's read
+
+    // Throughout all of it, a well-behaved client is still served.
+    let mut honest = d.connect();
+    status_works(&mut honest);
+    d.stop();
+}

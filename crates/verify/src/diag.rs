@@ -106,6 +106,22 @@ pub enum RuleId {
     /// reproduce the committed epoch (envelope accepted but the decoded
     /// state disagrees with its recorded digest).
     CtlResume,
+    /// Chaos-soak epoch invariant: acknowledged fault batches must be
+    /// acked at strictly increasing epochs (one committed epoch per
+    /// applied batch), across every induced crash and restart.
+    CtlSoakEpoch,
+    /// Chaos-soak serving invariant: no reply may ever carry an epoch
+    /// outside the set the daemon actually committed and certified.
+    CtlSoakServe,
+    /// Chaos-soak recovery invariant: a daemon restarted after an
+    /// induced crash must recover the newest valid checkpoint — never
+    /// regress below an acknowledged commit, never bootstrap genesis
+    /// over surviving state.
+    CtlSoakRecover,
+    /// Chaos-soak accounting invariant: at-least-once delivery must end
+    /// with every fault batch applied exactly once (final state digest
+    /// equal to the offline replay's; no lost or double-applied batch).
+    CtlSoakBatch,
 }
 
 impl RuleId {
@@ -133,6 +149,10 @@ impl RuleId {
             RuleId::CtlCertificate => "CTL-CERT",
             RuleId::CtlEpoch => "CTL-EPOCH",
             RuleId::CtlResume => "CTL-RESUME",
+            RuleId::CtlSoakEpoch => "CTL-SOAK-EPOCH",
+            RuleId::CtlSoakServe => "CTL-SOAK-SERVE",
+            RuleId::CtlSoakRecover => "CTL-SOAK-RECOVER",
+            RuleId::CtlSoakBatch => "CTL-SOAK-BATCH",
         }
     }
 }
