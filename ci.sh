@@ -131,16 +131,18 @@ timeout 120 bash -c '
   wait "$bpid"
 '
 
-echo "==> ctl_soak chaos smoke (seeded failpoint soak, 60 s budget)"
-# Seeded chaos soak (DESIGN.md §13): daemon + feeder + query workers
-# under the escalating failpoint schedule, ≥100 injected faults and
-# ≥10 induced crash-restarts, every invariant machine-checked
-# (CTL-SOAK-EPOCH/SERVE/RECOVER/BATCH). The binary exits non-zero on
-# any invariant violation; two runs with the same seed must produce
-# byte-identical documents, because every interleaving is a pure
-# function of the seed (repro string fp1:11:s0:w0:c0).
+echo "==> ctl_soak chaos + failover smoke (seeded failpoint soak, 120 s budget)"
+# Seeded chaos soak (DESIGN.md §13–14): daemon + feeder + query
+# workers under the escalating failpoint schedule (≥100 injected
+# faults, ≥10 induced crash-restarts), then the failover phase — a hot
+# standby replicates the primary and every daemon death promotes it
+# (≥3 promotions) under wire + storage chaos. Every invariant is
+# machine-checked (CTL-SOAK-EPOCH/SERVE/RECOVER/BATCH/FAILOVER/GEN).
+# The binary exits non-zero on any invariant violation; two runs with
+# the same seed must produce byte-identical documents, because every
+# interleaving is a pure function of the seed (repro fp1:11:s0:w0:c0).
 cargo build -q --release -p lmpr-ctld --bin ctl_soak
-timeout 60 bash -c '
+timeout 120 bash -c '
   set -euo pipefail
   dir=$(mktemp -d)
   trap "rm -rf \"$dir\"" EXIT
@@ -152,6 +154,18 @@ timeout 60 bash -c '
     echo "soak documents differ across same-seed runs" >&2; exit 1; }
   grep -q "\"certified\": true" "$dir/a.json" || {
     echo "soak certificate did not certify" >&2; exit 1; }
+  if grep -q "\"promotions\": 0," "$dir/a.json"; then
+    echo "failover phase never promoted the standby" >&2; exit 1
+  fi
+  # A second seed takes a different path through the failpoint
+  # schedule — promotions, fence crossings and recoveries all land on
+  # different batches — and must certify just the same.
+  ./target/release/ctl_soak --seed 7 --out "$dir/c.json" \
+      > /dev/null 2> /dev/null
+  grep -q "\"certified\": true" "$dir/c.json" || {
+    echo "second-seed soak did not certify" >&2; exit 1; }
+  grep -q "\"quotas_met\": true" "$dir/c.json" || {
+    echo "second-seed soak missed its fault/promotion quotas" >&2; exit 1; }
 '
 
 echo "CI green."

@@ -25,7 +25,20 @@
 //! * **`CTL-SOAK-BATCH`** — at-least-once accounting closed out exact:
 //!   every batch sent was committed exactly once, and the daemon's
 //!   final state digest equals an offline replay's (no lost, reordered,
-//!   or double-applied batch).
+//!   or double-applied batch). In a failover run the "daemon" at the
+//!   end is the last promoted standby's lineage, so this rule is also
+//!   the proof that the promoted replica's full-feed state equals the
+//!   offline reference.
+//! * **`CTL-SOAK-FAILOVER`** — every standby promotion caught up to
+//!   the entire submitted feed before serving: the promoted epoch
+//!   covers every batch sent, never sits below an acknowledged commit,
+//!   and the daemon spawned on the promoted state recovered exactly
+//!   that epoch. With any promotions at all, the feeder must have
+//!   actually failed over at least once per promotion.
+//! * **`CTL-SOAK-GEN`** — generation leases form a strict +1 chain
+//!   across promotions, every deposed-generation write probe was
+//!   durably rejected by the store fence, and the feeder crossed each
+//!   fence via a counted `gen-fenced` retry.
 
 use lmpr_verify::{Diagnostic, Report, RuleId, Witness};
 
@@ -136,6 +149,35 @@ pub struct RestartRecord {
     pub recovered_epoch: u64,
 }
 
+/// One standby promotion, with everything the failover invariants are
+/// judged on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromotionRecord {
+    /// Promotion number (1-based).
+    pub index: u64,
+    /// The generation lease before the bump (the dead primary's).
+    pub gen_before: u64,
+    /// The generation lease the promoted controller now holds.
+    pub gen_after: u64,
+    /// Highest epoch acknowledged to the feeder before the primary
+    /// died.
+    pub last_acked_epoch: u64,
+    /// The epoch the promoted controller served after catching up on
+    /// the feed.
+    pub promoted_epoch: u64,
+    /// The highest batch id the catch-up replayed through — must equal
+    /// the full submitted feed.
+    pub resubmitted_through: u64,
+    /// The epoch the daemon spawned on the promoted state reported.
+    pub recovered_epoch: u64,
+    /// Whether the post-promotion probe that committed a checkpoint at
+    /// the *deposed* generation was rejected by the store fence.
+    pub stale_write_rejected: bool,
+    /// The generation lease the surviving feeder carries into the
+    /// promoted incarnation (0 if it has never seen a reply).
+    pub feeder_lease: u64,
+}
+
 /// One fault-batch acknowledgement as the feeder saw it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchAck {
@@ -169,6 +211,15 @@ pub struct SoakLedger {
     pub storage_crashes: u64,
     /// Wire faults injected into the feeder's own connections.
     pub feeder_wire_faults: u64,
+    /// Standby promotions, in order.
+    pub promotions: Vec<PromotionRecord>,
+    /// Endpoint failovers the feeder performed (dials that landed on a
+    /// different endpoint than the previous connection).
+    pub feeder_failovers: u64,
+    /// `gen-fenced` rejections the feeder recovered from.
+    pub feeder_gen_retries: u64,
+    /// The generation lease the feeder held when it was retired.
+    pub feeder_final_lease: u64,
     /// The daemon's final reported epoch.
     pub final_epoch: u64,
     /// The daemon's final committed feed batch id.
@@ -323,6 +374,135 @@ impl SoakLedger {
         }
         r.record(RuleId::CtlSoakBatch, self.batches_sent, before);
 
+        // CTL-SOAK-FAILOVER: promotion caught up before serving, never
+        // below an ack, and the daemon on the promoted state serves
+        // exactly the promoted epoch.
+        let before = r.findings.len();
+        for p in &self.promotions {
+            if p.promoted_epoch != p.resubmitted_through {
+                r.findings.push(Diagnostic::error(
+                    RuleId::CtlSoakFailover,
+                    format!(
+                        "promotion {}: promoted epoch {} but catch-up replayed \
+                         the feed through batch {} (one epoch per batch)",
+                        p.index, p.promoted_epoch, p.resubmitted_through
+                    ),
+                    Witness::None,
+                ));
+            }
+            if p.promoted_epoch < p.last_acked_epoch {
+                r.findings.push(Diagnostic::error(
+                    RuleId::CtlSoakFailover,
+                    format!(
+                        "promotion {}: promoted epoch {} regressed below the \
+                         acknowledged commit {} — an acked batch was lost",
+                        p.index, p.promoted_epoch, p.last_acked_epoch
+                    ),
+                    Witness::None,
+                ));
+            }
+            if p.recovered_epoch != p.promoted_epoch {
+                r.findings.push(Diagnostic::error(
+                    RuleId::CtlSoakFailover,
+                    format!(
+                        "promotion {}: daemon spawned on the promoted state \
+                         serves epoch {} instead of the promoted {}",
+                        p.index, p.recovered_epoch, p.promoted_epoch
+                    ),
+                    Witness::None,
+                ));
+            }
+        }
+        if !self.promotions.is_empty() && self.feeder_failovers < self.promotions.len() as u64 {
+            r.findings.push(Diagnostic::error(
+                RuleId::CtlSoakFailover,
+                format!(
+                    "{} promotion(s) but the feeder only failed over {} \
+                     time(s) — it kept talking to dead or deposed endpoints",
+                    self.promotions.len(),
+                    self.feeder_failovers
+                ),
+                Witness::None,
+            ));
+        }
+        r.record(
+            RuleId::CtlSoakFailover,
+            self.promotions.len() as u64,
+            before,
+        );
+
+        // CTL-SOAK-GEN: a strict +1 generation chain, durably fenced
+        // stale writes, and counted fence crossings at the feeder.
+        let before = r.findings.len();
+        let mut prev_gen = 1u64; // genesis lease
+        for p in &self.promotions {
+            if p.gen_before != prev_gen {
+                r.findings.push(Diagnostic::error(
+                    RuleId::CtlSoakGen,
+                    format!(
+                        "promotion {}: found generation {} on the standby, \
+                         expected the chain to be at {}",
+                        p.index, p.gen_before, prev_gen
+                    ),
+                    Witness::None,
+                ));
+            }
+            if p.gen_after != p.gen_before + 1 {
+                r.findings.push(Diagnostic::error(
+                    RuleId::CtlSoakGen,
+                    format!(
+                        "promotion {}: generation jumped {} -> {} (want +1)",
+                        p.index, p.gen_before, p.gen_after
+                    ),
+                    Witness::None,
+                ));
+            }
+            if !p.stale_write_rejected {
+                r.findings.push(Diagnostic::error(
+                    RuleId::CtlSoakGen,
+                    format!(
+                        "promotion {}: a write at the deposed generation {} \
+                         was NOT rejected by the store fence — split-brain",
+                        p.index, p.gen_before
+                    ),
+                    Witness::None,
+                ));
+            }
+            prev_gen = p.gen_after;
+        }
+        // A feeder crosses promotion `i`'s fence iff it adopted that
+        // incarnation's lease (the lease it carries into the *next*
+        // promotion equals `gen_after`) while still holding an older,
+        // nonzero one. A feeder that never heard from an incarnation —
+        // or that had never seen any reply at all — has nothing to
+        // fence, so those promotions are excluded from the floor
+        // rather than silently assumed.
+        let expected_crossings = self
+            .promotions
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| {
+                let lease_after = self
+                    .promotions
+                    .get(i + 1)
+                    .map_or(self.feeder_final_lease, |next| next.feeder_lease);
+                p.feeder_lease > 0 && p.feeder_lease < p.gen_after && lease_after == p.gen_after
+            })
+            .count() as u64;
+        if self.feeder_gen_retries < expected_crossings {
+            r.findings.push(Diagnostic::error(
+                RuleId::CtlSoakGen,
+                format!(
+                    "{} lease adoption(s) required a fence crossing but the \
+                     feeder was only gen-fenced {} time(s) — acks bypassed \
+                     the fence",
+                    expected_crossings, self.feeder_gen_retries
+                ),
+                Witness::None,
+            ));
+        }
+        r.record(RuleId::CtlSoakGen, self.promotions.len() as u64, before);
+
         r
     }
 }
@@ -370,14 +550,154 @@ mod tests {
         l
     }
 
+    /// A clean transcript that also went through two promotions.
+    fn clean_failover_ledger() -> SoakLedger {
+        let mut l = clean_ledger();
+        l.promotions = vec![
+            PromotionRecord {
+                index: 1,
+                gen_before: 1,
+                gen_after: 2,
+                last_acked_epoch: 2,
+                promoted_epoch: 3,
+                resubmitted_through: 3,
+                recovered_epoch: 3,
+                stale_write_rejected: true,
+                feeder_lease: 1,
+            },
+            PromotionRecord {
+                index: 2,
+                gen_before: 2,
+                gen_after: 3,
+                last_acked_epoch: 3,
+                promoted_epoch: 3,
+                resubmitted_through: 3,
+                recovered_epoch: 3,
+                stale_write_rejected: true,
+                feeder_lease: 2,
+            },
+        ];
+        l.feeder_failovers = 2;
+        l.feeder_gen_retries = 2;
+        l.feeder_final_lease = 3;
+        l
+    }
+
     #[test]
     fn a_clean_transcript_certifies() {
         let l = clean_ledger();
         let r = l.report("XGFT(2; 4,4; 1,4)", "disjoint:4");
         assert!(r.certified(), "findings: {:?}", r.findings);
-        assert_eq!(r.checks.len(), 4);
+        assert_eq!(r.checks.len(), 6);
         assert_eq!(l.total_faults(), 8);
         assert_eq!(l.induced_restarts(), 1);
+    }
+
+    #[test]
+    fn a_clean_failover_transcript_certifies() {
+        let l = clean_failover_ledger();
+        let r = l.report("XGFT(2; 4,4; 1,4)", "disjoint:4");
+        assert!(r.certified(), "findings: {:?}", r.findings);
+        let failover = r
+            .checks
+            .iter()
+            .find(|c| c.rule == RuleId::CtlSoakFailover)
+            .expect("failover rule recorded");
+        assert_eq!(failover.inspected, 2);
+        let genrule = r
+            .checks
+            .iter()
+            .find(|c| c.rule == RuleId::CtlSoakGen)
+            .expect("gen rule recorded");
+        assert_eq!(genrule.inspected, 2);
+    }
+
+    #[test]
+    fn failover_violations_are_attributed_to_their_rule() {
+        // Catch-up fell short of the submitted feed.
+        let mut l = clean_failover_ledger();
+        l.promotions[0].resubmitted_through = 2;
+        let r = l.report("t", "s");
+        assert!(!r.certified());
+        assert!(r.findings.iter().all(|d| d.rule == RuleId::CtlSoakFailover));
+
+        // Promotion lost an acked batch.
+        let mut l = clean_failover_ledger();
+        l.promotions[1].promoted_epoch = 2;
+        l.promotions[1].resubmitted_through = 2;
+        let r = l.report("t", "s");
+        assert!(r
+            .findings
+            .iter()
+            .any(|d| d.rule == RuleId::CtlSoakFailover && d.message.contains("regressed")));
+
+        // The daemon spawned on promoted state serves something else.
+        let mut l = clean_failover_ledger();
+        l.promotions[0].recovered_epoch = 1;
+        let r = l.report("t", "s");
+        assert!(r
+            .findings
+            .iter()
+            .any(|d| d.rule == RuleId::CtlSoakFailover && d.message.contains("spawned")));
+
+        // Feeder never actually failed over.
+        let mut l = clean_failover_ledger();
+        l.feeder_failovers = 1;
+        let r = l.report("t", "s");
+        assert!(r
+            .findings
+            .iter()
+            .any(|d| d.rule == RuleId::CtlSoakFailover && d.message.contains("failed over")));
+    }
+
+    #[test]
+    fn generation_violations_are_attributed_to_their_rule() {
+        // Broken chain: second promotion starts from the wrong lease.
+        let mut l = clean_failover_ledger();
+        l.promotions[1].gen_before = 1;
+        l.promotions[1].gen_after = 2;
+        let r = l.report("t", "s");
+        assert!(!r.certified());
+        assert!(r.findings.iter().all(|d| d.rule == RuleId::CtlSoakGen));
+
+        // A generation bump that is not +1.
+        let mut l = clean_failover_ledger();
+        l.promotions[0].gen_after = 4;
+        let r = l.report("t", "s");
+        assert!(r
+            .findings
+            .iter()
+            .any(|d| d.rule == RuleId::CtlSoakGen && d.message.contains("want +1")));
+
+        // The stale-write probe went through: split-brain.
+        let mut l = clean_failover_ledger();
+        l.promotions[1].stale_write_rejected = false;
+        let r = l.report("t", "s");
+        assert!(r
+            .findings
+            .iter()
+            .any(|d| d.rule == RuleId::CtlSoakGen && d.message.contains("split-brain")));
+
+        // Acks crossed promotions without a counted fence retry.
+        let mut l = clean_failover_ledger();
+        l.feeder_gen_retries = 0;
+        let r = l.report("t", "s");
+        assert!(r
+            .findings
+            .iter()
+            .any(|d| d.rule == RuleId::CtlSoakGen && d.message.contains("bypassed")));
+
+        // A promotion the feeder never heard from (its lease skipped
+        // from 1 straight to 3) demands only one crossing, not two.
+        let mut l = clean_failover_ledger();
+        l.promotions[1].feeder_lease = 1;
+        l.feeder_gen_retries = 1;
+        let r = l.report("t", "s");
+        assert!(
+            r.certified(),
+            "skipped incarnation over-counted: {:?}",
+            r.findings
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! ctl_soak [--seed N] [--out CTL_SOAK.json] [--queries N]
 //!          [--min-faults N] [--min-crashes N] [--max-batches N]
+//!          [--min-promotions N]
 //! ```
 //!
 //! Runs a real daemon (socket and all) on `8port2tree` with
@@ -14,31 +15,48 @@
 //! Every injected crash or fatal storage fault fail-stops the daemon;
 //! the harness then scans the state directory with an *unfaulted*
 //! store, restarts the daemon, and records what recovery was entitled
-//! to against what it produced. The transcript is judged by
-//! [`SoakLedger::report`] into a verify-style certificate
-//! (`CTL-SOAK-EPOCH/SERVE/RECOVER/BATCH`), cross-checked against an
-//! offline replay of the same batches on a fresh controller.
+//! to against what it produced.
+//!
+//! After the escalation, a **failover phase**: a hot standby
+//! subscribes to the primary and replicates its committed epochs into
+//! its own directory; each time the primary fail-stops under the
+//! failover rates, the harness *promotes* the standby — generation
+//! bump, in-process catch-up on the full submitted feed, stale-write
+//! probe at the deposed generation — and spawns the next daemon
+//! incarnation on the promoted state at the *other* socket. The feeder
+//! (which holds both endpoints) must cross each failover with an
+//! endpoint switch and a generation-fence retry, losing no acked batch.
+//!
+//! The transcript is judged by [`SoakLedger::report`] into a
+//! verify-style certificate (`CTL-SOAK-EPOCH/SERVE/RECOVER/BATCH`
+//! plus `CTL-SOAK-FAILOVER/GEN`), cross-checked against an offline
+//! replay of the same batches on a fresh controller.
 //!
 //! Everything that reaches the JSON document is a pure function of
 //! `--seed`: storage faults fire on deterministic per-incarnation op
 //! counts, the feeder is the only writer and is strictly serial, and
-//! the wall-clock-dependent query threads report only to stderr (their
-//! sound epoch checks feed a violation counter that is zero on a
-//! correct daemon). Running twice with the same seed must produce
-//! byte-identical output — CI asserts exactly that.
+//! the wall-clock-dependent query threads and the standby's follower
+//! report only to stderr (their sound epoch checks feed a violation
+//! counter that is zero on a correct daemon). Running twice with the
+//! same seed must produce byte-identical output — CI asserts exactly
+//! that.
 //!
-//! Exit status: 0 when the certificate is clean *and* the fault/crash
-//! quotas were met; 1 on harness errors; 2 when the run completed but
-//! the certificate has findings or the quotas were missed.
+//! Exit status: 0 when the certificate is clean *and* the
+//! fault/crash/promotion quotas were met; 1 on harness errors; 2 when
+//! the run completed but the certificate has findings or the quotas
+//! were missed.
 
 #![forbid(unsafe_code)]
 
-use lmpr_bench::soak::{escalation, BatchAck, RestartCause, RestartRecord, SoakLedger, SoakPhase};
+use lmpr_bench::soak::{
+    escalation, BatchAck, PromotionRecord, RestartCause, RestartRecord, SoakLedger, SoakPhase,
+};
 use lmpr_bench::{json_string, topology_by_name};
 use lmpr_core::{Router, RouterKind};
 use lmpr_ctld::{
-    serve, ChangeSpec, Client, ClientConfig, Controller, CtlConfig, FailPlan, FailpointIo,
-    FaultCounters, OsStoreIo, Response, RetryPolicy, ServerConfig, Store,
+    serve, ChangeSpec, Checkpoint, Client, ClientConfig, Controller, CtlConfig, FailPlan,
+    FailpointIo, FaultCounters, OsStoreIo, ReplicaConfig, Response, RetryPolicy, ServerConfig,
+    Standby, Store, StoreError,
 };
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -58,6 +76,22 @@ const HORIZON: u64 = 200_000;
 const SCHEDULE_SEED: u64 = 11;
 const RETAIN: usize = 8;
 
+/// The failover rung: crash-heavy storage faults so the primary dies
+/// fast, plus feeder wire chaos across the promotions.
+const FAILOVER_PHASE: SoakPhase = SoakPhase {
+    name: "failover",
+    batches: 0,
+    storage_permille: 260,
+    wire_permille: 100,
+    crash_permille: 700,
+};
+/// Bound on batches driven inside the failover phase before the
+/// harness gives up on meeting the promotion quota.
+const FAILOVER_BATCH_BUDGET: u64 = 80;
+/// Batches the promoted lineage must survive after the last promotion
+/// so the certificate always covers post-failover serving.
+const SETTLE_BATCHES: u64 = 3;
+
 struct Args {
     seed: u64,
     out: String,
@@ -65,6 +99,7 @@ struct Args {
     min_faults: u64,
     min_crashes: u64,
     max_batches: u64,
+    min_promotions: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -75,6 +110,7 @@ fn parse_args() -> Result<Args, String> {
         min_faults: 100,
         min_crashes: 10,
         max_batches: 400,
+        min_promotions: 3,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -105,6 +141,11 @@ fn parse_args() -> Result<Args, String> {
                 args.max_batches = val("--max-batches")?
                     .parse()
                     .map_err(|e| format!("bad batch cap: {e}"))?;
+            }
+            "--min-promotions" => {
+                args.min_promotions = val("--min-promotions")?
+                    .parse()
+                    .map_err(|e| format!("bad promotion quota: {e}"))?;
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -139,14 +180,14 @@ fn daemon_down_signature(err: &str) -> bool {
 /// the feeder's submitted watermark (commits only follow submissions).
 /// Returns `(answered, errors)` for stderr accounting.
 fn query_worker(
-    socket: String,
+    endpoints: Vec<PathBuf>,
     plan: FailPlan,
     stop: Arc<AtomicBool>,
     batches_sent: Arc<AtomicU64>,
     violations: Arc<AtomicU64>,
 ) -> (u64, u64) {
     let mut client = Client::with_config(ClientConfig {
-        socket_path: PathBuf::from(socket),
+        endpoints,
         retry: RetryPolicy {
             base_ms: 5,
             cap_ms: 40,
@@ -182,12 +223,19 @@ fn query_worker(
     (answered, errors)
 }
 
-/// The harness state: the daemon thread, the serial feeder, and the
-/// transcript.
+/// The harness state: the daemon thread, the serial feeder, the
+/// standby (in the failover phase), and the transcript.
 struct Harness {
     args: Args,
+    /// Scratch root; standby directories are created under it.
+    root: PathBuf,
+    /// The *current primary's* state directory (reassigned to the
+    /// promoted standby's directory at each failover).
     state_dir: PathBuf,
-    socket: PathBuf,
+    /// Both daemon sockets; the live primary listens on
+    /// `sockets[primary_slot]` and each promotion flips the slot.
+    sockets: [PathBuf; 2],
+    primary_slot: usize,
     feed: Vec<ChangeSpec>,
     storage_counters: FaultCounters,
     /// Next daemon incarnation index (0 is the initial boot).
@@ -201,10 +249,31 @@ struct Harness {
     feeder_resubmissions: u64,
     batches_atomic: Arc<AtomicU64>,
     last_acked: u64,
+    /// The hot standby, present only during the failover phase.
+    standby: Option<Standby>,
+    /// Standby replica generation; each gets its own directory and an
+    /// independent wire plan.
+    standby_gen: u64,
+    /// The current standby's state directory.
+    standby_dir: PathBuf,
     ledger: SoakLedger,
 }
 
 impl Harness {
+    /// The live primary's socket.
+    fn socket(&self) -> PathBuf {
+        self.sockets[self.primary_slot].clone()
+    }
+
+    /// Both sockets, primary first — the ordered endpoint list every
+    /// client runs with so a promotion costs it one failover dial.
+    fn endpoints(&self) -> Vec<PathBuf> {
+        vec![
+            self.sockets[self.primary_slot].clone(),
+            self.sockets[1 - self.primary_slot].clone(),
+        ]
+    }
+
     /// Spawn the next daemon incarnation under `phase`'s storage rates.
     fn spawn(&mut self, phase: &SoakPhase) {
         let plan = FailPlan::new(
@@ -216,7 +285,7 @@ impl Harness {
         .derive(self.incarnations);
         self.incarnations += 1;
         let state_dir = self.state_dir.clone();
-        let socket = self.socket.clone();
+        let socket = self.socket();
         let counters = self.storage_counters.clone();
         self.daemon = Some(std::thread::spawn(move || {
             let cfg = CtlConfig::new(TOPO, KIND, &state_dir);
@@ -243,7 +312,7 @@ impl Harness {
         .derive(1_000_000 + self.feeder_gen);
         self.feeder_gen += 1;
         self.feeder = Some(Client::with_config(ClientConfig {
-            socket_path: self.socket.clone(),
+            endpoints: self.endpoints(),
             retry: RetryPolicy {
                 base_ms: 2,
                 cap_ms: 50,
@@ -265,6 +334,9 @@ impl Harness {
             let stats = old.stats();
             self.feeder_reconnects += stats.reconnects;
             self.feeder_resubmissions += stats.resubmissions;
+            self.ledger.feeder_failovers += stats.failovers;
+            self.ledger.feeder_gen_retries += stats.gen_retries;
+            self.ledger.feeder_final_lease = old.last_gen();
         }
     }
 
@@ -272,7 +344,7 @@ impl Harness {
     /// whose traffic must not perturb the deterministic transcript.
     fn plain_client(&self) -> Client {
         Client::with_config(ClientConfig {
-            socket_path: self.socket.clone(),
+            endpoints: self.endpoints(),
             retry: RetryPolicy {
                 base_ms: 5,
                 cap_ms: 20,
@@ -345,6 +417,150 @@ impl Harness {
         Ok(())
     }
 
+    /// Start a fresh standby replica of the current primary in its own
+    /// directory, and wait until it has applied the primary's snapshot
+    /// — a promotion before the first sync would (correctly, but
+    /// noisily) trip the generation-chain rule.
+    fn start_standby(&mut self) -> Result<(), String> {
+        self.standby_gen += 1;
+        self.standby_dir = self.root.join(format!("standby-{}", self.standby_gen));
+        let plan = FailPlan {
+            no_drop: true,
+            ..FailPlan::new(self.args.seed, 0, FAILOVER_PHASE.wire_permille, 0)
+        }
+        .derive(2_000_000 + self.standby_gen);
+        let standby = Standby::spawn(ReplicaConfig {
+            primary_socket: self.socket(),
+            state_dir: self.standby_dir.clone(),
+            retain: RETAIN,
+            redial_base_ms: 5,
+            redial_cap_ms: 100,
+            wire_faults: Some(plan),
+            max_redial_failures: None,
+        })
+        .map_err(|e| format!("standby spawn failed: {e}"))?;
+        for _ in 0..1_000 {
+            if standby.stats().epochs_applied >= 1 {
+                self.standby = Some(standby);
+                return Ok(());
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let _ = standby.stop();
+        Err("standby did not sync within 10s".to_owned())
+    }
+
+    /// Stop the standby (if any) and report its counters to stderr —
+    /// its progress is wall-clock-dependent and must stay out of the
+    /// deterministic JSON.
+    fn stop_standby(&mut self) {
+        if let Some(s) = self.standby.take() {
+            let st = s.stop();
+            eprintln!(
+                "ctl_soak: standby-{} stopped: connects={} resyncs={} applied={} \
+                 stale={} at gen={} epoch={}",
+                self.standby_gen,
+                st.connects,
+                st.resyncs,
+                st.epochs_applied,
+                st.stale_skipped,
+                st.generation,
+                st.epoch
+            );
+        }
+    }
+
+    /// The primary just fail-stopped mid-failover-phase: promote the
+    /// standby and fail the fabric over to it.
+    ///
+    /// Promotion is deliberately an *offline, unfaulted* sequence —
+    /// exactly what a failover controller script would run — so that
+    /// everything the certificate judges is deterministic:
+    ///
+    /// 1. stop the standby's follower;
+    /// 2. start a controller on its directory, bump the generation
+    ///    lease (durable before anything is served);
+    /// 3. catch up in-process on the full submitted feed — replication
+    ///    is asynchronous, so the standby may be an epoch or two
+    ///    behind; re-ingesting from its committed cursor through
+    ///    `batches_sent` closes the gap idempotently (`epoch ==
+    ///    batch_id` holds throughout, so the caught-up epoch *is* the
+    ///    batch watermark);
+    /// 4. probe the store with a checkpoint at the *deposed*
+    ///    generation and record that the fence rejects it;
+    /// 5. flip the primary slot and spawn the next (faulted) daemon
+    ///    incarnation on the promoted directory at the other socket;
+    /// 6. start a fresh standby for the new primary.
+    fn promote_cycle(&mut self, phase: &SoakPhase) -> Result<(), String> {
+        self.stop_standby();
+        let index = self.ledger.promotions.len() as u64 + 1;
+        let (mut ctl, _) = Controller::start(CtlConfig::new(TOPO, KIND, &self.standby_dir))
+            .map_err(|e| format!("promotion {index}: controller start failed: {e}"))?;
+        let gen_before = ctl.generation();
+        let gen_after = ctl
+            .promote()
+            .map_err(|e| format!("promotion {index}: generation bump failed: {e}"))?;
+        let caught_up_from = ctl.status().committed_batch_id;
+        for batch in caught_up_from + 1..=self.ledger.batches_sent {
+            let changes =
+                vec![self.feed[usize::try_from(batch - 1).unwrap_or(0) % self.feed.len()]];
+            ctl.ingest(batch, &changes)
+                .map_err(|e| format!("promotion {index}: catch-up of batch {batch}: {e}"))?;
+        }
+        let promoted_epoch = ctl.epoch();
+        drop(ctl);
+        // The split-brain probe: a write at the deposed generation must
+        // be refused by the durable fence, not just by server logic.
+        let probe = Checkpoint {
+            generation: gen_before,
+            epoch: promoted_epoch + 1,
+            now: 0,
+            drained_through: 0,
+            committed_batch_id: 0,
+            failed_links: Vec::new(),
+            failed_switches: Vec::new(),
+        };
+        let stale_write_rejected = match Store::open(&self.standby_dir, RETAIN) {
+            Ok(mut store) => matches!(
+                store.commit(&probe),
+                Err(StoreError::StaleGeneration { .. })
+            ),
+            Err(_) => false,
+        };
+        // Fail the fabric over: the promoted directory becomes the
+        // primary state, served from the other socket. The feeder is
+        // NOT replaced — crossing the failover with one client is the
+        // point.
+        self.primary_slot = 1 - self.primary_slot;
+        self.state_dir = self.standby_dir.clone();
+        self.spawn(phase);
+        let recovered_epoch = self.wait_up()?;
+        self.start_standby()?;
+        let record = PromotionRecord {
+            index,
+            gen_before,
+            gen_after,
+            last_acked_epoch: self.last_acked,
+            promoted_epoch,
+            resubmitted_through: self.ledger.batches_sent,
+            recovered_epoch,
+            stale_write_rejected,
+            feeder_lease: self.feeder.as_ref().map_or(0, Client::last_gen),
+        };
+        eprintln!(
+            "ctl_soak: promotion #{index} gen {gen_before}->{gen_after} acked={} \
+             promoted={promoted_epoch} recovered={recovered_epoch} fence={}",
+            record.last_acked_epoch,
+            if stale_write_rejected {
+                "held"
+            } else {
+                "BROKEN"
+            }
+        );
+        self.ledger.promotions.push(record);
+        Ok(())
+    }
+
     /// Submit the next fault batch, riding out feeder chaos and driving
     /// the crash/restart cycle whenever the daemon fail-stops under it.
     fn drive_batch(&mut self, phase: &SoakPhase) -> Result<(), String> {
@@ -376,7 +592,13 @@ impl Harness {
                         let err = self.join_daemon()?;
                         let cause = classify(&err)
                             .ok_or_else(|| format!("daemon died unexpectedly: {err}"))?;
-                        self.restart_cycle(phase, cause)?;
+                        if self.standby.is_some() {
+                            // Failover phase: the standby takes over
+                            // instead of restarting in place.
+                            self.promote_cycle(phase)?;
+                        } else {
+                            self.restart_cycle(phase, cause)?;
+                        }
                     } else {
                         // The feeder's own wire chaos outlasted one
                         // retry budget; the daemon is fine. Try again —
@@ -437,8 +659,10 @@ fn run() -> Result<i32, String> {
 
     let mut h = Harness {
         args,
+        root: scratch.clone(),
         state_dir: scratch.join("state"),
-        socket: scratch.join("ctld.sock"),
+        sockets: [scratch.join("ctld-a.sock"), scratch.join("ctld-b.sock")],
+        primary_slot: 0,
         feed,
         storage_counters: FaultCounters::new(),
         incarnations: 0,
@@ -449,6 +673,9 @@ fn run() -> Result<i32, String> {
         feeder_resubmissions: 0,
         batches_atomic: Arc::new(AtomicU64::new(0)),
         last_acked: 0,
+        standby: None,
+        standby_gen: 0,
+        standby_dir: scratch.join("standby-0"),
         ledger: SoakLedger::new(),
     };
 
@@ -462,19 +689,19 @@ fn run() -> Result<i32, String> {
         ));
     }
 
-    // Read-only query pressure, reporting to stderr only.
+    // Read-only query pressure, reporting to stderr only. Workers get
+    // both endpoints up front so they ride the failover phase too.
     let stop = Arc::new(AtomicBool::new(false));
     let violations = Arc::new(AtomicU64::new(0));
-    let socket_str = h.socket.to_str().ok_or("non-utf8 temp path")?.to_owned();
     let mut workers = Vec::new();
     for i in 0..h.args.queries {
-        let socket = socket_str.clone();
+        let endpoints = h.endpoints();
         let plan = FailPlan::new(h.args.seed, 0, 100, 0).derive(10_000 + i as u64);
         let stop = Arc::clone(&stop);
         let sent = Arc::clone(&h.batches_atomic);
         let violations = Arc::clone(&violations);
         workers.push(std::thread::spawn(move || {
-            query_worker(socket, plan, stop, sent, violations)
+            query_worker(endpoints, plan, stop, sent, violations)
         }));
     }
 
@@ -510,14 +737,50 @@ fn run() -> Result<i32, String> {
         phase_ix = next_ix;
     };
 
+    // Failover phase: replicate to a hot standby and keep feeding until
+    // enough primaries have died and been failed over — then a few more
+    // batches so the certificate always covers post-failover serving.
+    let mut failover_budget_exhausted = false;
+    if !capped && h.args.min_promotions > 0 {
+        eprintln!(
+            "ctl_soak: entering failover phase after {} batches",
+            h.ledger.batches_sent
+        );
+        h.phase_restart(&FAILOVER_PHASE)?;
+        h.start_standby()?;
+        let budget = h.ledger.batches_sent + FAILOVER_BATCH_BUDGET;
+        loop {
+            let promotions = h.ledger.promotions.len() as u64;
+            let settled = h.ledger.batches_sent
+                - h.ledger
+                    .promotions
+                    .last()
+                    .map_or(h.ledger.batches_sent, |p| p.resubmitted_through);
+            if promotions >= h.args.min_promotions && settled >= SETTLE_BATCHES {
+                break;
+            }
+            if h.ledger.batches_sent >= budget {
+                failover_budget_exhausted = true;
+                eprintln!(
+                    "ctl_soak: failover batch budget exhausted at {} promotions",
+                    promotions
+                );
+                break;
+            }
+            h.drive_batch(&FAILOVER_PHASE)?;
+        }
+        h.stop_standby();
+    }
+
     // Final accounting through a plain client, then orderly shutdown.
     let mut fin = h.plain_client();
-    let (final_epoch, final_committed) = match fin.status().map_err(|e| e.to_string())? {
+    let (final_epoch, final_committed, final_gen) = match fin.status().map_err(|e| e.to_string())? {
         Response::Status {
             epoch,
             committed_batch_id,
+            gen,
             ..
-        } => (epoch, committed_batch_id),
+        } => (epoch, committed_batch_id, gen),
         other => return Err(format!("unexpected final status: {other:?}")),
     };
     let (_, final_digest) = fin.digest().map_err(|e| e.to_string())?;
@@ -558,13 +821,17 @@ fn run() -> Result<i32, String> {
 
     let report = h.ledger.report(&label, &KIND.name());
     let quotas_met = h.ledger.total_faults() >= h.args.min_faults
-        && h.ledger.induced_restarts() >= h.args.min_crashes;
+        && h.ledger.induced_restarts() >= h.args.min_crashes
+        && h.ledger.promotions.len() as u64 >= h.args.min_promotions
+        && !failover_budget_exhausted;
     let plan_repr = FailPlan::new(h.args.seed, 0, 0, 0).to_string();
     let doc = format!(
         "{{\n  \"experiment\": \"ctl_soak\",\n  \"seed\": {},\n  \"plan\": {},\n  \
          \"batches\": {},\n  \"faults\": {{\"storage\": {}, \"storage_crashes\": {}, \
          \"feeder_wire\": {}, \"total\": {}}},\n  \"restarts\": {{\"total\": {}, \
-         \"induced\": {}}},\n  \"quotas_met\": {quotas_met},\n  \"capped\": {capped},\n  \
+         \"induced\": {}}},\n  \"failover\": {{\"promotions\": {}, \"final_gen\": {}, \
+         \"feeder_failovers\": {}, \"feeder_gen_retries\": {}}},\n  \
+         \"quotas_met\": {quotas_met},\n  \"capped\": {capped},\n  \
          \"certificate\": {}\n}}\n",
         h.args.seed,
         json_string(&plan_repr),
@@ -575,21 +842,30 @@ fn run() -> Result<i32, String> {
         h.ledger.total_faults(),
         h.ledger.restarts.len(),
         h.ledger.induced_restarts(),
+        h.ledger.promotions.len(),
+        final_gen,
+        h.ledger.feeder_failovers,
+        h.ledger.feeder_gen_retries,
         report.to_json(),
     );
     std::fs::write(&h.args.out, &doc).map_err(|e| e.to_string())?;
     print!("{doc}");
     eprintln!(
         "ctl_soak: {} batches, {} faults ({} crashes), {} restarts ({} induced), \
-         feeder reconnects {} resubmissions {}, queries answered {answered} \
+         {} promotions (final gen {}), feeder reconnects {} resubmissions {} \
+         failovers {} gen-retries {}, queries answered {answered} \
          errors {query_errors} -> {}",
         h.ledger.batches_sent,
         h.ledger.total_faults(),
         h.ledger.storage_crashes,
         h.ledger.restarts.len(),
         h.ledger.induced_restarts(),
+        h.ledger.promotions.len(),
+        final_gen,
         h.feeder_reconnects,
         h.feeder_resubmissions,
+        h.ledger.feeder_failovers,
+        h.ledger.feeder_gen_retries,
         h.args.out,
     );
     let _ = std::fs::remove_dir_all(&scratch);

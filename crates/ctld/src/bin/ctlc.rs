@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! ctlc --socket /run/ctld.sock status
+//! ctlc --endpoints /run/a.sock,/run/b.sock status
 //! ctlc --socket S digest
 //! ctlc --socket S tick 5000
 //! ctlc --socket S fault 3 link-down:17 switch-down:2:1
@@ -21,7 +22,7 @@
 
 #![forbid(unsafe_code)]
 
-use lmpr_ctld::{ChangeSpec, Client, Request, Response};
+use lmpr_ctld::{ChangeSpec, Client, ClientConfig, Request, Response};
 
 fn parse_change(spec: &str) -> Result<ChangeSpec, String> {
     let parts: Vec<&str> = spec.split(':').collect();
@@ -58,28 +59,42 @@ fn parse_pair(spec: &str) -> Result<(u32, u32), String> {
 
 fn run() -> Result<i32, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut socket = String::new();
+    let mut endpoints: Vec<std::path::PathBuf> = Vec::new();
     let mut rest: Vec<String> = Vec::new();
     let mut i = 0;
     while i < argv.len() {
         if argv[i] == "--socket" {
-            socket = argv
+            let socket = argv
                 .get(i + 1)
                 .cloned()
                 .ok_or("--socket requires a value")?;
+            endpoints = vec![socket.into()];
+            i += 2;
+        } else if argv[i] == "--endpoints" {
+            let spec = argv
+                .get(i + 1)
+                .cloned()
+                .ok_or("--endpoints requires a value")?;
+            endpoints = spec
+                .split(',')
+                .filter(|p| !p.is_empty())
+                .map(std::path::PathBuf::from)
+                .collect();
+            if endpoints.is_empty() {
+                return Err("--endpoints requires at least one path".to_owned());
+            }
             i += 2;
         } else {
             rest.push(argv[i].clone());
             i += 1;
         }
     }
-    if socket.is_empty() || rest.is_empty() {
-        return Err(
-            "usage: ctlc --socket PATH <status|digest|tick|fault|paths|chaos|shutdown> ..."
-                .to_owned(),
-        );
+    if endpoints.is_empty() || rest.is_empty() {
+        return Err("usage: ctlc (--socket PATH | --endpoints A,B,...) \
+             <status|digest|tick|fault|paths|chaos|shutdown> ..."
+            .to_owned());
     }
-    let mut client = Client::new(&socket);
+    let mut client = Client::with_config(ClientConfig::with_endpoints(endpoints));
 
     let cmd = rest[0].as_str();
     let tail = &rest[1..];
@@ -113,7 +128,11 @@ fn run() -> Result<i32, String> {
             for spec in &tail[1..] {
                 changes.push(parse_change(spec)?);
             }
-            Request::Fault { batch_id, changes }
+            Request::Fault {
+                batch_id,
+                gen: None,
+                changes,
+            }
         }
         "paths" => {
             let mut epoch: Option<u64> = None;

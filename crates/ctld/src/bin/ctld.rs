@@ -5,16 +5,27 @@
 //!      --socket /run/ctld.sock [--schedule poisson:RATE:REPAIR:HORIZON:SEED]
 //!      [--queue-cap N] [--reconverge-delay-ms N] [--full-certs]
 //!      [--backoff-base TICKS] [--backoff-cap TICKS]
+//!      [--standby-of /run/primary.sock [--promote-after N]]
 //! ```
 //!
 //! Loads the topology, resumes from the newest valid checkpoint in the
 //! state directory (or bootstraps and fully verifies epoch 0), then
 //! serves the wire protocol on the socket until a `shutdown` request.
+//!
+//! With `--standby-of SOCKET` the daemon starts as a hot standby
+//! instead: it subscribes to the primary at `SOCKET`, streams every
+//! committed `(generation, epoch)` into its own state directory, and
+//! keeps redialing while the primary is down. With `--promote-after N`
+//! the standby gives up after `N` consecutive failed redials, promotes
+//! itself (bumping the generation lease so the deposed primary's
+//! writes are fenced off), and serves the promoted state on
+//! `--socket`. Without `--promote-after` the standby replicates until
+//! interrupted and never serves.
 
 #![forbid(unsafe_code)]
 
 use lmpr_core::{Router, RouterKind};
-use lmpr_ctld::{serve, Controller, CtlConfig, ServerConfig};
+use lmpr_ctld::{serve, Controller, CtlConfig, ReplicaConfig, ServerConfig, Standby};
 use xgft::FaultSchedule;
 
 struct Args {
@@ -28,6 +39,8 @@ struct Args {
     full_certs: bool,
     backoff_base: u64,
     backoff_cap: u64,
+    standby_of: Option<String>,
+    promote_after: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +55,8 @@ fn parse_args() -> Result<Args, String> {
         full_certs: false,
         backoff_base: 100,
         backoff_cap: 10_000,
+        standby_of: None,
+        promote_after: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -77,11 +92,22 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --backoff-cap: {e}"))?;
             }
+            "--standby-of" => args.standby_of = Some(value("--standby-of")?),
+            "--promote-after" => {
+                args.promote_after = Some(
+                    value("--promote-after")?
+                        .parse()
+                        .map_err(|e| format!("bad --promote-after: {e}"))?,
+                );
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     if args.topo.is_empty() || args.state_dir.is_empty() || args.socket.is_empty() {
         return Err("--topo, --state-dir and --socket are required".to_owned());
+    }
+    if args.promote_after.is_some() && args.standby_of.is_none() {
+        return Err("--promote-after requires --standby-of".to_owned());
     }
     Ok(args)
 }
@@ -110,8 +136,44 @@ fn parse_schedule(spec: &str, topo: &xgft::Topology) -> Result<FaultSchedule, St
     }
 }
 
+/// Run as a hot standby: replicate the primary into the state
+/// directory, and (with `--promote-after`) take over once the primary
+/// stays unreachable for that many consecutive redials.
+fn run_standby(args: &Args, primary: &str) -> Result<(), String> {
+    let mut rep = ReplicaConfig::new(primary, &args.state_dir);
+    rep.max_redial_failures = args.promote_after;
+    let standby = Standby::spawn(rep).map_err(|e| format!("standby start failed: {e}"))?;
+    eprintln!(
+        "ctld: standby of {primary}, replicating into {}",
+        args.state_dir
+    );
+    let stats = standby.wait();
+    eprintln!(
+        "ctld: standby feed ended at generation {} epoch {} \
+         ({} connects, {} epochs applied)",
+        stats.generation, stats.epoch, stats.connects, stats.epochs_applied
+    );
+    if args.promote_after.is_none() {
+        return Ok(());
+    }
+    let cfg = CtlConfig::new(&args.topo, args.kind, &args.state_dir);
+    let (mut ctl, _) = Controller::start(cfg).map_err(|e| e.to_string())?;
+    let gen = ctl.promote().map_err(|e| e.to_string())?;
+    eprintln!(
+        "ctld: promoted to generation {gen} at epoch {}, serving on {}",
+        ctl.epoch(),
+        args.socket
+    );
+    let mut server_cfg = ServerConfig::new(&args.socket);
+    server_cfg.queue_cap = args.queue_cap;
+    serve(ctl, server_cfg).map_err(|e| e.to_string())
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    if let Some(primary) = args.standby_of.clone() {
+        return run_standby(&args, &primary);
+    }
     let (_, topo) = lmpr_bench::topology_by_name(&args.topo)
         .ok_or_else(|| format!("unknown topology {:?}", args.topo))?;
     let schedule = match &args.schedule_spec {

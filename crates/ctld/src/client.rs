@@ -18,7 +18,17 @@
 //!   resubmitting the same `batch_id` across reconnects until the
 //!   daemon acknowledges it; the controller's at-least-once dedup
 //!   turns a duplicate into a harmless `applied: false` ack, so a
-//!   reply lost to a crash can never double-apply a batch.
+//!   reply lost to a crash can never double-apply a batch;
+//! * **endpoint failover** — the config holds an ordered list of
+//!   daemon sockets; when a dial fails the client walks the list and
+//!   sticks with the first endpoint that answers, so a primary crash
+//!   with a promoted standby behind it costs one retried request;
+//! * **generation-fence retry** — every reply carries the server's
+//!   generation lease and the client tracks the newest it has seen;
+//!   a `gen-fenced` rejection from a *newer* generation is adopted
+//!   and the batch resubmitted (promotion happened mid-flight), while
+//!   one from an *older* generation marks a deposed primary and the
+//!   client fails over instead of letting it double-apply.
 //!
 //! Backoff is paced by [`std::thread::sleep`] on attempt counters
 //! alone — the client never reads a clock, keeping it usable from
@@ -56,21 +66,26 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// The delay before attempt `attempt` (1-based; attempt 1 is
-    /// immediate).
+    /// immediate). Saturates at `cap_ms` for any attempt count: the
+    /// exponent is capped before shifting and the scale before
+    /// multiplying, so no attempt value can overflow the arithmetic.
     pub fn delay_ms(&self, attempt: u32) -> u64 {
         if attempt <= 1 {
             return 0;
         }
-        let shift = u32::min(attempt - 2, 32);
-        self.base_ms.saturating_mul(1u64 << shift).min(self.cap_ms)
+        let shift = u32::min(attempt - 2, 63);
+        let factor = 1u64.checked_shl(shift).unwrap_or(u64::MAX);
+        self.base_ms.saturating_mul(factor).min(self.cap_ms)
     }
 }
 
 /// Client configuration.
 #[derive(Debug, Clone)]
 pub struct ClientConfig {
-    /// The daemon's Unix socket.
-    pub socket_path: PathBuf,
+    /// Ordered daemon sockets; the client prefers the earliest that
+    /// answers and fails over down (and around) the list when the
+    /// current endpoint stops answering.
+    pub endpoints: Vec<PathBuf>,
     /// Retry pacing.
     pub retry: RetryPolicy,
     /// Optional per-connection read timeout in milliseconds — the only
@@ -83,10 +98,16 @@ pub struct ClientConfig {
 }
 
 impl ClientConfig {
-    /// Defaults: [`RetryPolicy::default`], no timeout, no faults.
+    /// Defaults: one endpoint, [`RetryPolicy::default`], no timeout,
+    /// no faults.
     pub fn new(socket_path: impl Into<PathBuf>) -> Self {
+        Self::with_endpoints(vec![socket_path.into()])
+    }
+
+    /// A config over an ordered endpoint list (primary first).
+    pub fn with_endpoints(endpoints: Vec<PathBuf>) -> Self {
         ClientConfig {
-            socket_path: socket_path.into(),
+            endpoints,
             retry: RetryPolicy::default(),
             read_timeout_ms: None,
             wire_faults: None,
@@ -153,23 +174,35 @@ pub struct ClientStats {
     pub overload_retries: u64,
     /// Fault batches resubmitted after a lost or failed exchange.
     pub resubmissions: u64,
+    /// Successful dials that landed on a different endpoint than the
+    /// previous connection used.
+    pub failovers: u64,
+    /// `gen-fenced` rejections recovered from — by adopting a newer
+    /// generation or failing away from a deposed one.
+    pub gen_retries: u64,
 }
 
 /// Both halves of a stream, boxable.
 trait Duplex: Read + Write + Send {}
 impl<S: Read + Write + Send> Duplex for S {}
 
-/// A reconnecting, retrying connection to one daemon socket.
+/// A reconnecting, retrying connection to an ordered list of daemon
+/// endpoints (one socket is the degenerate single-endpoint case).
 pub struct Client {
     cfg: ClientConfig,
     conn: Option<Box<dyn Duplex>>,
     /// Connections dialed so far; feeds [`FailPlan::derive`] so each
     /// connection's injected fault sequence is reproducible.
     conn_index: u64,
+    /// Index into `cfg.endpoints` the current/most recent connection
+    /// used; dials start here and walk the list on failure.
+    endpoint_ix: usize,
     counters: FaultCounters,
     stats: ClientStats,
     /// The server epoch most recently seen in any reply.
     last_epoch: u64,
+    /// The newest generation lease seen in any reply (0 = none yet).
+    last_gen: u64,
 }
 
 impl fmt::Debug for Client {
@@ -194,9 +227,11 @@ impl Client {
             cfg,
             conn: None,
             conn_index: 0,
+            endpoint_ix: 0,
             counters: FaultCounters::new(),
             stats: ClientStats::default(),
             last_epoch: 0,
+            last_gen: 0,
         }
     }
 
@@ -216,6 +251,11 @@ impl Client {
         self.last_epoch
     }
 
+    /// The newest generation lease seen in any reply (0 = none yet).
+    pub fn last_gen(&self) -> u64 {
+        self.last_gen
+    }
+
     fn backoff(&self, attempt: u32) {
         let ms = self.cfg.retry.delay_ms(attempt);
         if ms > 0 {
@@ -223,23 +263,58 @@ impl Client {
         }
     }
 
+    /// Dial the current endpoint, walking the rest of the list (with
+    /// wraparound) when it refuses. A successful dial that landed on a
+    /// different endpoint than the previous connection is a failover.
     fn dial(&mut self) -> io::Result<()> {
-        let stream = UnixStream::connect(&self.cfg.socket_path)?;
-        if let Some(ms) = self.cfg.read_timeout_ms {
-            stream.set_read_timeout(Some(Duration::from_millis(ms.max(1))))?;
+        let n = self.cfg.endpoints.len();
+        if n == 0 {
+            return Err(io::Error::other("client has no endpoints configured"));
         }
-        let index = self.conn_index;
-        self.conn_index += 1;
-        self.stats.connects += 1;
-        self.conn = Some(match self.cfg.wire_faults {
-            Some(plan) if plan.armed() => Box::new(FaultyStream::new(
-                stream,
-                plan.derive(index),
-                self.counters.clone(),
-            )),
-            _ => Box::new(stream),
-        });
-        Ok(())
+        let mut last_err = None;
+        for step in 0..n {
+            let ix = (self.endpoint_ix + step) % n;
+            let stream = match UnixStream::connect(&self.cfg.endpoints[ix]) {
+                Ok(s) => s,
+                Err(e) => {
+                    last_err = Some(e);
+                    continue;
+                }
+            };
+            if let Some(ms) = self.cfg.read_timeout_ms {
+                stream.set_read_timeout(Some(Duration::from_millis(ms.max(1))))?;
+            }
+            if ix != self.endpoint_ix {
+                self.stats.failovers += 1;
+                self.endpoint_ix = ix;
+            }
+            let index = self.conn_index;
+            self.conn_index += 1;
+            self.stats.connects += 1;
+            self.conn = Some(match self.cfg.wire_faults {
+                Some(plan) if plan.armed() => Box::new(FaultyStream::new(
+                    stream,
+                    plan.derive(index),
+                    self.counters.clone(),
+                )),
+                _ => Box::new(stream),
+            });
+            return Ok(());
+        }
+        Err(last_err.unwrap_or_else(|| io::Error::other("no endpoint answered")))
+    }
+
+    /// Drop the connection and move the preferred endpoint one step
+    /// down the list — used when the *current* endpoint is alive but
+    /// provably deposed (its generation lease is older than one this
+    /// client has already seen).
+    fn fail_away_from_current(&mut self) {
+        self.conn = None;
+        let n = self.cfg.endpoints.len();
+        if n > 1 {
+            self.stats.failovers += 1;
+            self.endpoint_ix = (self.endpoint_ix + 1) % n;
+        }
     }
 
     /// One write/read exchange on the current connection (dialing if
@@ -264,6 +339,11 @@ impl Client {
         }
         if let Ok((_, resp)) = &result {
             self.last_epoch = resp.epoch_mode().0;
+            if let Some(g) = resp.gen() {
+                if g > self.last_gen {
+                    self.last_gen = g;
+                }
+            }
         }
         result
     }
@@ -387,15 +467,20 @@ impl Client {
     /// the daemon had already ingested it (an earlier attempt's ack was
     /// lost — at-least-once delivery doing its job). Feed-sequencing
     /// rejections surface as [`ClientError::Rejected`].
+    ///
+    /// Writes carry the newest generation lease this client has seen
+    /// (none before the first reply), so a promotion mid-flight shows
+    /// up as a typed `gen-fenced` rejection rather than a silent
+    /// double-apply: a rejection from a **newer** generation is adopted
+    /// and the same `batch_id` resubmitted (the promoted controller's
+    /// dedup keeps it idempotent); one from an **older** generation
+    /// proves the endpoint is a deposed primary, and the client fails
+    /// away from it before retrying.
     pub fn submit_fault(
         &mut self,
         batch_id: u64,
         changes: &[crate::wire::ChangeSpec],
     ) -> Result<bool, ClientError> {
-        let req = Request::Fault {
-            batch_id,
-            changes: changes.to_vec(),
-        };
         let max = self.cfg.retry.max_attempts.max(1);
         let mut last = String::new();
         for attempt in 1..=max {
@@ -403,6 +488,13 @@ impl Client {
                 self.stats.resubmissions += 1;
             }
             self.backoff(attempt);
+            // Rebuilt per attempt: a gen-fenced retry must carry the
+            // adopted (newer) lease, not the one it was rejected with.
+            let req = Request::Fault {
+                batch_id,
+                gen: (self.last_gen > 0).then_some(self.last_gen),
+                changes: changes.to_vec(),
+            };
             match self.exchange(&req) {
                 Ok((_, Response::Fault { applied, .. })) => return Ok(applied),
                 Ok((
@@ -415,6 +507,25 @@ impl Client {
                 )) => {
                     self.stats.overload_retries += 1;
                     last = format!("overload: {message}");
+                }
+                Ok((
+                    _,
+                    Response::Error {
+                        code: ErrorCode::GenFenced,
+                        gen: server_gen,
+                        message,
+                        ..
+                    },
+                )) => {
+                    // `exchange` already adopted a newer lease; all
+                    // that is left to decide is whether this endpoint
+                    // is worth retrying. A server still on an older
+                    // generation never is — it lost a promotion race.
+                    self.stats.gen_retries += 1;
+                    if server_gen < self.last_gen {
+                        self.fail_away_from_current();
+                    }
+                    last = format!("gen-fenced: {message}");
                 }
                 Ok((_, other)) => return Err(reject_or_unexpected(other, "fault")),
                 Err(e) => {
@@ -459,6 +570,7 @@ fn reject_or_unexpected(resp: Response, expected: &'static str) -> ClientError {
             epoch,
             mode,
             message,
+            ..
         } => ClientError::Rejected {
             code,
             epoch,
@@ -466,5 +578,40 @@ fn reject_or_unexpected(resp: Response, expected: &'static str) -> ClientError {
             message,
         },
         _ => ClientError::UnexpectedResponse(expected),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RetryPolicy;
+
+    #[test]
+    fn delay_doubles_then_caps() {
+        let p = RetryPolicy {
+            base_ms: 10,
+            cap_ms: 1000,
+            max_attempts: 8,
+        };
+        assert_eq!(p.delay_ms(1), 0);
+        assert_eq!(p.delay_ms(2), 10);
+        assert_eq!(p.delay_ms(3), 20);
+        assert_eq!(p.delay_ms(4), 40);
+        assert_eq!(p.delay_ms(9), 1000);
+    }
+
+    #[test]
+    fn delay_saturates_at_cap_for_huge_attempt_counts() {
+        // Shifts past 63 and products past u64::MAX must saturate to
+        // the cap, not wrap to a tiny (or panicking) delay.
+        let p = RetryPolicy {
+            base_ms: u64::MAX / 2,
+            cap_ms: 1234,
+            max_attempts: u32::MAX,
+        };
+        assert_eq!(p.delay_ms(u32::MAX), 1234);
+        assert_eq!(p.delay_ms(66), 1234);
+        assert_eq!(p.delay_ms(2), 1234);
+        let default = RetryPolicy::default();
+        assert_eq!(default.delay_ms(u32::MAX), default.cap_ms);
     }
 }

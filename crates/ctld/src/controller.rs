@@ -188,6 +188,8 @@ impl From<StoreError> for CtlError {
 pub struct StatusInfo {
     /// Current committed epoch.
     pub epoch: u64,
+    /// Generation lease (1 at genesis, +1 per standby promotion).
+    pub generation: u64,
     /// Serving mode.
     pub mode: Mode,
     /// Logical clock.
@@ -215,6 +217,10 @@ pub struct Controller {
     /// a certificate fails.
     committed_view: FaultSet,
     epoch: u64,
+    /// Generation lease: 1 at genesis, resumed from the checkpoint on
+    /// restart, bumped by [`Controller::promote`]. Persisted with every
+    /// checkpoint so the store can fence a deposed primary's writes.
+    generation: u64,
     now: u64,
     /// Schedule events at or before this tick are committed state.
     drained_through: u64,
@@ -234,6 +240,10 @@ pub struct Controller {
     reconv_max_us: u64,
     /// Ordered pairs audited by the most recent certificate attempt.
     last_cert_pairs: u64,
+    /// The most recent durable commit (checkpoint plus the fault batch
+    /// that produced it) — what the server streams to subscribers.
+    /// Always `Some` after start; the snapshot frame's batch is empty.
+    last_commit: Option<(Checkpoint, Vec<ChangeSpec>)>,
     /// Latency clock injected via [`Controller::set_micros_clock`];
     /// without one the reconvergence latency stats stay zero.
     clock: Option<MicrosClock>,
@@ -269,6 +279,7 @@ impl Controller {
                     engine,
                     committed_view: view,
                     epoch: cp.epoch,
+                    generation: cp.generation,
                     now: cp.now,
                     drained_through: cp.drained_through,
                     drained_inflight: cp.drained_through,
@@ -282,6 +293,7 @@ impl Controller {
                     reconv_total_us: 0,
                     reconv_max_us: 0,
                     last_cert_pairs: 0,
+                    last_commit: Some((cp, Vec::new())),
                     clock: None,
                     cfg,
                 };
@@ -312,6 +324,7 @@ impl Controller {
                     engine,
                     committed_view: faults,
                     epoch: 0,
+                    generation: 1,
                     now: 0,
                     drained_through: 0,
                     drained_inflight: 0,
@@ -325,10 +338,11 @@ impl Controller {
                     reconv_total_us: 0,
                     reconv_max_us: 0,
                     last_cert_pairs: 0,
+                    last_commit: None,
                     clock: None,
                     cfg,
                 };
-                ctl.checkpoint()?;
+                ctl.checkpoint(Vec::new())?;
                 Ok((ctl, report))
             }
             Err(e) => Err(CtlError::Store(e)),
@@ -352,6 +366,35 @@ impl Controller {
     /// Current committed epoch.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Current generation lease.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Take over as primary: bump the generation lease and persist it
+    /// immediately (same epoch, new generation), so the claim is
+    /// durable before any client is answered under it. From this commit
+    /// on, the store fences the deposed generation's writes and every
+    /// ack carries the new lease. Returns the new generation.
+    pub fn promote(&mut self) -> Result<u64, CtlError> {
+        self.generation += 1;
+        self.checkpoint(Vec::new())?;
+        Ok(self.generation)
+    }
+
+    /// The most recent durable commit: the checkpoint plus the fault
+    /// batch whose certification produced it (empty right after start
+    /// or promotion). This is the frame the server replicates to
+    /// standby subscribers.
+    pub fn last_commit(&self) -> (Checkpoint, Vec<ChangeSpec>) {
+        self.last_commit.clone().unwrap_or_else(|| {
+            (
+                Checkpoint::from_view(0, 0, 0, 0, 0, &FaultSet::new()),
+                Vec::new(),
+            )
+        })
     }
 
     /// Current serving mode.
@@ -383,6 +426,7 @@ impl Controller {
     pub fn status(&self) -> StatusInfo {
         StatusInfo {
             epoch: self.epoch,
+            generation: self.generation,
             mode: self.mode,
             now: self.now,
             pending: self.pending.len() as u64,
@@ -561,13 +605,18 @@ impl Controller {
             ));
         }
         if report.certified() {
+            let batch: Vec<ChangeSpec> = self
+                .pending
+                .iter()
+                .map(|&c| ChangeSpec::from_change(c))
+                .collect();
             self.epoch += 1;
             self.committed_view = candidate_view;
             self.drained_through = self.drained_inflight;
             self.committed_batch_id = self.highest_ingested;
             self.pending.clear();
             self.mode = Mode::Serving;
-            self.checkpoint()?;
+            self.checkpoint(batch)?;
             self.reconv_count += 1;
             if let (Some(c), Some(t0)) = (self.clock.as_mut(), started) {
                 let us = c().saturating_sub(t0);
@@ -596,9 +645,11 @@ impl Controller {
         Ok(())
     }
 
-    /// Persist the committed root state.
-    fn checkpoint(&mut self) -> Result<(), CtlError> {
+    /// Persist the committed root state, remembering the commit (with
+    /// the batch that produced it) for replication subscribers.
+    fn checkpoint(&mut self, batch: Vec<ChangeSpec>) -> Result<(), CtlError> {
         let cp = Checkpoint::from_view(
+            self.generation,
             self.epoch,
             self.now,
             self.drained_through,
@@ -606,6 +657,7 @@ impl Controller {
             &self.committed_view,
         );
         self.store.commit(&cp)?;
+        self.last_commit = Some((cp, batch));
         Ok(())
     }
 }

@@ -198,39 +198,140 @@ impl FailPlan {
     }
 
     /// Parse the one-line repro string produced by [`fmt::Display`].
-    pub fn parse(s: &str) -> Result<Self, String> {
+    ///
+    /// Total over arbitrary input: every malformation — wrong header,
+    /// missing or non-numeric seed, empty segment (`"fp1:1:"`), a rate
+    /// that overflows its integer type or reaches 1000 permille,
+    /// multi-byte tag characters, trailing garbage — comes back as a
+    /// typed [`PlanParseError`]; no input panics.
+    pub fn parse(s: &str) -> Result<Self, PlanParseError> {
         let mut parts = s.split(':');
         if parts.next() != Some("fp1") {
-            return Err(format!("bad failpoint plan {s:?}: expected fp1:... "));
+            return Err(PlanParseError::BadHeader {
+                input: s.to_owned(),
+            });
         }
-        let seed = parts
-            .next()
-            .ok_or_else(|| format!("bad failpoint plan {s:?}: missing seed"))?
+        let seed_text = parts.next().ok_or_else(|| PlanParseError::MissingSeed {
+            input: s.to_owned(),
+        })?;
+        let seed = seed_text
             .parse::<u64>()
-            .map_err(|e| format!("bad failpoint seed in {s:?}: {e}"))?;
+            .map_err(|_| PlanParseError::BadSeed {
+                segment: seed_text.to_owned(),
+            })?;
         let mut plan = FailPlan::new(seed, 0, 0, 0);
         for part in parts {
             if part == "nodrop" {
                 plan.no_drop = true;
                 continue;
             }
-            let (tag, value) = part.split_at(1);
-            let value: u16 = value
-                .parse()
-                .map_err(|e| format!("bad rate {part:?} in {s:?}: {e}"))?;
+            // `chars().next()`, not `split_at(1)`: the latter panics on
+            // an empty segment and slices mid-codepoint on a multi-byte
+            // first character.
+            let Some(tag) = part.chars().next() else {
+                return Err(PlanParseError::EmptySegment {
+                    input: s.to_owned(),
+                });
+            };
+            let value_text = &part[tag.len_utf8()..];
+            let value: u16 = value_text.parse().map_err(|_| PlanParseError::BadRate {
+                segment: part.to_owned(),
+            })?;
             if u64::from(value) >= PERMILLE {
-                return Err(format!("rate {part:?} in {s:?} must be < 1000 permille"));
+                return Err(PlanParseError::RateOutOfRange {
+                    segment: part.to_owned(),
+                });
             }
             match tag {
-                "s" => plan.storage_permille = value,
-                "w" => plan.wire_permille = value,
-                "c" => plan.crash_permille = value,
-                _ => return Err(format!("unknown rate tag {tag:?} in {s:?}")),
+                's' => plan.storage_permille = value,
+                'w' => plan.wire_permille = value,
+                'c' => plan.crash_permille = value,
+                _ => {
+                    return Err(PlanParseError::UnknownTag {
+                        tag,
+                        segment: part.to_owned(),
+                    })
+                }
             }
         }
         Ok(plan)
     }
 }
+
+/// Why a failpoint repro string failed to parse. Every variant keeps
+/// enough of the offending input to reconstruct what went wrong from a
+/// log line alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanParseError {
+    /// The string does not start with the `fp1` version header.
+    BadHeader {
+        /// The full rejected input.
+        input: String,
+    },
+    /// The header was present but no seed segment followed.
+    MissingSeed {
+        /// The full rejected input.
+        input: String,
+    },
+    /// The seed segment is not a `u64`.
+    BadSeed {
+        /// The rejected seed segment.
+        segment: String,
+    },
+    /// A trailing `:` (or `::`) produced an empty segment.
+    EmptySegment {
+        /// The full rejected input.
+        input: String,
+    },
+    /// A rate segment's value is not a `u16` (empty, non-numeric, or
+    /// overflowing).
+    BadRate {
+        /// The rejected segment.
+        segment: String,
+    },
+    /// A rate segment parsed but reaches 1000 permille or more.
+    RateOutOfRange {
+        /// The rejected segment.
+        segment: String,
+    },
+    /// A rate segment starts with a tag other than `s`, `w`, or `c`.
+    UnknownTag {
+        /// The unrecognized tag character.
+        tag: char,
+        /// The full segment it led.
+        segment: String,
+    },
+}
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanParseError::BadHeader { input } => {
+                write!(f, "bad failpoint plan {input:?}: expected fp1:...")
+            }
+            PlanParseError::MissingSeed { input } => {
+                write!(f, "bad failpoint plan {input:?}: missing seed")
+            }
+            PlanParseError::BadSeed { segment } => {
+                write!(f, "bad failpoint seed {segment:?}: not a u64")
+            }
+            PlanParseError::EmptySegment { input } => {
+                write!(f, "bad failpoint plan {input:?}: empty segment")
+            }
+            PlanParseError::BadRate { segment } => {
+                write!(f, "bad rate {segment:?}: not a u16 value")
+            }
+            PlanParseError::RateOutOfRange { segment } => {
+                write!(f, "rate {segment:?} must be < 1000 permille")
+            }
+            PlanParseError::UnknownTag { tag, segment } => {
+                write!(f, "unknown rate tag {tag:?} in segment {segment:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanParseError {}
 
 impl fmt::Display for FailPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -839,6 +940,77 @@ mod tests {
         }
         for bad in ["", "fp2:1", "fp1:x", "fp1:1:s1000", "fp1:1:q5", "fp1:1:s"] {
             assert!(FailPlan::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_degenerate_inputs_without_panicking() {
+        // Regressions the old `split_at(1)` parser panicked on: a
+        // trailing colon (empty segment) and a multi-byte first
+        // character in a rate segment.
+        for bad in [
+            "fp1:1:",
+            "fp1:1::s5",
+            "fp1:1:é5",
+            "fp1:1:s5:",
+            "fp1",
+            "fp1:18446744073709551616",     // seed overflows u64
+            "fp1:1:s65536",                 // rate overflows u16
+            "fp1:1:s999999999999999999999", // rate overflows everything
+            "fp1:1:s5:nodrop:x",
+            "fp1:-1",
+            "fp1:1:s-5",
+        ] {
+            assert!(FailPlan::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(512))]
+
+        #[test]
+        fn every_plan_round_trips_through_its_repro_string(
+            seed in 0u64..u64::MAX,
+            s in 0u16..1000,
+            w in 0u16..1000,
+            c in 0u16..1000,
+            nd in 0u8..2,
+        ) {
+            let plan = FailPlan {
+                no_drop: nd == 1,
+                ..FailPlan::new(seed, s, w, c)
+            };
+            let text = plan.to_string();
+            proptest::prop_assert_eq!(FailPlan::parse(&text), Ok(plan));
+        }
+
+        #[test]
+        fn parse_is_total_over_arbitrary_byte_soup(
+            bytes in proptest::collection::vec(0u8..=255, 16),
+            cut in 0usize..=16,
+        ) {
+            // Raw bytes, lossily decoded, at every prefix length: the
+            // parser must return (Ok or Err), never panic or slice
+            // mid-codepoint.
+            let soup = String::from_utf8_lossy(&bytes[..cut]).into_owned();
+            let _ = FailPlan::parse(&soup);
+            let _ = FailPlan::parse(&format!("fp1:{soup}"));
+            let _ = FailPlan::parse(&format!("fp1:7:{soup}"));
+        }
+
+        #[test]
+        fn oversized_rates_error_instead_of_wrapping(
+            seed in 0u64..u64::MAX,
+            rate in 0u64..u64::MAX,
+        ) {
+            let text = format!("fp1:{seed}:s{rate}");
+            match FailPlan::parse(&text) {
+                Ok(plan) => {
+                    proptest::prop_assert!(rate < 1000, "accepted rate {rate}");
+                    proptest::prop_assert_eq!(u64::from(plan.storage_permille), rate);
+                }
+                Err(_) => proptest::prop_assert!(rate >= 1000, "rejected rate {rate}"),
+            }
         }
     }
 

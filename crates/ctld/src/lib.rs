@@ -40,9 +40,16 @@
 //!   one-line repro string.
 //! * **A retrying client** ([`client`]): reconnect-on-error, capped
 //!   exponential backoff on `overload`, refetch-and-retry on
-//!   `epoch-fenced`, and idempotent fault-batch resubmission keyed by
+//!   `epoch-fenced`, idempotent fault-batch resubmission keyed by
 //!   `batch_id` (the controller's at-least-once dedup makes resends
-//!   safe).
+//!   safe), ordered multi-endpoint failover, and generation-fence
+//!   retry after a promotion.
+//! * **Hot-standby replication** ([`replication`]): a standby daemon
+//!   subscribes to the primary's committed epochs over the wire and
+//!   persists them through its own checkpoint store; fencing is
+//!   widened from `epoch` to `(generation, epoch)` so a promoted
+//!   standby's generation bump durably rejects a deposed primary's
+//!   writes and acks (split-brain prevention).
 //!
 //! The `ctld` binary runs the daemon, `ctlc` is the matching client,
 //! `ctl_bench` drives a Poisson fault feed against a 1024-end-host
@@ -56,6 +63,7 @@
 pub mod client;
 pub mod controller;
 pub mod failpoint;
+pub mod replication;
 pub mod server;
 pub mod store;
 pub mod wire;
@@ -64,8 +72,9 @@ pub use client::{Client, ClientConfig, ClientError, ClientStats, RetryPolicy};
 pub use controller::{Controller, CtlConfig, CtlError, Mode, StatusInfo};
 pub use failpoint::{
     crash_error, is_injected_crash, FailPlan, FailpointIo, FaultCounters, FaultyStream, OsStoreIo,
-    StorageFault, StoreFile, StoreIo, WireFault,
+    PlanParseError, StorageFault, StoreFile, StoreIo, WireFault,
 };
+pub use replication::{ReplicaConfig, Standby, StandbyStats};
 pub use server::{serve, ServerConfig};
 pub use store::{Checkpoint, Store, StoreError};
 pub use wire::{

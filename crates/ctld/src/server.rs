@@ -73,8 +73,25 @@ fn error_response(ctl: &Controller, e: &CtlError) -> Response {
     Response::Error {
         code,
         epoch: ctl.epoch(),
+        gen: ctl.generation(),
         mode: ctl.mode().tag().to_owned(),
         message: e.to_string(),
+    }
+}
+
+/// The typed `gen-fenced` rejection, always reporting the server's own
+/// lease so the client can adopt it — or recognize a deposed primary.
+fn gen_fenced(ctl: &Controller, client_gen: u64, what: &str) -> Response {
+    Response::Error {
+        code: ErrorCode::GenFenced,
+        epoch: ctl.epoch(),
+        gen: ctl.generation(),
+        mode: ctl.mode().tag().to_owned(),
+        message: format!(
+            "generation fence: {what} at generation {client_gen}, \
+             server lease is {}",
+            ctl.generation()
+        ),
     }
 }
 
@@ -90,6 +107,7 @@ fn dispatch(ctl: &mut Controller, req: &Request) -> Result<Response, CtlError> {
             Ok(Response::Status {
                 epoch: s.epoch,
                 mode,
+                gen: s.generation,
                 now: s.now,
                 pending: s.pending,
                 committed_batch_id: s.committed_batch_id,
@@ -118,16 +136,49 @@ fn dispatch(ctl: &mut Controller, req: &Request) -> Result<Response, CtlError> {
             }
             Err(e) => Err(e),
         },
-        Request::Fault { batch_id, changes } => match ctl.ingest(*batch_id, changes) {
-            Ok(applied) => Ok(Response::Fault {
-                epoch: ctl.epoch(),
-                mode: ctl.mode().tag().to_owned(),
-                batch_id: *batch_id,
-                applied,
-            }),
-            Err(e @ CtlError::FeedGap { .. }) => Ok(error_response(ctl, &e)),
-            Err(e) => Err(e),
-        },
+        Request::Fault {
+            batch_id,
+            gen,
+            changes,
+        } => {
+            // The generation fence runs before ingest: a fenced write
+            // must not stage changes, advance the feed cursor, or
+            // trigger a reconvergence on a deposed primary.
+            if let Some(g) = gen {
+                if *g != ctl.generation() {
+                    return Ok(gen_fenced(
+                        ctl,
+                        *g,
+                        format!("fault batch {batch_id}").as_str(),
+                    ));
+                }
+            }
+            match ctl.ingest(*batch_id, changes) {
+                Ok(applied) => Ok(Response::Fault {
+                    epoch: ctl.epoch(),
+                    mode: ctl.mode().tag().to_owned(),
+                    gen: ctl.generation(),
+                    batch_id: *batch_id,
+                    applied,
+                }),
+                Err(e @ CtlError::FeedGap { .. }) => Ok(error_response(ctl, &e)),
+                Err(e) => Err(e),
+            }
+        }
+        Request::Subscribe { gen, .. } => {
+            // A standby that has followed a promotion outranks this
+            // primary: refusing to feed it is what keeps a deposed
+            // primary from rolling a newer-generation standby back.
+            if *gen > ctl.generation() {
+                return Ok(gen_fenced(ctl, *gen, "subscription"));
+            }
+            let (cp, _) = ctl.last_commit();
+            Ok(Response::Replicate {
+                mode,
+                cp,
+                changes: Vec::new(),
+            })
+        }
         Request::Tick { to } => {
             ctl.tick(*to)?;
             Ok(Response::Tick {
@@ -151,11 +202,22 @@ fn dispatch(ctl: &mut Controller, req: &Request) -> Result<Response, CtlError> {
     }
 }
 
+/// Replies a subscriber's channel can buffer before the controller
+/// starts dropping it: a subscriber that cannot drain this many pushes
+/// is too far behind to be worth blocking the control plane for, and
+/// will resync through its store on redial.
+const SUBSCRIBER_BUFFER: usize = 32;
+
 /// Handle one connection: read frames, enqueue jobs, relay replies.
 /// Runs until the peer closes, a frame is unreadable, or the server
 /// shuts down. `shutdown_ack` fires once a `shutdown` acknowledgement
 /// has actually been written to the peer, so [`serve`] can let the
 /// process exit without racing the reply onto the wire.
+///
+/// A `subscribe` request flips the connection into replication mode:
+/// after the initial snapshot reply, the controller keeps the reply
+/// sender and pushes a `replicate` frame per committed epoch, which
+/// this thread relays until either side drops.
 fn handle_connection<S: Read + Write>(
     mut stream: S,
     queue: SyncSender<Job>,
@@ -172,6 +234,7 @@ fn handle_connection<S: Read + Write>(
                 let resp = Response::Error {
                     code: ErrorCode::BadRequest,
                     epoch: 0,
+                    gen: 0,
                     mode: "unknown".to_owned(),
                     message: e.to_string(),
                 };
@@ -182,7 +245,8 @@ fn handle_connection<S: Read + Write>(
             }
         };
         let is_shutdown = matches!(req, Request::Shutdown);
-        let (rtx, rrx) = sync_channel(1);
+        let is_subscribe = matches!(req, Request::Subscribe { .. });
+        let (rtx, rrx) = sync_channel(if is_subscribe { SUBSCRIBER_BUFFER } else { 1 });
         let job = Job {
             req,
             enqueued: Instant::now(),
@@ -201,6 +265,7 @@ fn handle_connection<S: Read + Write>(
                     Response::Error {
                         code: ErrorCode::Overload,
                         epoch: 0,
+                        gen: 0,
                         mode: "unknown".to_owned(),
                         message: "server shutting down".to_owned(),
                     }
@@ -209,6 +274,7 @@ fn handle_connection<S: Read + Write>(
             Err(TrySendError::Full(_)) => Response::Error {
                 code: ErrorCode::Overload,
                 epoch: 0,
+                gen: 0,
                 mode: "unknown".to_owned(),
                 message: "work queue full; retry later".to_owned(),
             },
@@ -217,11 +283,13 @@ fn handle_connection<S: Read + Write>(
                 Response::Error {
                     code: ErrorCode::Overload,
                     epoch: 0,
+                    gen: 0,
                     mode: "unknown".to_owned(),
                     message: "server shutting down".to_owned(),
                 }
             }
         };
+        let accepted_subscription = is_subscribe && matches!(resp, Response::Replicate { .. });
         // A legal request can still produce a reply too large for the
         // frame bound (a big paths batch fans out to several path ids
         // per pair). Letting `write_frame` trip on it would close the
@@ -234,6 +302,7 @@ fn handle_connection<S: Read + Write>(
             payload = Response::Error {
                 code: ErrorCode::BadRequest,
                 epoch,
+                gen: 0,
                 mode: mode.to_owned(),
                 message: format!(
                     "reply of {} bytes exceeds the {MAX_FRAME}-byte frame bound; \
@@ -250,13 +319,34 @@ fn handle_connection<S: Read + Write>(
         if !written || dying {
             return;
         }
+        if accepted_subscription {
+            // Replication relay: block on controller pushes and stream
+            // them out until the controller drops the sender (subscriber
+            // fell behind or server shut down) or the write fails (peer
+            // gone). Either way the connection is done — a standby that
+            // lost its stream resyncs from its own store on redial.
+            while let Ok(push) = rrx.recv() {
+                if write_frame(&mut stream, push.to_json().as_bytes()).is_err() {
+                    return;
+                }
+            }
+            return;
+        }
     }
 }
 
 /// Drain the queue against the controller until a `shutdown` request.
 /// Returns `true` when a shutdown was served (as opposed to every
 /// sender dropping).
+///
+/// Accepted `subscribe` connections are retained here as push targets:
+/// after any request that advanced the `(generation, epoch)` lease, the
+/// last committed checkpoint and its fault batch are fanned out with
+/// `try_send`. A subscriber whose buffer is full (or whose relay thread
+/// died) is dropped on the spot — replication must never apply
+/// backpressure to the control plane.
 fn controller_loop(ctl: &mut Controller, rx: Receiver<Job>) -> Result<bool, CtlError> {
+    let mut subscribers: Vec<SyncSender<Response>> = Vec::new();
     while let Ok(job) = rx.recv() {
         // Deadline check happens at dequeue: a request that waited past
         // its budget is rejected, not served late.
@@ -272,6 +362,7 @@ fn controller_loop(ctl: &mut Controller, rx: Receiver<Job>) -> Result<bool, CtlE
                 let _ = job.reply.send(Response::Error {
                     code: ErrorCode::Deadline,
                     epoch: ctl.epoch(),
+                    gen: ctl.generation(),
                     mode: ctl.mode().tag().to_owned(),
                     message: format!("queued past the {ms} ms deadline"),
                 });
@@ -279,8 +370,24 @@ fn controller_loop(ctl: &mut Controller, rx: Receiver<Job>) -> Result<bool, CtlE
             }
         }
         let shutdown = matches!(job.req, Request::Shutdown);
+        let is_subscribe = matches!(job.req, Request::Subscribe { .. });
+        let lease_before = (ctl.generation(), ctl.epoch());
         let resp = dispatch(ctl, &job.req)?;
+        let accepted_subscription = is_subscribe && matches!(resp, Response::Replicate { .. });
+        let subscriber = accepted_subscription.then(|| job.reply.clone());
         let _ = job.reply.send(resp);
+        if let Some(s) = subscriber {
+            subscribers.push(s);
+        }
+        if (ctl.generation(), ctl.epoch()) != lease_before && !subscribers.is_empty() {
+            let (cp, changes) = ctl.last_commit();
+            let push = Response::Replicate {
+                mode: ctl.mode().tag().to_owned(),
+                cp,
+                changes,
+            };
+            subscribers.retain(|s| s.try_send(push.clone()).is_ok());
+        }
         if shutdown {
             return Ok(true);
         }

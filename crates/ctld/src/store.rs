@@ -33,7 +33,8 @@ use xgft::{DirectedLinkId, FaultSet, NodeId, Topology};
 /// Envelope magic; 8 bytes.
 const MAGIC: &[u8; 8] = b"LMPRCTLS";
 /// Envelope version; bump when the payload layout changes.
-const VERSION: u32 = 1;
+/// Version 2 added the generation lease (HA failover fencing).
+const VERSION: u32 = 2;
 /// Sanity bound on a payload (a view can't plausibly exceed this).
 const MAX_PAYLOAD: u64 = 64 << 20;
 
@@ -94,6 +95,14 @@ pub enum StoreError {
     Corrupt(&'static str),
     /// No checkpoint in the directory survived validation.
     NoCheckpoint,
+    /// The checkpoint's generation is older than one already on disk —
+    /// a deposed primary tried to write after a standby was promoted.
+    StaleGeneration {
+        /// The generation the rejected checkpoint carried.
+        committed: u64,
+        /// The newest generation already durable in the directory.
+        newest: u64,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -106,6 +115,11 @@ impl fmt::Display for StoreError {
             StoreError::ChecksumMismatch => write!(f, "checkpoint payload checksum mismatch"),
             StoreError::Corrupt(m) => write!(f, "checkpoint corrupt: {m}"),
             StoreError::NoCheckpoint => write!(f, "no valid checkpoint found"),
+            StoreError::StaleGeneration { committed, newest } => write!(
+                f,
+                "stale generation: checkpoint at generation {committed} \
+                 rejected, directory already holds generation {newest}"
+            ),
         }
     }
 }
@@ -121,6 +135,11 @@ impl From<std::io::Error> for StoreError {
 /// The root state of one committed epoch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Checkpoint {
+    /// The primary's generation lease. Genesis starts at 1; every
+    /// standby promotion bumps it by exactly 1, and [`Store::commit`]
+    /// refuses any checkpoint older than the newest generation already
+    /// on disk — the durable half of split-brain fencing.
+    pub generation: u64,
     /// The committed epoch number.
     pub epoch: u64,
     /// Logical clock at commit.
@@ -139,6 +158,7 @@ pub struct Checkpoint {
 impl Checkpoint {
     /// Capture the committed view into checkpoint form.
     pub fn from_view(
+        generation: u64,
         epoch: u64,
         now: u64,
         drained_through: u64,
@@ -154,6 +174,7 @@ impl Checkpoint {
             .collect();
         failed_switches.sort_unstable();
         Checkpoint {
+            generation,
             epoch,
             now,
             drained_through,
@@ -182,6 +203,7 @@ impl Checkpoint {
     /// state and is rejected.
     pub fn digest(&self) -> u64 {
         let mut bytes = Vec::with_capacity(64 + 4 * self.failed_links.len());
+        bytes.extend_from_slice(&self.generation.to_le_bytes());
         bytes.extend_from_slice(&self.epoch.to_le_bytes());
         bytes.extend_from_slice(&self.now.to_le_bytes());
         bytes.extend_from_slice(&self.drained_through.to_le_bytes());
@@ -199,7 +221,8 @@ impl Checkpoint {
     }
 
     fn encode(&self) -> Vec<u8> {
-        let mut p = Vec::with_capacity(80 + 4 * self.failed_links.len());
+        let mut p = Vec::with_capacity(88 + 4 * self.failed_links.len());
+        p.extend_from_slice(&self.generation.to_le_bytes());
         p.extend_from_slice(&self.epoch.to_le_bytes());
         p.extend_from_slice(&self.now.to_le_bytes());
         p.extend_from_slice(&self.drained_through.to_le_bytes());
@@ -222,6 +245,7 @@ impl Checkpoint {
             bytes: payload,
             pos: 0,
         };
+        let generation = cur.u64le()?;
         let epoch = cur.u64le()?;
         let now = cur.u64le()?;
         let drained_through = cur.u64le()?;
@@ -248,6 +272,7 @@ impl Checkpoint {
             return Err(StoreError::Corrupt("trailing bytes after payload"));
         }
         let cp = Checkpoint {
+            generation,
             epoch,
             now,
             drained_through,
@@ -373,7 +398,23 @@ impl Store {
     /// A single `EINTR` is retried once from scratch (the temp file is
     /// recreated, so a torn first attempt cannot leak into the retry);
     /// every other failure propagates.
+    ///
+    /// The commit is **generation-fenced**: a checkpoint whose
+    /// `generation` is below the newest valid generation already on
+    /// disk is rejected with [`StoreError::StaleGeneration`] before any
+    /// byte is written. The fence is re-derived from the directory on
+    /// every commit (not cached in memory), so a deposed primary that
+    /// shares a state directory with its promoted successor is stopped
+    /// even across crash-recovery replay.
     pub fn commit(&mut self, cp: &Checkpoint) -> Result<(), StoreError> {
+        if let Some((newest, _)) = self.best_valid() {
+            if cp.generation < newest {
+                return Err(StoreError::StaleGeneration {
+                    committed: cp.generation,
+                    newest,
+                });
+            }
+        }
         match self.commit_once(cp) {
             Err(StoreError::Io(e)) if e.kind() == io::ErrorKind::Interrupted => {
                 self.commit_once(cp)
@@ -400,21 +441,34 @@ impl Store {
         Ok(())
     }
 
-    /// Whether the checkpoint file for `epoch` decodes and validates.
-    fn validates(&mut self, epoch: u64) -> bool {
-        let path = self.snap_path(epoch);
-        match self.io.read(&path) {
-            Ok(bytes) => Checkpoint::from_bytes(&bytes).is_ok(),
-            Err(_) => false,
+    /// The `(generation, epoch)` key of the checkpoint recovery would
+    /// choose: the maximum over every file that decodes and validates.
+    /// Generation dominates epoch so a promoted standby's lower-epoch
+    /// checkpoint outranks a deposed primary's higher-epoch leftovers.
+    /// Read failures and corrupt files are silently skipped here; the
+    /// loud, typed skip reporting lives in [`Store::load_latest`].
+    fn best_valid(&mut self) -> Option<(u64, u64)> {
+        let epochs = self.list_epochs().ok()?;
+        let mut best: Option<(u64, u64)> = None;
+        for epoch in epochs {
+            if let Ok(bytes) = self.io.read(&self.snap_path(epoch)) {
+                if let Ok(cp) = Checkpoint::from_bytes(&bytes) {
+                    let key = (cp.generation, cp.epoch);
+                    if best.is_none_or(|b| key > b) {
+                        best = Some(key);
+                    }
+                }
+            }
         }
+        best
     }
 
     /// Best-effort retention: keep the newest `retain` checkpoints.
     /// Pruning failures are ignored — retention is hygiene, not
-    /// correctness — but the newest checkpoint that actually
-    /// *validates* is never deleted, even when newer-but-corrupt files
-    /// occupy the whole retention window. Deleting it would leave
-    /// recovery with nothing but garbage.
+    /// correctness — but the checkpoint recovery would choose (the best
+    /// valid `(generation, epoch)`) is never deleted, even when
+    /// newer-but-corrupt files occupy the whole retention window.
+    /// Deleting it would leave recovery with nothing but garbage.
     fn prune(&mut self) {
         let Ok(mut epochs) = self.list_epochs() else {
             return;
@@ -423,16 +477,10 @@ impl Store {
             return;
         }
         epochs.sort_unstable();
-        let mut newest_valid = None;
-        for &epoch in epochs.iter().rev() {
-            if self.validates(epoch) {
-                newest_valid = Some(epoch);
-                break;
-            }
-        }
+        let keep = self.best_valid().map(|(_, epoch)| epoch);
         let cut = epochs.len() - self.retain;
         for &old in &epochs[..cut] {
-            if Some(old) == newest_valid {
+            if Some(old) == keep {
                 continue;
             }
             let _ = self.io.remove_file(&self.snap_path(old));
@@ -460,8 +508,10 @@ impl Store {
         Ok(epochs)
     }
 
-    /// Load the newest checkpoint that validates, skipping corrupt or
-    /// truncated ones (each skip is reported on stderr with its typed
+    /// Load the best checkpoint that validates — newest `(generation,
+    /// epoch)` wins, so a promoted standby's state outranks a deposed
+    /// primary's higher-numbered leftovers — skipping corrupt or
+    /// truncated files (each skip is reported on stderr with its typed
     /// reason). [`StoreError::NoCheckpoint`] when nothing survives;
     /// a directory that cannot even be listed propagates as
     /// [`StoreError::Io`] so the caller cannot mistake it for a fresh
@@ -472,6 +522,7 @@ impl Store {
         if epochs.is_empty() {
             return Err(StoreError::NoCheckpoint);
         }
+        let mut best: Option<Checkpoint> = None;
         for epoch in epochs {
             let path = self.snap_path(epoch);
             let bytes = match self.io.read(&path) {
@@ -482,11 +533,16 @@ impl Store {
                 }
             };
             match Checkpoint::from_bytes(&bytes) {
-                Ok(cp) => return Ok(cp),
+                Ok(cp) => {
+                    let key = (cp.generation, cp.epoch);
+                    if best.as_ref().is_none_or(|b| key > (b.generation, b.epoch)) {
+                        best = Some(cp);
+                    }
+                }
                 Err(e) => eprintln!("ctld: skipping {}: {e}", path.display()),
             }
         }
-        Err(StoreError::NoCheckpoint)
+        best.ok_or(StoreError::NoCheckpoint)
     }
 }
 
@@ -500,7 +556,12 @@ mod tests {
     }
 
     fn sample(epoch: u64) -> Checkpoint {
+        sample_gen(1, epoch)
+    }
+
+    fn sample_gen(generation: u64, epoch: u64) -> Checkpoint {
         Checkpoint {
+            generation,
             epoch,
             now: 500 + epoch,
             drained_through: 480,
@@ -612,6 +673,109 @@ mod tests {
             "prune deleted the only valid checkpoint: {epochs:?}"
         );
         assert_eq!(store.load_latest().expect("recovery").epoch, 2);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_generation_commit_is_rejected_live() {
+        let dir = std::env::temp_dir().join(format!("ctld-genfence-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // A deposed primary and its promoted successor sharing the
+        // directory: each holds its own Store handle, so the fence must
+        // come from disk, not from either handle's memory.
+        let mut primary = Store::open(&dir, 4).expect("open primary");
+        primary.commit(&sample_gen(1, 1)).expect("gen-1 commit");
+        let mut promoted = Store::open(&dir, 4).expect("open promoted");
+        promoted.commit(&sample_gen(2, 1)).expect("promotion lease");
+
+        // The deposed primary keeps going at generation 1 — even at a
+        // *higher* epoch — and must be refused without writing a byte.
+        let err = primary.commit(&sample_gen(1, 9)).expect_err("fenced");
+        assert!(
+            matches!(
+                err,
+                StoreError::StaleGeneration {
+                    committed: 1,
+                    newest: 2
+                }
+            ),
+            "wrong error: {err}"
+        );
+        assert!(
+            !dir.join("epoch-0000000000000009.snap").exists(),
+            "fenced commit left a file behind"
+        );
+        // Equal and newer generations still commit.
+        promoted.commit(&sample_gen(2, 2)).expect("same gen ok");
+        promoted.commit(&sample_gen(3, 2)).expect("newer gen ok");
+
+        // Recovery prefers generation over epoch: the promoted gen-3
+        // epoch-2 state outranks nothing here, but the gen-1 epoch-1
+        // file is still around and must lose.
+        let latest = promoted.load_latest().expect("latest");
+        assert_eq!((latest.generation, latest.epoch), (3, 2));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_generation_is_rejected_after_recovery_replay() {
+        let dir = std::env::temp_dir().join(format!("ctld-genfence-rec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut store = Store::open(&dir, 4).expect("open");
+            store.commit(&sample_gen(1, 1)).expect("commit");
+            store.commit(&sample_gen(2, 1)).expect("promotion lease");
+        }
+        // Fresh process, fresh Store: the fence must be re-derived from
+        // the directory during crash-recovery replay.
+        let mut store = Store::open(&dir, 4).expect("reopen");
+        assert!(matches!(
+            store.commit(&sample_gen(1, 2)),
+            Err(StoreError::StaleGeneration {
+                committed: 1,
+                newest: 2
+            })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_rename_kept_prefix_still_fences_generations() {
+        let dir = std::env::temp_dir().join(format!("ctld-genfence-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = Store::open(&dir, 4).expect("open");
+        store.commit(&sample_gen(1, 1)).expect("commit");
+
+        // A torn rename that kept the whole byte prefix (the
+        // keep_permille == 1000 failpoint case): the promotion lease
+        // file is complete and valid on disk, but the committer that
+        // wrote it crashed before learning the rename succeeded.
+        let lease = sample_gen(2, 2);
+        std::fs::write(dir.join("epoch-0000000000000002.snap"), lease.to_bytes())
+            .expect("torn-but-complete lease");
+
+        // The old generation must still be fenced by those bytes...
+        assert!(matches!(
+            store.commit(&sample_gen(1, 3)),
+            Err(StoreError::StaleGeneration {
+                committed: 1,
+                newest: 2
+            })
+        ));
+        // ...while a torn rename that kept only a prefix (invalid
+        // bytes) does NOT raise the fence: recovery would skip it, so
+        // the fence must too — otherwise garbage could brick commits.
+        let mut torn = sample_gen(9, 3).to_bytes();
+        torn.truncate(torn.len() / 2);
+        std::fs::write(dir.join("epoch-0000000000000003.snap"), &torn).expect("torn prefix");
+        store
+            .commit(&sample_gen(2, 3))
+            .expect("gen 2 still commits");
+        let latest = store.load_latest().expect("latest");
+        assert_eq!((latest.generation, latest.epoch), (2, 3));
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -10,8 +10,17 @@
 //! and `{"ok": false, "error": <code>, ...}` on a typed rejection.
 //! Every successful reply carries the server's current `epoch` and
 //! `mode` so clients can fence their next batch without an extra round
-//! trip.
+//! trip; write acks and errors additionally carry the primary's
+//! `gen`eration lease so clients can detect a failover (and a deposed
+//! primary) without an extra status round trip.
+//!
+//! Replication rides the same protocol: a standby sends `subscribe`
+//! and the primary answers with a stream of `replicate` frames — a
+//! full checkpoint snapshot first, then one frame per committed epoch
+//! carrying the checkpoint envelope plus the fault batch that produced
+//! it.
 
+use crate::store::Checkpoint;
 use lmpr_bench::json_string;
 use lmpr_bench::jsonio::{self, ParseError, Value};
 use std::fmt;
@@ -197,8 +206,27 @@ pub enum Request {
     Fault {
         /// Monotonic feed sequence number.
         batch_id: u64,
+        /// Generation fence: when set, the write is applied only if it
+        /// equals the primary's current generation lease — a client
+        /// that has seen a promotion cannot feed a deposed primary, and
+        /// a client holding a stale lease is told to refresh. `None`
+        /// writes unfenced (pre-HA clients).
+        gen: Option<u64>,
         /// The state changes, applied in order.
         changes: Vec<ChangeSpec>,
+    },
+    /// A standby's request to stream certified epochs. Answered with a
+    /// `replicate` snapshot frame, then one `replicate` frame per
+    /// committed epoch for as long as the connection lasts.
+    Subscribe {
+        /// Newest epoch already durable on the standby (advisory; the
+        /// primary always opens with a full snapshot, which the standby
+        /// dedups by `(generation, epoch)`).
+        from_epoch: u64,
+        /// The standby's own generation fence: a primary whose lease is
+        /// *older* refuses with `gen-fenced` — a deposed primary must
+        /// never feed a standby that already followed a promotion.
+        gen: u64,
     },
     /// Advance the controller's logical clock to `to`, draining any
     /// replayed schedule events up to it and retrying a degraded
@@ -238,12 +266,23 @@ impl Request {
                     pairs.join(", ")
                 )
             }
-            Request::Fault { batch_id, changes } => {
+            Request::Fault {
+                batch_id,
+                gen,
+                changes,
+            } => {
                 let changes: Vec<String> = changes.iter().map(|c| c.to_json()).collect();
+                let gen = match gen {
+                    Some(g) => format!(", \"gen\": {g}"),
+                    None => String::new(),
+                };
                 format!(
-                    "{{\"op\": \"fault\", \"batch_id\": {batch_id}, \"changes\": [{}]}}",
+                    "{{\"op\": \"fault\", \"batch_id\": {batch_id}{gen}, \"changes\": [{}]}}",
                     changes.join(", ")
                 )
+            }
+            Request::Subscribe { from_epoch, gen } => {
+                format!("{{\"op\": \"subscribe\", \"from_epoch\": {from_epoch}, \"gen\": {gen}}}")
             }
             Request::Tick { to } => format!("{{\"op\": \"tick\", \"to\": {to}}}"),
             Request::Chaos { fail_certs } => {
@@ -310,6 +349,13 @@ impl Request {
                     .get("batch_id")
                     .and_then(Value::as_u64)
                     .ok_or(WireError::Malformed("fault without a batch_id"))?;
+                let gen = match v.get("gen") {
+                    None | Some(Value::Null) => None,
+                    Some(g) => Some(
+                        g.as_u64()
+                            .ok_or(WireError::Malformed("non-integer fault gen"))?,
+                    ),
+                };
                 let raw = v
                     .get("changes")
                     .and_then(Value::as_arr)
@@ -318,7 +364,22 @@ impl Request {
                 for item in raw {
                     changes.push(ChangeSpec::from_json(item)?);
                 }
-                Ok(Request::Fault { batch_id, changes })
+                Ok(Request::Fault {
+                    batch_id,
+                    gen,
+                    changes,
+                })
+            }
+            "subscribe" => {
+                let from_epoch = v
+                    .get("from_epoch")
+                    .and_then(Value::as_u64)
+                    .ok_or(WireError::Malformed("subscribe without from_epoch"))?;
+                let gen = v
+                    .get("gen")
+                    .and_then(Value::as_u64)
+                    .ok_or(WireError::Malformed("subscribe without gen"))?;
+                Ok(Request::Subscribe { from_epoch, gen })
             }
             "tick" => {
                 let to = v
@@ -350,6 +411,12 @@ pub enum ErrorCode {
     EpochFenced,
     /// The batch sat in the queue past its deadline.
     Deadline,
+    /// The request's generation fence does not match the primary's
+    /// lease: either the client is stale (a promotion happened — adopt
+    /// the reported `gen` and retry) or the *server* is a deposed
+    /// primary (its reported `gen` is older than the client's — fail
+    /// over to the next endpoint).
+    GenFenced,
     /// The request was malformed or violated feed sequencing.
     BadRequest,
 }
@@ -361,6 +428,7 @@ impl ErrorCode {
             ErrorCode::Overload => "overload",
             ErrorCode::EpochFenced => "epoch-fenced",
             ErrorCode::Deadline => "deadline",
+            ErrorCode::GenFenced => "gen-fenced",
             ErrorCode::BadRequest => "bad-request",
         }
     }
@@ -370,6 +438,7 @@ impl ErrorCode {
             "overload" => Some(ErrorCode::Overload),
             "epoch-fenced" => Some(ErrorCode::EpochFenced),
             "deadline" => Some(ErrorCode::Deadline),
+            "gen-fenced" => Some(ErrorCode::GenFenced),
             "bad-request" => Some(ErrorCode::BadRequest),
             _ => None,
         }
@@ -386,6 +455,8 @@ pub enum Response {
         epoch: u64,
         /// `"serving"` or `"degraded"`.
         mode: String,
+        /// The primary's generation lease.
+        gen: u64,
         /// Logical clock.
         now: u64,
         /// Uncommitted fault changes awaiting a passing certificate.
@@ -426,11 +497,24 @@ pub enum Response {
         epoch: u64,
         /// Mode tag.
         mode: String,
+        /// The generation lease under which the ack was issued.
+        gen: u64,
         /// Echoed batch id.
         batch_id: u64,
         /// False when the batch was a duplicate of an already-ingested
         /// id (at-least-once delivery).
         applied: bool,
+    },
+    /// One replication frame: the committed checkpoint (carrying its
+    /// own `generation` and `epoch`) plus the fault batch that produced
+    /// it (empty for the snapshot frame that opens a subscription).
+    Replicate {
+        /// Mode tag at send time.
+        mode: String,
+        /// The committed root state, exactly as checkpointed.
+        cp: Checkpoint,
+        /// The change batch whose certification committed this epoch.
+        changes: Vec<ChangeSpec>,
     },
     /// Acknowledgement of a clock advance.
     Tick {
@@ -463,6 +547,10 @@ pub enum Response {
         code: ErrorCode,
         /// Server epoch when known (0 before the controller answered).
         epoch: u64,
+        /// Server generation when known (0 before the controller
+        /// answered); a `gen-fenced` rejection always reports it so the
+        /// client can adopt the lease — or recognize a deposed primary.
+        gen: u64,
         /// Mode tag (`"unknown"` when the controller was not consulted).
         mode: String,
         /// Human-readable detail.
@@ -484,6 +572,20 @@ impl Response {
             | Response::Chaos { epoch, mode, .. }
             | Response::Shutdown { epoch, mode }
             | Response::Error { epoch, mode, .. } => (*epoch, mode),
+            Response::Replicate { mode, cp, .. } => (cp.epoch, mode),
+        }
+    }
+
+    /// The generation lease this reply reports, if the variant carries
+    /// one (status, fault acks, replication frames and typed errors
+    /// do; pure read replies do not).
+    pub fn gen(&self) -> Option<u64> {
+        match self {
+            Response::Status { gen, .. }
+            | Response::Fault { gen, .. }
+            | Response::Error { gen, .. } => Some(*gen),
+            Response::Replicate { cp, .. } => Some(cp.generation),
+            _ => None,
         }
     }
 
@@ -493,6 +595,7 @@ impl Response {
             Response::Status {
                 epoch,
                 mode,
+                gen,
                 now,
                 pending,
                 committed_batch_id,
@@ -502,6 +605,7 @@ impl Response {
                 degraded_attempts,
             } => format!(
                 "{{\"ok\": true, \"reply\": \"status\", \"epoch\": {epoch}, \
+                 \"gen\": {gen}, \
                  \"mode\": {}, \"now\": {now}, \"pending\": {pending}, \
                  \"committed_batch_id\": {committed_batch_id}, \
                  \"reconv_count\": {reconv_count}, \
@@ -538,13 +642,40 @@ impl Response {
             Response::Fault {
                 epoch,
                 mode,
+                gen,
                 batch_id,
                 applied,
             } => format!(
                 "{{\"ok\": true, \"reply\": \"fault\", \"epoch\": {epoch}, \
+                 \"gen\": {gen}, \
                  \"mode\": {}, \"batch_id\": {batch_id}, \"applied\": {applied}}}",
                 json_string(mode)
             ),
+            Response::Replicate { mode, cp, changes } => {
+                let links: Vec<String> = cp.failed_links.iter().map(u32::to_string).collect();
+                let switches: Vec<String> = cp
+                    .failed_switches
+                    .iter()
+                    .map(|(l, r)| format!("[{l}, {r}]"))
+                    .collect();
+                let changes: Vec<String> = changes.iter().map(|c| c.to_json()).collect();
+                format!(
+                    "{{\"ok\": true, \"reply\": \"replicate\", \"epoch\": {}, \
+                     \"gen\": {}, \"mode\": {}, \"now\": {}, \
+                     \"drained_through\": {}, \"committed_batch_id\": {}, \
+                     \"failed_links\": [{}], \"failed_switches\": [{}], \
+                     \"changes\": [{}]}}",
+                    cp.epoch,
+                    cp.generation,
+                    json_string(mode),
+                    cp.now,
+                    cp.drained_through,
+                    cp.committed_batch_id,
+                    links.join(", "),
+                    switches.join(", "),
+                    changes.join(", ")
+                )
+            }
             Response::Tick { epoch, mode, now } => format!(
                 "{{\"ok\": true, \"reply\": \"tick\", \"epoch\": {epoch}, \
                  \"mode\": {}, \"now\": {now}}}",
@@ -566,11 +697,12 @@ impl Response {
             Response::Error {
                 code,
                 epoch,
+                gen,
                 mode,
                 message,
             } => format!(
                 "{{\"ok\": false, \"error\": {}, \"epoch\": {epoch}, \
-                 \"mode\": {}, \"message\": {}}}",
+                 \"gen\": {gen}, \"mode\": {}, \"message\": {}}}",
                 json_string(code.tag()),
                 json_string(mode),
                 json_string(message)
@@ -586,6 +718,7 @@ impl Response {
             .and_then(Value::as_bool)
             .ok_or(WireError::Malformed("reply without ok"))?;
         let epoch = v.get("epoch").and_then(Value::as_u64).unwrap_or(0);
+        let gen = v.get("gen").and_then(Value::as_u64).unwrap_or(0);
         let mode = v
             .get("mode")
             .and_then(Value::as_str)
@@ -605,6 +738,7 @@ impl Response {
             return Ok(Response::Error {
                 code,
                 epoch,
+                gen,
                 mode,
                 message,
             });
@@ -624,6 +758,7 @@ impl Response {
             "status" => Ok(Response::Status {
                 epoch,
                 mode,
+                gen,
                 now: field("now", "status without now")?,
                 pending: field("pending", "status without pending")?,
                 committed_batch_id: field(
@@ -668,12 +803,77 @@ impl Response {
             "fault" => Ok(Response::Fault {
                 epoch,
                 mode,
+                gen,
                 batch_id: field("batch_id", "fault reply without batch_id")?,
                 applied: v
                     .get("applied")
                     .and_then(Value::as_bool)
                     .ok_or(WireError::Malformed("fault reply without applied"))?,
             }),
+            "replicate" => {
+                let links = v
+                    .get("failed_links")
+                    .and_then(Value::as_arr)
+                    .ok_or(WireError::Malformed("replicate without failed_links"))?;
+                let mut failed_links = Vec::with_capacity(links.len());
+                for l in links {
+                    failed_links.push(
+                        l.as_u64()
+                            .and_then(|x| u32::try_from(x).ok())
+                            .ok_or(WireError::Malformed("failed link id is not a u32"))?,
+                    );
+                }
+                let switches = v
+                    .get("failed_switches")
+                    .and_then(Value::as_arr)
+                    .ok_or(WireError::Malformed("replicate without failed_switches"))?;
+                let mut failed_switches = Vec::with_capacity(switches.len());
+                for s in switches {
+                    let pair = s
+                        .as_arr()
+                        .filter(|a| a.len() == 2)
+                        .ok_or(WireError::Malformed("failed switch is not a 2-array"))?;
+                    let level = pair
+                        .first()
+                        .and_then(Value::as_u64)
+                        .and_then(|x| u8::try_from(x).ok());
+                    let rank = pair
+                        .get(1)
+                        .and_then(Value::as_u64)
+                        .and_then(|x| u32::try_from(x).ok());
+                    match (level, rank) {
+                        (Some(l), Some(r)) => failed_switches.push((l, r)),
+                        _ => return Err(WireError::Malformed("switch level/rank out of range")),
+                    }
+                }
+                let raw = v
+                    .get("changes")
+                    .and_then(Value::as_arr)
+                    .ok_or(WireError::Malformed("replicate without changes"))?;
+                let mut changes = Vec::with_capacity(raw.len());
+                for item in raw {
+                    changes.push(ChangeSpec::from_json(item)?);
+                }
+                Ok(Response::Replicate {
+                    mode,
+                    cp: Checkpoint {
+                        generation: gen,
+                        epoch,
+                        now: field("now", "replicate without now")?,
+                        drained_through: field(
+                            "drained_through",
+                            "replicate without drained_through",
+                        )?,
+                        committed_batch_id: field(
+                            "committed_batch_id",
+                            "replicate without committed_batch_id",
+                        )?,
+                        failed_links,
+                        failed_switches,
+                    },
+                    changes,
+                })
+            }
             "tick" => Ok(Response::Tick {
                 epoch,
                 mode,
@@ -715,12 +915,22 @@ mod tests {
             },
             Request::Fault {
                 batch_id: 9,
+                gen: None,
                 changes: vec![
                     ChangeSpec::LinkDown(5),
                     ChangeSpec::LinkUp(5),
                     ChangeSpec::SwitchDown(2, 1),
                     ChangeSpec::SwitchUp(2, 1),
                 ],
+            },
+            Request::Fault {
+                batch_id: 10,
+                gen: Some(3),
+                changes: vec![ChangeSpec::LinkDown(7)],
+            },
+            Request::Subscribe {
+                from_epoch: 41,
+                gen: 2,
             },
             Request::Tick { to: 12345 },
             Request::Chaos { fail_certs: true },
@@ -739,6 +949,7 @@ mod tests {
             Response::Status {
                 epoch: 3,
                 mode: "serving".into(),
+                gen: 2,
                 now: 500,
                 pending: 0,
                 committed_batch_id: 2,
@@ -760,8 +971,35 @@ mod tests {
             Response::Fault {
                 epoch: 2,
                 mode: "serving".into(),
+                gen: 1,
                 batch_id: 4,
                 applied: false,
+            },
+            Response::Replicate {
+                mode: "serving".into(),
+                cp: Checkpoint {
+                    generation: 2,
+                    epoch: 6,
+                    now: 880,
+                    drained_through: 850,
+                    committed_batch_id: 6,
+                    failed_links: vec![3, 17],
+                    failed_switches: vec![(1, 0), (2, 3)],
+                },
+                changes: vec![ChangeSpec::LinkDown(17), ChangeSpec::SwitchDown(2, 3)],
+            },
+            Response::Replicate {
+                mode: "serving".into(),
+                cp: Checkpoint {
+                    generation: 1,
+                    epoch: 0,
+                    now: 0,
+                    drained_through: 0,
+                    committed_batch_id: 0,
+                    failed_links: vec![],
+                    failed_switches: vec![],
+                },
+                changes: vec![],
             },
             Response::Tick {
                 epoch: 2,
@@ -780,8 +1018,16 @@ mod tests {
             Response::Error {
                 code: ErrorCode::EpochFenced,
                 epoch: 6,
+                gen: 0,
                 mode: "serving".into(),
                 message: "batch fenced at epoch 5".into(),
+            },
+            Response::Error {
+                code: ErrorCode::GenFenced,
+                epoch: 6,
+                gen: 3,
+                mode: "serving".into(),
+                message: "write fenced at generation 2".into(),
             },
         ];
         for resp in resps {
@@ -824,6 +1070,9 @@ mod tests {
             b"{\"op\": \"paths\", \"epoch\": 1, \"pairs\": [[1]]}",
             b"{\"op\": \"paths\", \"epoch\": 1, \"pairs\": [[1, -2]]}",
             b"{\"op\": \"fault\", \"batch_id\": 1, \"changes\": [{\"kind\": \"nope\"}]}",
+            b"{\"op\": \"fault\", \"batch_id\": 1, \"gen\": -4, \"changes\": []}",
+            b"{\"op\": \"subscribe\"}",
+            b"{\"op\": \"subscribe\", \"from_epoch\": 1}",
             b"{\"op\": \"tick\"}",
             b"\xff\xfe",
         ] {

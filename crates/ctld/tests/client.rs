@@ -93,7 +93,7 @@ fn the_client_rides_out_injected_wire_chaos() {
     // disconnects, mid-frame resets; no drops, so no reliance on the
     // read timeout for progress).
     let mut client = Client::with_config(ClientConfig {
-        socket_path: d.socket.clone(),
+        endpoints: vec![d.socket.clone()],
         retry: RetryPolicy {
             base_ms: 1,
             cap_ms: 10,

@@ -1,0 +1,181 @@
+//! High-availability integration tests: a standby replicates a live
+//! primary, a promotion bumps the generation lease, clients fail over
+//! and retry through the fence, and a deposed primary can no longer
+//! acknowledge writes.
+
+use lmpr_core::RouterKind;
+use lmpr_ctld::{
+    serve, ChangeSpec, Client, ClientConfig, ClientError, Controller, CtlConfig, ReplicaConfig,
+    Response, RetryPolicy, ServerConfig, Standby,
+};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+const TOPO: &str = "8port2tree";
+const KIND: RouterKind = RouterKind::Disjoint(4);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ctld-ha-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Start a controller over `state_dir` (promoting first when asked)
+/// and serve it on `socket`; blocks until the socket accepts.
+fn serve_on(state_dir: &Path, socket: &Path, promote: bool) -> JoinHandle<std::io::Result<()>> {
+    let cfg = CtlConfig::new(TOPO, KIND, state_dir);
+    let (mut ctl, _) = Controller::start(cfg).expect("controller start");
+    if promote {
+        ctl.promote().expect("promote");
+    }
+    let server_cfg = ServerConfig::new(socket);
+    let handle = std::thread::spawn(move || serve(ctl, server_cfg));
+    for _ in 0..500 {
+        if UnixStream::connect(socket).is_ok() {
+            return handle;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("server on {socket:?} did not come up");
+}
+
+fn shutdown(socket: &Path, handle: JoinHandle<std::io::Result<()>>) {
+    Client::new(socket).shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("server exit");
+}
+
+fn ha_client(endpoints: Vec<PathBuf>) -> Client {
+    Client::with_config(ClientConfig {
+        endpoints,
+        retry: RetryPolicy {
+            base_ms: 1,
+            cap_ms: 10,
+            max_attempts: 6,
+        },
+        read_timeout_ms: Some(2_000),
+        wire_faults: None,
+    })
+}
+
+/// Wait until the standby has applied at least `epoch`.
+fn await_replicated(standby: &Standby, epoch: u64) {
+    for _ in 0..500 {
+        if standby.stats().epoch >= epoch {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("standby never reached epoch {epoch}: {:?}", standby.stats());
+}
+
+/// The headline failover path: a standby streams the primary's
+/// committed epochs, the primary dies, the promoted standby serves on
+/// the second endpoint, and the client's next write lands there after
+/// one endpoint failover plus one transparent generation-fence retry.
+#[test]
+fn a_promoted_standby_takes_over_behind_the_clients_back() {
+    let dir = scratch_dir("takeover");
+    let (sock_a, sock_b) = (dir.join("a.sock"), dir.join("b.sock"));
+    let (primary_dir, standby_dir) = (dir.join("primary"), dir.join("standby"));
+
+    let primary = serve_on(&primary_dir, &sock_a, false);
+    let standby = Standby::spawn(ReplicaConfig::new(&sock_a, &standby_dir)).expect("standby spawn");
+
+    let mut client = ha_client(vec![sock_a.clone(), sock_b.clone()]);
+    for batch in 1..=3u64 {
+        let link = batch as u32;
+        assert!(client
+            .submit_fault(batch, &[ChangeSpec::LinkDown(link)])
+            .expect("fault on primary"));
+    }
+    assert_eq!(client.last_gen(), 1, "acks must carry the primary's lease");
+    await_replicated(&standby, 3);
+    let stats = standby.stop();
+    assert_eq!((stats.generation, stats.epoch), (1, 3));
+
+    // The primary dies; the replicated state is promoted on endpoint B.
+    shutdown(&sock_a, primary);
+    let promoted = serve_on(&standby_dir, &sock_b, true);
+
+    // The client's next write must survive the switch transparently:
+    // dial fails over to B, B fences the stale generation-1 write, the
+    // client adopts the promoted lease and resubmits the same batch.
+    assert!(client
+        .submit_fault(4, &[ChangeSpec::LinkUp(1)])
+        .expect("fault after failover"));
+    let stats = client.stats();
+    assert!(stats.failovers >= 1, "no endpoint failover: {stats:?}");
+    assert!(stats.gen_retries >= 1, "no gen-fence retry: {stats:?}");
+    assert_eq!(client.last_gen(), 2, "client must adopt the new lease");
+    assert_eq!(client.current_epoch().expect("epoch"), 4);
+
+    shutdown(&sock_b, promoted);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Split-brain prevention: once a standby is promoted, the deposed
+/// primary — still running, never crashed — can no longer acknowledge
+/// writes from a client that has seen the new generation. The client
+/// fails away from it instead of accepting a stale ack, and the
+/// deposed primary's committed state stays untouched.
+#[test]
+fn a_deposed_primarys_acks_are_fenced_off() {
+    let dir = scratch_dir("deposed");
+    let (sock_a, sock_b) = (dir.join("a.sock"), dir.join("b.sock"));
+    let (primary_dir, standby_dir) = (dir.join("primary"), dir.join("standby"));
+
+    let deposed = serve_on(&primary_dir, &sock_a, false);
+    let standby = Standby::spawn(ReplicaConfig::new(&sock_a, &standby_dir)).expect("standby spawn");
+    let mut seed = Client::new(&sock_a);
+    assert!(seed
+        .submit_fault(1, &[ChangeSpec::LinkDown(2)])
+        .expect("fault on primary"));
+    await_replicated(&standby, 1);
+    standby.stop();
+
+    // Promote the standby on endpoint B while the old primary stays
+    // alive on A (a partition healed the wrong way round).
+    let promoted = serve_on(&standby_dir, &sock_b, true);
+    let mut client = ha_client(vec![sock_b.clone(), sock_a.clone()]);
+    assert_eq!(client.current_epoch().expect("epoch from B"), 1);
+    assert_eq!(client.last_gen(), 2, "client must learn the promoted lease");
+
+    // The promoted node goes away; the only reachable endpoint is the
+    // deposed generation-1 primary. Its fence must reject the write
+    // and the client must refuse to fall back to the stale lease.
+    shutdown(&sock_b, promoted);
+    let err = client
+        .submit_fault(2, &[ChangeSpec::LinkUp(2)])
+        .expect_err("a deposed primary must not ack");
+    match &err {
+        ClientError::RetriesExhausted { last, .. } => {
+            assert!(
+                last.contains("gen-fenced"),
+                "retries must end on the generation fence, got: {last}"
+            );
+        }
+        other => panic!("expected exhausted retries, got {other:?}"),
+    }
+    assert!(client.stats().gen_retries >= 1);
+
+    // The deposed primary never applied the fenced batch.
+    match Client::new(&sock_a).status().expect("status from A") {
+        Response::Status {
+            epoch,
+            committed_batch_id,
+            gen,
+            ..
+        } => {
+            assert_eq!(gen, 1, "the deposed primary keeps its old lease");
+            assert_eq!(committed_batch_id, 1, "the fenced batch must not commit");
+            assert_eq!(epoch, 1);
+        }
+        other => panic!("unexpected status: {other:?}"),
+    }
+
+    shutdown(&sock_a, deposed);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -106,6 +106,7 @@ fn the_protocol_round_trips_end_to_end() {
         &mut c,
         &Request::Fault {
             batch_id: 1,
+            gen: None,
             changes: vec![ChangeSpec::LinkDown(2)],
         },
     ) {
@@ -138,6 +139,7 @@ fn the_protocol_round_trips_end_to_end() {
         &mut c,
         &Request::Fault {
             batch_id: 1,
+            gen: None,
             changes: vec![ChangeSpec::LinkDown(2)],
         },
     ) {
@@ -150,6 +152,7 @@ fn the_protocol_round_trips_end_to_end() {
         &mut c,
         &Request::Fault {
             batch_id: 9,
+            gen: None,
             changes: vec![],
         },
     ) {
@@ -291,6 +294,7 @@ fn a_slow_reconvergence_sheds_load_with_typed_overloads() {
                 &mut c,
                 &Request::Fault {
                     batch_id: 1,
+                    gen: None,
                     changes: vec![ChangeSpec::LinkDown(4)],
                 },
             )
@@ -356,6 +360,7 @@ fn chaos_over_the_wire_degrades_and_recovers() {
         &mut c,
         &Request::Fault {
             batch_id: 1,
+            gen: None,
             changes: vec![ChangeSpec::LinkDown(6)],
         },
     ) {

@@ -122,6 +122,17 @@ pub enum RuleId {
     /// with every fault batch applied exactly once (final state digest
     /// equal to the offline replay's; no lost or double-applied batch).
     CtlSoakBatch,
+    /// Chaos-soak failover invariant: every promotion of a standby must
+    /// catch up to the full submitted feed before serving — the
+    /// promoted epoch covers every acknowledged batch, never regresses
+    /// below it, and the daemon spawned on the promoted state serves
+    /// exactly that epoch.
+    CtlSoakFailover,
+    /// Chaos-soak generation-fence invariant: generation leases form a
+    /// strict +1 chain across promotions, every deposed-generation
+    /// write probe is durably rejected, and the feeder's recovery
+    /// counters show it actually crossed each fence.
+    CtlSoakGen,
 }
 
 impl RuleId {
@@ -153,6 +164,8 @@ impl RuleId {
             RuleId::CtlSoakServe => "CTL-SOAK-SERVE",
             RuleId::CtlSoakRecover => "CTL-SOAK-RECOVER",
             RuleId::CtlSoakBatch => "CTL-SOAK-BATCH",
+            RuleId::CtlSoakFailover => "CTL-SOAK-FAILOVER",
+            RuleId::CtlSoakGen => "CTL-SOAK-GEN",
         }
     }
 }

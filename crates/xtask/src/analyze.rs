@@ -86,12 +86,14 @@ const TIME_APPROVED: &[&str] = &[
 ];
 
 /// Modules approved to spawn threads / build locks and channels: the
-/// ctld socket front end, the orchestrator, the sweep/study samplers,
-/// and the ctld bench and soak drivers.
+/// ctld socket front end, the standby replication follower, the
+/// orchestrator, the sweep/study samplers, and the ctld bench and
+/// soak drivers.
 const THREAD_APPROVED: &[&str] = &[
     "crates/bench/src/orchestrator.rs",
     "crates/ctld/src/bin/ctl_bench.rs",
     "crates/ctld/src/bin/ctl_soak.rs",
+    "crates/ctld/src/replication.rs",
     "crates/ctld/src/server.rs",
     "crates/flitsim/src/sweep.rs",
     "crates/flowsim/src/study.rs",
